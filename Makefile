@@ -1,0 +1,45 @@
+# CubeFit build and experiment targets. Everything is plain `go` underneath;
+# the targets exist for discoverability.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover experiments figure5 figure6 table1 theorem2 fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Paper experiments (see EXPERIMENTS.md for expected shapes).
+experiments: figure5 figure6 theorem2
+
+figure5:
+	$(GO) run ./cmd/cubefit-cluster
+
+figure6:
+	$(GO) run ./cmd/cubefit-sim
+
+table1:
+	$(GO) run ./cmd/cubefit-sim -table1
+
+theorem2:
+	$(GO) run ./cmd/cubefit-ratio
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-failures", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Figure 5",
+		"cubefit(γ=2,k=5)",
+		"cubefit(γ=3,k=5)",
+		"rfi(γ=2,μ=0.85)",
+		"uniform(1..15)",
+		"zipf(s=3, 1..52)",
+		"Worst P99",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// 2 dists × 3 algorithms × 2 failure levels (0 and 1) = 12 data rows.
+	rows := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, " s ") && (strings.Contains(line, "meets") || strings.Contains(line, "VIOLATES")) {
+			rows++
+		}
+	}
+	if rows != 12 {
+		t.Fatalf("found %d data rows, want 12:\n%s", rows, text)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-servers", "abc"}, &out); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+}
+
+func TestInvalidFailureCount(t *testing.T) {
+	var out bytes.Buffer
+	// More failures than servers must surface as an error. (-quick is not
+	// used because it overrides -servers.)
+	if err := run([]string{"-servers", "3", "-failures", "5", "-warmup", "1", "-measure", "2"}, &out); err == nil {
+		t.Fatal("failures > servers accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command cubefit-inspect audits a placement snapshot (the JSON produced
+// by the controller's GET /v1/placement or by internal/trace): it
+// validates the robustness invariant, summarizes utilization, lists the
+// most loaded servers, and runs worst-case failure drills.
+//
+// Usage:
+//
+//	cubefit-inspect placement.json
+//	curl -s localhost:8080/v1/placement | cubefit-inspect
+//	cubefit-inspect -drills 2 placement.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+	"cubefit/internal/report"
+	"cubefit/internal/trace"
+	"cubefit/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cubefit-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("cubefit-inspect", flag.ContinueOnError)
+	var (
+		drills = fs.Int("drills", 0, "run worst-case failure drills for 1..N simultaneous failures (default γ−1)")
+		top    = fs.Int("top", 5, "show the N most loaded servers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := trace.Read(in)
+	if err != nil {
+		return err
+	}
+	p, err := trace.Restore(snap)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "placement: γ=%d, %d tenants, %d servers used (%d opened)\n",
+		p.Gamma(), p.NumTenants(), p.NumUsedServers(), p.NumServers())
+	fmt.Fprintf(out, "total load %.2f, utilization %.1f%%\n", p.TotalLoad(), 100*p.Utilization())
+
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(out, "ROBUSTNESS: VIOLATED — %v\n", err)
+	} else {
+		fmt.Fprintf(out, "robustness: OK (tolerates any %d simultaneous failures)\n", p.Gamma()-1)
+	}
+
+	// Most loaded servers with their failover reserves.
+	servers := append([]*packing.Server(nil), p.Servers()...)
+	sort.Slice(servers, func(i, j int) bool {
+		if servers[i].Level() != servers[j].Level() {
+			return servers[i].Level() > servers[j].Level()
+		}
+		return servers[i].ID() < servers[j].ID()
+	})
+	n := *top
+	if n > len(servers) {
+		n = len(servers)
+	}
+	if n > 0 {
+		fmt.Fprintf(out, "\ntop %d servers by load:\n", n)
+		tb := report.NewTable("Server", "Level", "Replicas", "Reserve", "Headroom")
+		for _, s := range servers[:n] {
+			reserve := s.TopShared(p.Gamma() - 1)
+			tb.AddRow(
+				fmt.Sprintf("%d", s.ID()),
+				fmt.Sprintf("%.3f", s.Level()),
+				fmt.Sprintf("%d", s.NumReplicas()),
+				fmt.Sprintf("%.3f", reserve),
+				fmt.Sprintf("%.3f", 1-s.Level()-reserve),
+			)
+		}
+		if err := tb.Render(out); err != nil {
+			return err
+		}
+	}
+
+	// Failure drills.
+	maxDrill := *drills
+	if maxDrill == 0 {
+		maxDrill = p.Gamma() - 1
+	}
+	if maxDrill > 0 && p.NumUsedServers() > 0 {
+		fmt.Fprintf(out, "\nworst-case failure drills (client capacity %d):\n", workload.MaxClientsPerServer)
+		tb := report.NewTable("Failures", "Servers", "Max client load", "Post-failure load", "Lost clients")
+		for f := 1; f <= maxDrill && f < p.NumServers(); f++ {
+			plan, err := failure.WorstCase(p, f)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(
+				fmt.Sprintf("%d", f),
+				fmt.Sprintf("%v", plan.Servers),
+				fmt.Sprintf("%.1f", plan.MaxClientLoad),
+				fmt.Sprintf("%.3f", p.MaxPostFailureLoad(plan.Servers)),
+				fmt.Sprintf("%d", plan.LostClients),
+			)
+		}
+		if err := tb.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

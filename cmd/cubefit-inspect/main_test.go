@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/trace"
+	"cubefit/internal/workload"
+)
+
+func snapshotFile(t *testing.T, gamma int) string {
+	t.Helper()
+	cf, err := core.New(core.Config{Gamma: gamma, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packing.PlaceAll(cf, workload.Take(src, 100)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "placement.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, cf.Placement()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectFromFile(t *testing.T) {
+	path := snapshotFile(t, 2)
+	var out bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"γ=2, 100 tenants",
+		"robustness: OK",
+		"top 5 servers by load",
+		"worst-case failure drills",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInspectFromStdin(t *testing.T) {
+	path := snapshotFile(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "γ=3") {
+		t.Fatalf("stdin inspect failed:\n%s", out.String())
+	}
+	// γ=3 defaults to drills for 1 and 2 failures.
+	if !strings.Contains(out.String(), "tolerates any 2 simultaneous failures") {
+		t.Fatalf("γ=3 drill summary missing:\n%s", out.String())
+	}
+}
+
+func TestInspectFlagsAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-top", "bad"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+	if err := run([]string{"/nonexistent/path.json"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(nil, strings.NewReader("{garbage"), &out); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+func TestInspectDetectsViolation(t *testing.T) {
+	// Hand-build a non-robust placement: two unit-load tenants fully
+	// shared across two servers.
+	p, err := packing.NewPlacement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := p.OpenServer(), p.OpenServer()
+	for id := packing.TenantID(1); id <= 2; id++ {
+		tn := packing.Tenant{ID: id, Load: 1}
+		if err := p.AddTenant(tn); err != nil {
+			t.Fatal(err)
+		}
+		reps := p.Replicas(tn)
+		if err := p.Place(s1, reps[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place(s2, reps[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, &buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ROBUSTNESS: VIOLATED") {
+		t.Fatalf("violation not reported:\n%s", out.String())
+	}
+}

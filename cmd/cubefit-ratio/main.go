@@ -1,0 +1,109 @@
+// Command cubefit-ratio reproduces the paper's Theorem 2: the worst-case
+// competitive ratio upper bound of CubeFit, computed by solving the
+// weighting integer program exactly. It optionally reports empirical
+// ratios of CubeFit and the baselines against a lower bound on OPT.
+//
+// Usage:
+//
+//	cubefit-ratio [-kmax 200] [-empirical] [-tenants 20000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cubefit/internal/baseline"
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/ratio"
+	"cubefit/internal/report"
+	"cubefit/internal/rfi"
+	"cubefit/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cubefit-ratio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cubefit-ratio", flag.ContinueOnError)
+	var (
+		kmax      = fs.Int("kmax", 200, "largest class count to evaluate")
+		empirical = fs.Bool("empirical", false, "also measure empirical ratios on random loads")
+		tenants   = fs.Int("tenants", 20000, "tenants for the empirical measurement")
+		seed      = fs.Uint64("seed", 1, "random seed for the empirical measurement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "Theorem 2: competitive-ratio upper bounds from the weighting program")
+	fmt.Fprintln(out, "(the bound is only tight for large K, where the tiny-class weight density")
+	fmt.Fprintln(out, " (αK+1)/(αK−γ+1) approaches 1; small-K values are loose)")
+	tb := report.NewTable("γ", "K", "Upper bound")
+	for _, gamma := range []int{2, 3} {
+		for _, k := range []int{50, 100, 150, *kmax} {
+			if k > *kmax {
+				continue
+			}
+			b, err := ratio.UpperBound(gamma, k)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(fmt.Sprintf("%d", gamma), fmt.Sprintf("%d", k), fmt.Sprintf("%.4f", b.Ratio))
+		}
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nPaper anchors: the bounds approach 1.59 (γ=2) and 1.625 (γ=3) for large K.")
+
+	if !*empirical {
+		return nil
+	}
+	fmt.Fprintln(out, "\nEmpirical servers-used / lower-bound on uniform(0,1] loads:")
+	src, err := workload.NewLoadSource(1, *seed)
+	if err != nil {
+		return err
+	}
+	ts := workload.Take(src, *tenants)
+	algs := []struct {
+		name string
+		make func() (packing.Algorithm, error)
+	}{
+		{name: "cubefit γ=2 k=10", make: func() (packing.Algorithm, error) {
+			return core.New(core.Config{Gamma: 2, K: 10})
+		}},
+		{name: "cubefit γ=3 k=10", make: func() (packing.Algorithm, error) {
+			return core.New(core.Config{Gamma: 3, K: 10})
+		}},
+		{name: "rfi γ=2", make: func() (packing.Algorithm, error) {
+			return rfi.New(rfi.Config{Gamma: 2})
+		}},
+		{name: "best-fit γ=2 (no reserve)", make: func() (packing.Algorithm, error) {
+			return baseline.New(baseline.BestFit, 2)
+		}},
+	}
+	et := report.NewTable("Algorithm", "Servers", "Lower bound", "Ratio")
+	lb := ratio.LowerBoundServers(ts, 2)
+	for _, a := range algs {
+		alg, err := a.make()
+		if err != nil {
+			return err
+		}
+		r, err := ratio.Empirical(alg, ts)
+		if err != nil {
+			return err
+		}
+		et.AddRow(a.name,
+			fmt.Sprintf("%d", alg.Placement().NumUsedServers()),
+			fmt.Sprintf("%d", lb),
+			fmt.Sprintf("%.3f", r))
+	}
+	return et.Render(out)
+}

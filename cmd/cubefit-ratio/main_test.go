@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBoundsOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kmax", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Theorem 2") {
+		t.Fatalf("missing header:\n%s", text)
+	}
+	if !strings.Contains(text, "1.59") && !strings.Contains(text, "1.60") {
+		t.Fatalf("γ=2 bound not near 1.59/1.60:\n%s", text)
+	}
+	if strings.Contains(text, "Empirical") {
+		t.Fatalf("empirical table printed without -empirical:\n%s", text)
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kmax", "50", "-empirical", "-tenants", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Empirical", "cubefit γ=2 k=10", "rfi γ=2", "best-fit γ=2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kmax", "x"}, &out); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+}

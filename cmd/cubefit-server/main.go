@@ -1,0 +1,74 @@
+// Command cubefit-server runs the placement controller as an HTTP service.
+//
+// Usage:
+//
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10]
+//
+// Endpoints:
+//
+//	POST   /v1/tenants       {"id":1,"load":0.3} or {"id":1,"clients":8}
+//	GET    /v1/tenants/{id}
+//	DELETE /v1/tenants/{id}
+//	GET    /v1/placement
+//	GET    /v1/servers
+//	GET    /v1/stats
+//	GET    /v1/validate
+//	POST   /v1/drill         {"failures":2}
+//	GET    /v1/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cubefit/internal/api"
+	"cubefit/internal/core"
+	"cubefit/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cubefit-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, cfg, err := newServer(args)
+	if err != nil {
+		return err
+	}
+	log.Printf("cubefit-server listening on %s (γ=%d, K=%d)", srv.Addr, cfg.Gamma, cfg.K)
+	return srv.ListenAndServe()
+}
+
+// newServer parses flags and builds the HTTP server without starting it.
+func newServer(args []string) (*http.Server, core.Config, error) {
+	fs := flag.NewFlagSet("cubefit-server", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", ":8080", "listen address")
+		gamma = fs.Int("gamma", 2, "replicas per tenant")
+		k     = fs.Int("k", 10, "CubeFit classes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, core.Config{}, err
+	}
+	cfg := core.Config{Gamma: *gamma, K: *k}
+	cf, err := core.New(cfg)
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	ctrl, err := api.NewController(cf, workload.DefaultLoadModel())
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	return &http.Server{
+		Addr:              *addr,
+		Handler:           ctrl.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}, cfg, nil
+}

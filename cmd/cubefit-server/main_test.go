@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewServerDefaults(t *testing.T) {
+	srv, cfg, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr != ":8080" || cfg.Gamma != 2 || cfg.K != 10 {
+		t.Fatalf("defaults wrong: addr=%q cfg=%+v", srv.Addr, cfg)
+	}
+	// The handler must serve the health endpoint.
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestNewServerFlagErrors(t *testing.T) {
+	if _, _, err := newServer([]string{"-gamma", "zero"}); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+	if _, _, err := newServer([]string{"-gamma", "0"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, _, err := newServer([]string{"-k", "1"}); err == nil {
+		t.Fatal("invalid K accepted")
+	}
+}
+
+func TestNewServerCustomFlags(t *testing.T) {
+	srv, cfg, err := newServer([]string{"-addr", ":9999", "-gamma", "3", "-k", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr != ":9999" || cfg.Gamma != 3 || cfg.K != 5 {
+		t.Fatalf("flags not applied: addr=%q cfg=%+v", srv.Addr, cfg)
+	}
+	if !strings.HasPrefix(srv.Addr, ":") {
+		t.Fatalf("addr %q", srv.Addr)
+	}
+}

@@ -1,0 +1,165 @@
+// Command cubefit-sim regenerates the paper's large-scale consolidation
+// results: Figure 6 (percentage server savings of CubeFit over RFI across
+// tenant distributions, with 95% confidence intervals) and Table I (yearly
+// dollar savings for the uniform and zipfian system workloads).
+//
+// Usage:
+//
+//	cubefit-sim [-tenants 50000] [-runs 10] [-k 10] [-gamma 2] [-mu 0.85]
+//	            [-seed 1] [-table1] [-quick]
+//
+// Without flags it runs the full paper configuration (10 runs × 50,000
+// tenants × 11 distributions), which takes a few minutes; -quick reduces
+// the scale for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cubefit/internal/core"
+	"cubefit/internal/costs"
+	"cubefit/internal/report"
+	"cubefit/internal/rfi"
+	"cubefit/internal/sim"
+	"cubefit/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cubefit-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cubefit-sim", flag.ContinueOnError)
+	var (
+		tenants = fs.Int("tenants", 50000, "tenants per run")
+		runs    = fs.Int("runs", 10, "independent runs per distribution")
+		k       = fs.Int("k", 10, "CubeFit classes (paper: 10 for simulations)")
+		gamma   = fs.Int("gamma", 2, "replicas per tenant")
+		mu      = fs.Float64("mu", rfi.DefaultMu, "RFI interleaving parameter")
+		seed    = fs.Uint64("seed", 1, "master random seed")
+		table1  = fs.Bool("table1", false, "print only Table I (uniform 1..15 and zipf(3))")
+		quick   = fs.Bool("quick", false, "reduced scale (2000 tenants, 3 runs)")
+		timing  = fs.Bool("timing", false, "also measure placement wall-clock time per algorithm")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*tenants, *runs = 2000, 3
+	}
+
+	model := workload.DefaultLoadModel()
+	cubeFactory := sim.CubeFitFactory(core.Config{Gamma: *gamma, K: *k}, &model)
+	rfiFactory := sim.RFIFactory(rfi.Config{Gamma: *gamma, Mu: *mu})
+
+	dists, err := sim.DefaultSweep()
+	if err != nil {
+		return err
+	}
+	if *table1 {
+		dists = dists[:0]
+		u, err := workload.NewUniform(1, 15)
+		if err != nil {
+			return err
+		}
+		z, err := workload.NewZipf(3, workload.MaxClientsPerServer)
+		if err != nil {
+			return err
+		}
+		dists = append(dists, u, z)
+	}
+
+	fmt.Fprintf(out, "Consolidation simulation: %s vs %s, %d tenants × %d runs\n\n",
+		cubeFactory.Name, rfiFactory.Name, *tenants, *runs)
+
+	var results []sim.ConsolidationResult
+	for _, dist := range dists {
+		spec := sim.ConsolidationSpec{
+			Tenants: *tenants,
+			Runs:    *runs,
+			Seed:    *seed,
+			Model:   model,
+			Dist:    dist,
+		}
+		res, err := sim.RunConsolidation(spec, cubeFactory, rfiFactory)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-22s rfi=%6.0f  cubefit=%6.0f  savings=%5.1f%% ±%.1f\n",
+			res.Distribution, res.B.Servers.Mean, res.A.Servers.Mean,
+			res.SavingsPct.Mean, res.SavingsPct.Half)
+	}
+	fmt.Fprintln(out)
+
+	if !*table1 {
+		// Figure 6: savings bar chart.
+		bars := make([]report.Bar, 0, len(results))
+		for _, r := range results {
+			bars = append(bars, report.Bar{
+				Label: r.Distribution,
+				Value: r.SavingsPct.Mean,
+				Err:   r.SavingsPct.Half,
+			})
+		}
+		if err := report.BarChart(out, "Figure 6: % server savings of CubeFit over RFI (95% CI)", "%", 30, bars); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Table I for the two system distributions (when present in the sweep).
+	tb := report.NewTable("Distribution", "RFI Servers", "CubeFit Saved", "Dollar Savings")
+	model2 := costs.DefaultModel()
+	printed := false
+	for _, r := range results {
+		if !*table1 && r.Distribution != "uniform(1..15)" && r.Distribution != "zipf(s=3, 1..52)" {
+			continue
+		}
+		row, err := sim.TableI(r, model2)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(row.Distribution,
+			fmt.Sprintf("%d", row.BaselineServers),
+			fmt.Sprintf("%d", row.SavedServers),
+			report.Money(row.YearlySavings))
+		printed = true
+	}
+	if printed {
+		fmt.Fprintln(out, "Table I: yearly cost savings of CubeFit over RFI")
+		if err := tb.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if *timing {
+		u, err := workload.NewUniform(1, 15)
+		if err != nil {
+			return err
+		}
+		src, err := workload.NewClientSource(model, u, *seed)
+		if err != nil {
+			return err
+		}
+		ts := workload.Take(src, *tenants)
+		fmt.Fprintf(out, "\nPlacement time for %d uniform(1..15) tenants:\n", *tenants)
+		for _, f := range []sim.Factory{cubeFactory, rfiFactory} {
+			res, err := sim.MeasureTiming(f, ts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  %-22s total %v  (%v/tenant, %d servers)\n",
+				res.Algorithm, res.Total.Round(time.Millisecond),
+				res.PerTenant.Round(time.Microsecond), res.Servers)
+		}
+	}
+	return nil
+}

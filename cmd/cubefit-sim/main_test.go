@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Figure 6",
+		"Table I",
+		"uniform(1..15)",
+		"zipf(s=3, 1..52)",
+		"Dollar Savings",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTable1Only(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table1", "-tenants", "1500", "-runs", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "Figure 6") {
+		t.Fatalf("-table1 printed the Figure 6 chart:\n%s", text)
+	}
+	if !strings.Contains(text, "Table I") {
+		t.Fatalf("-table1 missing the table:\n%s", text)
+	}
+	// Only the two system distributions appear.
+	if strings.Contains(text, "uniform(1..25)") {
+		t.Fatalf("-table1 ran the full sweep:\n%s", text)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-tenants", "nope"}, &out); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+}
+
+func TestGamma3Config(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-gamma", "3", "-k", "5", "-table1",
+		"-tenants", "800", "-runs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "γ=3") {
+		t.Fatalf("γ=3 not reflected in output:\n%s", out.String())
+	}
+}

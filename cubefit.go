@@ -1,0 +1,269 @@
+// Package cubefit is a robust multi-tenant server consolidation library,
+// implementing the CubeFit algorithm of Mate, Daudjee and Kamali
+// ("Robust Multi-Tenant Server Consolidation in the Cloud for Data
+// Analytics Workloads", ICDCS 2017).
+//
+// Tenants arrive online with a normalized load in (0, 1]; the consolidator
+// creates γ replicas per tenant and assigns them to unit-capacity servers
+// such that no server ever overloads — even if any γ−1 servers fail
+// simultaneously and their load fails over to the survivors. CubeFit
+// achieves this robustness while using close to the minimal number of
+// servers (competitive ratio ≈ 1.59 for γ=2, ≈ 1.625 for γ=3).
+//
+// Quick start:
+//
+//	c, err := cubefit.New(cubefit.WithReplication(2), cubefit.WithClasses(10))
+//	if err != nil { ... }
+//	err = c.Place(cubefit.Tenant{ID: 1, Load: 0.3})
+//	hosts := c.Placement().TenantHosts(1) // the two servers hosting tenant 1
+//
+// The package also exposes the RFI baseline from the paper's evaluation,
+// worst-case failure planning, and a calibrated cluster latency simulator
+// for failover drills.
+package cubefit
+
+import (
+	"fmt"
+
+	"cubefit/internal/cluster"
+	"cubefit/internal/core"
+	"cubefit/internal/failure"
+	"cubefit/internal/offline"
+	"cubefit/internal/packing"
+	"cubefit/internal/rebalance"
+	"cubefit/internal/rfi"
+	"cubefit/internal/workload"
+)
+
+// Core model types, re-exported from the internal packing model.
+type (
+	// Tenant is one arriving client application with a normalized load in
+	// (0, 1]. Clients optionally carries the concurrent client count for
+	// latency simulation.
+	Tenant = packing.Tenant
+	// TenantID identifies a tenant.
+	TenantID = packing.TenantID
+	// Replica is one of the γ copies of a tenant.
+	Replica = packing.Replica
+	// Placement is an assignment of tenant replicas to servers.
+	Placement = packing.Placement
+	// Server is one unit-capacity machine in a placement.
+	Server = packing.Server
+	// Algorithm is any online consolidation algorithm.
+	Algorithm = packing.Algorithm
+	// LoadModel maps concurrent client counts to normalized loads.
+	LoadModel = workload.LoadModel
+	// FailurePlan is a set of servers to fail with the predicted worst
+	// overload.
+	FailurePlan = failure.Plan
+	// LatencyResult is the outcome of a simulated latency measurement.
+	LatencyResult = cluster.Result
+	// PlacementStats counts CubeFit placement paths.
+	PlacementStats = core.Stats
+)
+
+// MaxClientsPerServer is the calibrated per-server client capacity (52 in
+// the paper's testbed).
+const MaxClientsPerServer = workload.MaxClientsPerServer
+
+// DefaultLoadModel returns the calibrated linear load model
+// (load = δ·clients + β with 52 clients saturating a server).
+func DefaultLoadModel() LoadModel { return workload.DefaultLoadModel() }
+
+// Option configures New.
+type Option interface {
+	apply(*core.Config)
+}
+
+type optionFunc func(*core.Config)
+
+func (f optionFunc) apply(c *core.Config) { f(c) }
+
+// WithReplication sets the number of replicas per tenant γ (default 2).
+// The placement tolerates any γ−1 simultaneous server failures.
+func WithReplication(gamma int) Option {
+	return optionFunc(func(c *core.Config) { c.Gamma = gamma })
+}
+
+// WithClasses sets the number of replica size classes K (default 10; the
+// paper suggests 10 for data centers with thousands of servers and 5 for
+// small clusters).
+func WithClasses(k int) Option {
+	return optionFunc(func(c *core.Config) { c.K = k })
+}
+
+// WithMultiReplicaTinyPolicy switches the smallest-class handling to the
+// paper's theoretical multi-replica construction instead of the default
+// empirical class-(K−1) placement.
+func WithMultiReplicaTinyPolicy() Option {
+	return optionFunc(func(c *core.Config) { c.TinyPolicy = core.TinyMultiReplica })
+}
+
+// WithoutFirstStage disables the mature-bin Best Fit stage (ablation).
+func WithoutFirstStage() Option {
+	return optionFunc(func(c *core.Config) { c.DisableFirstStage = true })
+}
+
+// WithMinTenantLoad declares a lower bound on future tenant loads,
+// letting the consolidator retire exhausted bins early. The placement is
+// unchanged as long as the bound holds.
+func WithMinTenantLoad(load float64) Option {
+	return optionFunc(func(c *core.Config) {
+		if load > 0 {
+			c.PruneSlack = load * 0.99
+		}
+	})
+}
+
+// Consolidator is the CubeFit online consolidation engine. It is not safe
+// for concurrent use.
+type Consolidator struct {
+	cf *core.CubeFit
+}
+
+// New creates a CubeFit consolidator.
+func New(opts ...Option) (*Consolidator, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.PruneSlack > 0 {
+		cfg.PruneSlack /= float64(cfg.Gamma) // per-replica bound
+	}
+	cf, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Consolidator{cf: cf}, nil
+}
+
+// Name identifies the algorithm and configuration.
+func (c *Consolidator) Name() string { return c.cf.Name() }
+
+// Place admits one tenant, assigning its γ replicas to γ distinct servers
+// while preserving the failover invariant.
+func (c *Consolidator) Place(t Tenant) error { return c.cf.Place(t) }
+
+// Remove evicts a tenant, freeing its capacity for future arrivals
+// (an extension beyond the paper's arrival-only model).
+func (c *Consolidator) Remove(id TenantID) error { return c.cf.Remove(id) }
+
+// Placement exposes the placement built so far (read-only).
+func (c *Consolidator) Placement() *Placement { return c.cf.Placement() }
+
+// Stats reports which placement paths tenants took.
+func (c *Consolidator) Stats() PlacementStats { return c.cf.Stats() }
+
+// Validate re-checks the full robustness invariant; it returns nil for
+// every placement the consolidator produces and exists for audits.
+func (c *Consolidator) Validate() error { return c.cf.Placement().Validate() }
+
+var _ Algorithm = (*Consolidator)(nil)
+
+// NewRFI creates the paper's baseline algorithm (Schaffner et al.'s RTP
+// placement, reference [12]) with the given replication factor. mu ≤ 0
+// selects the recommended interleaving parameter 0.85. RFI tolerates only
+// a single server failure regardless of gamma.
+func NewRFI(gamma int, mu float64) (Algorithm, error) {
+	if mu <= 0 {
+		mu = rfi.DefaultMu
+	}
+	return rfi.New(rfi.Config{Gamma: gamma, Mu: mu})
+}
+
+// WorstCaseFailures selects the f servers whose simultaneous failure
+// redirects the most clients onto a single surviving server (the paper's
+// worst-overload drill).
+func WorstCaseFailures(p *Placement, f int) (FailurePlan, error) {
+	return failure.WorstCase(p, f)
+}
+
+// UniformWorkload returns a tenant source whose client counts are uniform
+// on [1, maxClients] under the default load model, as in the paper's first
+// system experiment (maxClients=15).
+func UniformWorkload(maxClients int, seed uint64) (TenantSource, error) {
+	d, err := workload.NewUniform(1, maxClients)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewClientSource(workload.DefaultLoadModel(), d, seed)
+}
+
+// ZipfWorkload returns a tenant source whose client counts follow a
+// zipfian distribution with the given exponent over [1, 52], as in the
+// paper's second system experiment (exponent 3).
+func ZipfWorkload(exponent float64, seed uint64) (TenantSource, error) {
+	d, err := workload.NewZipf(exponent, workload.MaxClientsPerServer)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewClientSource(workload.DefaultLoadModel(), d, seed)
+}
+
+// TenantSource produces an online sequence of tenants.
+type TenantSource = workload.Source
+
+// TakeTenants drains n tenants from a source.
+func TakeTenants(src TenantSource, n int) []Tenant { return workload.Take(src, n) }
+
+// LatencyConfig parameterizes SimulateLatency.
+type LatencyConfig struct {
+	// SLA is the 99th-percentile response bound in seconds (default 5).
+	SLA float64
+	// Warmup and Measure are the simulated warm-up and measurement windows
+	// in seconds (defaults 60 and 120).
+	Warmup, Measure float64
+	// Seed drives the stochastic workload (default 1).
+	Seed uint64
+}
+
+// SimulateLatency runs the calibrated cluster latency simulation for the
+// placement after applying the failure plan (use an empty plan for the
+// healthy baseline) and reports tail latency over the measurement window.
+func SimulateLatency(p *Placement, plan FailurePlan, cfg LatencyConfig) (LatencyResult, error) {
+	assign, err := failure.Apply(p, plan)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	ccfg := cluster.DefaultConfig()
+	if cfg.SLA > 0 {
+		ccfg.SLA = cfg.SLA
+	}
+	if cfg.Warmup > 0 {
+		ccfg.Warmup = cfg.Warmup
+	}
+	if cfg.Measure > 0 {
+		ccfg.Measure = cfg.Measure
+	}
+	if cfg.Seed != 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	res, err := cluster.Run(p, assign, ccfg)
+	if err != nil {
+		return LatencyResult{}, fmt.Errorf("cubefit: latency simulation: %w", err)
+	}
+	return res, nil
+}
+
+// MigrationPlan describes the replica moves of a Repack.
+type MigrationPlan = rebalance.Plan
+
+// ReplicaMove is one relocation within a MigrationPlan.
+type ReplicaMove = rebalance.Move
+
+// Repack computes a fresh offline placement for the current tenant
+// population together with the migration plan that reaches it — the
+// periodic maintenance pass that reclaims fragmentation after tenant
+// churn (an extension beyond the paper's arrival-only model). The input
+// placement is not modified; the returned placement is robust.
+func Repack(p *Placement) (*Placement, MigrationPlan, error) {
+	return rebalance.Repack(p)
+}
+
+// PlaceOffline places a fully known tenant set with First Fit Decreasing
+// under the same robustness constraints — the paper's "ideal scenario"
+// with full lookahead, useful as a batch-placement mode and as a
+// practical stand-in for OPT.
+func PlaceOffline(gamma int, tenants []Tenant) (*Placement, error) {
+	return offline.PlaceAll(gamma, tenants)
+}

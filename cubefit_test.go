@@ -1,0 +1,251 @@
+package cubefit
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := New(WithReplication(2), WithClasses(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(Tenant{ID: 1, Load: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.Placement().TenantHosts(1)
+	if len(hosts) != 2 || hosts[0] == hosts[1] {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestOptionsApplied(t *testing.T) {
+	if _, err := New(WithReplication(0)); err == nil {
+		t.Fatal("invalid replication accepted")
+	}
+	if _, err := New(WithClasses(1)); err == nil {
+		t.Fatal("invalid class count accepted")
+	}
+	c, err := New(WithReplication(3), WithClasses(5), WithoutFirstStage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(Tenant{ID: 1, Load: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.FirstStageTenants != 0 {
+		t.Fatalf("first stage ran despite WithoutFirstStage: %+v", got)
+	}
+	if len(c.Placement().TenantHosts(1)) != 3 {
+		t.Fatal("replication option not applied")
+	}
+}
+
+func TestMultiReplicaPolicyOption(t *testing.T) {
+	c, err := New(WithReplication(2), WithClasses(10), WithMultiReplicaTinyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Place(Tenant{ID: TenantID(i), Load: 0.02}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// γ=3, K=5 cannot support the multi-replica policy.
+	if _, err := New(WithReplication(3), WithClasses(5), WithMultiReplicaTinyPolicy()); err == nil {
+		t.Fatal("invalid multi-replica config accepted")
+	}
+}
+
+func TestWorkloadsAndFailureDrill(t *testing.T) {
+	src, err := UniformWorkload(15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(WithMinTenantLoad(DefaultLoadModel().Load(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range TakeTenants(src, 200) {
+		if err := c.Place(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := WorstCaseFailures(c.Placement(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Servers) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.MaxClientLoad > MaxClientsPerServer+1e-9 {
+		t.Fatalf("CubeFit let worst-case single failure push %v client load on one server", plan.MaxClientLoad)
+	}
+}
+
+func TestZipfWorkload(t *testing.T) {
+	src, err := ZipfWorkload(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range TakeTenants(src, 100) {
+		if tn.Clients < 1 || tn.Clients > MaxClientsPerServer {
+			t.Fatalf("clients %d out of range", tn.Clients)
+		}
+	}
+	if _, err := ZipfWorkload(0, 5); err == nil {
+		t.Fatal("exponent 0 accepted")
+	}
+	if _, err := UniformWorkload(0, 5); err == nil {
+		t.Fatal("maxClients 0 accepted")
+	}
+}
+
+func TestNewRFI(t *testing.T) {
+	a, err := NewRFI(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Place(Tenant{ID: 1, Load: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Placement().NumUsedServers() != 2 {
+		t.Fatalf("servers = %d", a.Placement().NumUsedServers())
+	}
+	if _, err := NewRFI(0, 0.85); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+}
+
+func TestSimulateLatency(t *testing.T) {
+	src, err := UniformWorkload(15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range TakeTenants(src, 60) {
+		if err := c.Place(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := SimulateLatency(c.Placement(), FailurePlan{}, LatencyConfig{Warmup: 5, Measure: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.ViolatesSLA {
+		t.Fatalf("healthy run result = %+v", res)
+	}
+	plan, err := WorstCaseFailures(c.Placement(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := SimulateLatency(c.Placement(), plan, LatencyConfig{Warmup: 5, Measure: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.P99 <= res.P99 {
+		t.Fatalf("worst-case failure did not raise P99: %v vs %v", degraded.P99, res.P99)
+	}
+	if degraded.ViolatesSLA {
+		t.Fatalf("CubeFit γ=2 violated SLA under one failure: %+v", degraded)
+	}
+}
+
+func TestRemoveExtension(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(Tenant{ID: 1, Load: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Placement().NumTenants() != 0 {
+		t.Fatal("tenant not removed")
+	}
+	if err := c.Remove(1); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestRepackAfterChurn(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := UniformWorkload(15, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := TakeTenants(src, 300)
+	for _, tn := range tenants {
+		if err := c.Place(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tn := range tenants {
+		if i%2 == 0 {
+			if err := c.Remove(tn.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh, plan, err := Repack(c.Placement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AfterServers >= plan.BeforeServers {
+		t.Fatalf("repack saved nothing: %d -> %d", plan.BeforeServers, plan.AfterServers)
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceOffline(t *testing.T) {
+	src, err := UniformWorkload(15, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := TakeTenants(src, 500)
+	off, err := PlaceOffline(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	on, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range tenants {
+		if err := on.Place(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// On client-quantized workloads CubeFit's structured packing can beat
+	// naive FFD-with-reserve, so neither side dominates universally; they
+	// must land in the same ballpark.
+	offN, onN := off.NumUsedServers(), on.Placement().NumUsedServers()
+	if float64(offN) > 1.3*float64(onN) || float64(onN) > 1.3*float64(offN) {
+		t.Fatalf("offline (%d) and online (%d) server counts diverge", offN, onN)
+	}
+}

@@ -1,0 +1,82 @@
+// capacity-planner compares CubeFit against the RFI baseline across tenant
+// populations and converts the saved servers into yearly dollars, the way
+// the paper's Table I does — a what-if tool for a provider deciding which
+// placement algorithm to deploy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cubefit"
+
+	"cubefit/internal/costs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scenarios := []struct {
+		name    string
+		tenants int
+		source  func(seed uint64) (cubefit.TenantSource, error)
+	}{
+		{
+			name:    "uniform 1..15 clients (interactive analytics teams)",
+			tenants: 20000,
+			source:  func(seed uint64) (cubefit.TenantSource, error) { return cubefit.UniformWorkload(15, seed) },
+		},
+		{
+			name:    "zipf(3) clients (long tail of small tenants)",
+			tenants: 20000,
+			source:  func(seed uint64) (cubefit.TenantSource, error) { return cubefit.ZipfWorkload(3, seed) },
+		},
+	}
+
+	pricing := costs.DefaultModel()
+	model := cubefit.DefaultLoadModel()
+	for _, sc := range scenarios {
+		src, err := sc.source(7)
+		if err != nil {
+			return err
+		}
+		tenants := cubefit.TakeTenants(src, sc.tenants)
+
+		cube, err := cubefit.New(cubefit.WithClasses(10), cubefit.WithMinTenantLoad(model.Load(1)))
+		if err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			if err := cube.Place(t); err != nil {
+				return err
+			}
+		}
+		rfiAlg, err := cubefit.NewRFI(2, 0)
+		if err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			if err := rfiAlg.Place(t); err != nil {
+				return err
+			}
+		}
+
+		cubeServers := cube.Placement().NumUsedServers()
+		rfiServers := rfiAlg.Placement().NumUsedServers()
+		dollars, err := pricing.Savings(rfiServers, cubeServers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", sc.name)
+		fmt.Printf("  %d tenants: RFI %d servers, CubeFit %d servers (%.1f%% fewer)\n",
+			sc.tenants, rfiServers, cubeServers,
+			100*float64(rfiServers-cubeServers)/float64(cubeServers))
+		fmt.Printf("  yearly savings at $%.3f/server-hour: $%.0f\n\n",
+			costs.DefaultPricePerHour, dollars)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Quickstart walks through the library on the paper's Figure 1 example:
+// the tenant sequence σ = ⟨a=0.6, b=0.3, c=0.6, d=0.78, e=0.12, f=0.36⟩ is
+// consolidated with two replicas per tenant, and we verify that any single
+// server failure leaves every surviving server within capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cubefit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two replicas per tenant: the placement survives any one server
+	// failure. Five size classes suit a small cluster (the paper suggests
+	// K=5 for small settings, K=10 for data centers).
+	c, err := cubefit.New(cubefit.WithReplication(2), cubefit.WithClasses(5))
+	if err != nil {
+		return err
+	}
+
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	loads := []float64{0.6, 0.3, 0.6, 0.78, 0.12, 0.36}
+	for i, load := range loads {
+		if err := c.Place(cubefit.Tenant{ID: cubefit.TenantID(i), Load: load}); err != nil {
+			return err
+		}
+		fmt.Printf("placed tenant %s (load %.2f) on servers %v\n",
+			names[i], load, c.Placement().TenantHosts(cubefit.TenantID(i)))
+	}
+
+	p := c.Placement()
+	fmt.Printf("\n%d tenants on %d servers (utilization %.0f%%)\n",
+		p.NumTenants(), p.NumUsedServers(), 100*p.Utilization())
+	for _, s := range p.Servers() {
+		if s.NumReplicas() == 0 {
+			continue
+		}
+		fmt.Printf("  server %d: level %.2f, failover reserve %.2f\n",
+			s.ID(), s.Level(), s.TopShared(1))
+	}
+
+	// The robustness invariant: placing is only half the job — verify that
+	// the failover reserve really covers any single failure.
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("invariant violated: %w", err)
+	}
+	for f := 0; f < p.NumServers(); f++ {
+		if worst := p.MaxPostFailureLoad([]int{f}); worst > 1 {
+			return fmt.Errorf("failing server %d would overload a survivor to %.2f", f, worst)
+		}
+	}
+	fmt.Println("\nevery single-server failure keeps all survivors within capacity ✓")
+	return nil
+}

@@ -1,0 +1,91 @@
+// saas-provider simulates a cloud provider's day: tenants of a data
+// analytics service arrive online (client counts uniform on 1..15, the
+// paper's first system workload), some depart, and the operator
+// periodically audits robustness and runs a worst-case failure drill.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cubefit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := cubefit.DefaultLoadModel()
+	c, err := cubefit.New(
+		cubefit.WithReplication(2),
+		cubefit.WithClasses(10),
+		// Every tenant has at least one client, so bins with less slack
+		// than a single-client tenant can be retired early.
+		cubefit.WithMinTenantLoad(model.Load(1)),
+	)
+	if err != nil {
+		return err
+	}
+
+	src, err := cubefit.UniformWorkload(15, 2026)
+	if err != nil {
+		return err
+	}
+
+	// Morning: 500 tenants sign up.
+	arrivals := cubefit.TakeTenants(src, 500)
+	for _, t := range arrivals {
+		if err := c.Place(t); err != nil {
+			return fmt.Errorf("admit tenant %d: %w", t.ID, err)
+		}
+	}
+	p := c.Placement()
+	fmt.Printf("after 500 sign-ups: %d servers, utilization %.0f%%\n",
+		p.NumUsedServers(), 100*p.Utilization())
+
+	// Midday: one in five tenants churns; capacity is reclaimed in place.
+	removed := 0
+	for i, t := range arrivals {
+		if i%5 == 0 {
+			if err := c.Remove(t.ID); err != nil {
+				return fmt.Errorf("remove tenant %d: %w", t.ID, err)
+			}
+			removed++
+		}
+	}
+	fmt.Printf("after %d departures: utilization %.0f%%\n", removed, 100*p.Utilization())
+
+	// Afternoon: 200 more arrivals reuse the freed capacity.
+	before := p.NumUsedServers()
+	for _, t := range cubefit.TakeTenants(src, 200) {
+		if err := c.Place(t); err != nil {
+			return fmt.Errorf("admit tenant %d: %w", t.ID, err)
+		}
+	}
+	fmt.Printf("after 200 more arrivals: %d servers (%d before — departures were reused)\n",
+		p.NumUsedServers(), before)
+
+	// Continuous audit: the failover invariant must hold at all times.
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("robustness audit failed: %w", err)
+	}
+	st := c.Stats()
+	fmt.Printf("placement paths: %d via mature-bin best fit, %d via cubes, %d tiny\n",
+		st.FirstStageTenants, st.RegularTenants, st.TinyTenants)
+
+	// Evening drill: what is the worst single machine to lose right now?
+	plan, err := cubefit.WorstCaseFailures(p, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworst single failure: server %v → %.1f clients land on server %d (capacity %d)\n",
+		plan.Servers, plan.MaxClientLoad, plan.MaxServer, cubefit.MaxClientsPerServer)
+	if plan.MaxClientLoad > cubefit.MaxClientsPerServer {
+		return fmt.Errorf("drill predicts overload — this should be impossible with CubeFit")
+	}
+	fmt.Println("drill verdict: every server stays within its client capacity ✓")
+	return nil
+}

@@ -1,0 +1,3 @@
+module cubefit
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package api exposes a consolidation engine as a small operational HTTP
+// service: tenant admission and departure, placement inspection, failover
+// drills, and invariant audits. It is the operational wrapper a cloud
+// provider would put in front of the placement algorithm (DESIGN.md §2
+// item 18).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"cubefit/internal/core"
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+	"cubefit/internal/rebalance"
+	"cubefit/internal/trace"
+	"cubefit/internal/workload"
+)
+
+// Remover is implemented by algorithms that support tenant departure.
+type Remover interface {
+	Remove(packing.TenantID) error
+}
+
+// Controller serves the placement API around one algorithm instance.
+type Controller struct {
+	mu    sync.Mutex
+	alg   packing.Algorithm
+	model workload.LoadModel
+}
+
+// NewController wraps an algorithm. The load model translates
+// client-count admissions into loads.
+func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller, error) {
+	if alg == nil {
+		return nil, errors.New("api: nil algorithm")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{alg: alg, model: model}, nil
+}
+
+// NewDefaultController wraps a fresh CubeFit instance with the default
+// configuration and load model.
+func NewDefaultController() (*Controller, error) {
+	cf, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return NewController(cf, workload.DefaultLoadModel())
+}
+
+// Handler returns the HTTP routes.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", c.handlePlace)
+	mux.HandleFunc("GET /v1/tenants/{id}", c.handleGetTenant)
+	mux.HandleFunc("DELETE /v1/tenants/{id}", c.handleRemoveTenant)
+	mux.HandleFunc("GET /v1/placement", c.handlePlacement)
+	mux.HandleFunc("GET /v1/servers", c.handleServers)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("GET /v1/validate", c.handleValidate)
+	mux.HandleFunc("POST /v1/drill", c.handleDrill)
+	mux.HandleFunc("POST /v1/repack", c.handleRepack)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// placeRequest admits a tenant either by explicit load or by client count
+// (translated through the load model).
+type placeRequest struct {
+	ID      int     `json:"id"`
+	Load    float64 `json:"load,omitempty"`
+	Clients int     `json:"clients,omitempty"`
+}
+
+// placeResponse reports where the tenant's replicas went.
+type placeResponse struct {
+	ID      int     `json:"id"`
+	Load    float64 `json:"load"`
+	Clients int     `json:"clients,omitempty"`
+	Servers []int   `json:"servers"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req placeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	t := packing.Tenant{ID: packing.TenantID(req.ID), Load: req.Load, Clients: req.Clients}
+	if req.Load == 0 && req.Clients > 0 {
+		t.Load = c.model.Load(req.Clients)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.alg.Placement().Tenant(t.ID); exists {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %d already placed", t.ID)})
+		return
+	}
+	if err := c.alg.Place(t); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, placeResponse{
+		ID:      req.ID,
+		Load:    t.Load,
+		Clients: t.Clients,
+		Servers: c.alg.Placement().TenantHosts(t.ID),
+	})
+}
+
+func (c *Controller) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, exists := c.alg.Placement().Tenant(id)
+	if !exists {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("tenant %d not found", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, placeResponse{
+		ID:      int(t.ID),
+		Load:    t.Load,
+		Clients: t.Clients,
+		Servers: c.alg.Placement().TenantHosts(id),
+	})
+}
+
+func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	rem, supports := c.alg.(Remover)
+	if !supports {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("%s does not support tenant departure", c.alg.Name())})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := rem.Remove(id); err != nil {
+		if errors.Is(err, packing.ErrUnknownTenant) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Controller) handlePlacement(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	snap := trace.Capture(c.alg.Placement())
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// serverSummary is the per-server row of GET /v1/servers.
+type serverSummary struct {
+	ID       int     `json:"id"`
+	Level    float64 `json:"level"`
+	Replicas int     `json:"replicas"`
+	Reserve  float64 `json:"reserve"`
+	Clients  int     `json:"clients"`
+}
+
+func (c *Controller) handleServers(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	p := c.alg.Placement()
+	out := make([]serverSummary, 0, p.NumServers())
+	k := p.Gamma() - 1
+	for _, s := range p.Servers() {
+		clients := 0
+		for _, r := range s.Replicas() {
+			clients += r.Clients
+		}
+		out = append(out, serverSummary{
+			ID:       s.ID(),
+			Level:    s.Level(),
+			Replicas: s.NumReplicas(),
+			Reserve:  s.TopShared(k),
+			Clients:  clients,
+		})
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statsResponse is GET /v1/stats.
+type statsResponse struct {
+	Algorithm   string  `json:"algorithm"`
+	Gamma       int     `json:"gamma"`
+	Tenants     int     `json:"tenants"`
+	Servers     int     `json:"servers"`
+	UsedServers int     `json:"usedServers"`
+	TotalLoad   float64 `json:"totalLoad"`
+	Utilization float64 `json:"utilization"`
+}
+
+func (c *Controller) handleStats(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	p := c.alg.Placement()
+	resp := statsResponse{
+		Algorithm:   c.alg.Name(),
+		Gamma:       p.Gamma(),
+		Tenants:     p.NumTenants(),
+		Servers:     p.NumServers(),
+		UsedServers: p.NumUsedServers(),
+		TotalLoad:   p.TotalLoad(),
+		Utilization: p.Utilization(),
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Controller) handleValidate(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	err := c.alg.Placement().Validate()
+	c.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{"robust": false, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"robust": true})
+}
+
+// drillRequest asks for a worst-case failure analysis.
+type drillRequest struct {
+	Failures int `json:"failures"`
+}
+
+// drillResponse reports the worst-case plan.
+type drillResponse struct {
+	Failures       int     `json:"failures"`
+	FailedServers  []int   `json:"failedServers"`
+	MaxClientLoad  float64 `json:"maxClientLoad"`
+	MaxServer      int     `json:"maxServer"`
+	LostClients    int     `json:"lostClients"`
+	ClientCapacity int     `json:"clientCapacity"`
+	WorstLoad      float64 `json:"worstLoad"`
+}
+
+func (c *Controller) handleDrill(w http.ResponseWriter, r *http.Request) {
+	var req drillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.alg.Placement()
+	plan, err := failure.WorstCase(p, req.Failures)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, drillResponse{
+		Failures:       req.Failures,
+		FailedServers:  plan.Servers,
+		MaxClientLoad:  plan.MaxClientLoad,
+		MaxServer:      plan.MaxServer,
+		LostClients:    plan.LostClients,
+		ClientCapacity: workload.MaxClientsPerServer,
+		WorstLoad:      p.MaxPostFailureLoad(plan.Servers),
+	})
+}
+
+// repackResponse reports a maintenance repack plan (the plan is advisory:
+// the controller does not execute migrations).
+type repackResponse struct {
+	BeforeServers int              `json:"beforeServers"`
+	AfterServers  int              `json:"afterServers"`
+	SavedServers  int              `json:"savedServers"`
+	Moves         int              `json:"moves"`
+	MovedLoad     float64          `json:"movedLoad"`
+	Migrations    []rebalance.Move `json:"migrations,omitempty"`
+}
+
+func (c *Controller) handleRepack(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	_, plan, err := rebalance.Repack(c.alg.Placement())
+	c.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, repackResponse{
+		BeforeServers: plan.BeforeServers,
+		AfterServers:  plan.AfterServers,
+		SavedServers:  plan.BeforeServers - plan.AfterServers,
+		Moves:         len(plan.Moves),
+		MovedLoad:     plan.MovedLoad,
+		Migrations:    plan.Moves,
+	})
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (packing.TenantID, bool) {
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid tenant id " + raw})
+		return 0, false
+	}
+	return packing.TenantID(id), true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors at this point cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}

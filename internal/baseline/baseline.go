@@ -1,0 +1,183 @@
+// Package baseline provides replicated variants of the classic online bin
+// packing heuristics (First Fit, Best Fit, Next Fit) WITHOUT any failover
+// reserve. They place each tenant's γ replicas on γ distinct servers
+// subject only to unit capacity.
+//
+// These algorithms are not robust — a single server failure can overload
+// survivors — and exist to quantify the price of robustness in the
+// ablation benchmarks (DESIGN.md §7). They also provide the classical
+// yardstick for the competitive-ratio experiments.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefit/internal/packing"
+)
+
+const eps = 1e-9
+
+// Strategy selects the packing heuristic.
+type Strategy int
+
+const (
+	// FirstFit places each replica on the lowest-numbered server with room.
+	FirstFit Strategy = iota + 1
+	// BestFit places each replica on the fullest server with room.
+	BestFit
+	// NextFit keeps γ open servers and replaces any of them that cannot
+	// take the next replica.
+	NextFit
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case NextFit:
+		return "next-fit"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Baseline is a non-robust replicated packing algorithm.
+type Baseline struct {
+	strategy Strategy
+	gamma    int
+	p        *packing.Placement
+
+	// byLevel/pos maintain the Best Fit level index (BestFit only).
+	byLevel []int
+	pos     []int
+	// open holds NextFit's current servers (NextFit only).
+	open []int
+}
+
+var _ packing.Algorithm = (*Baseline)(nil)
+
+// New creates a baseline packer with the given strategy and replication
+// factor.
+func New(strategy Strategy, gamma int) (*Baseline, error) {
+	switch strategy {
+	case FirstFit, BestFit, NextFit:
+	default:
+		return nil, fmt.Errorf("baseline: unknown strategy %d", strategy)
+	}
+	p, err := packing.NewPlacement(gamma)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &Baseline{strategy: strategy, gamma: gamma, p: p}, nil
+}
+
+// Name implements packing.Algorithm.
+func (b *Baseline) Name() string {
+	return fmt.Sprintf("%s(γ=%d)", b.strategy, b.gamma)
+}
+
+// Placement implements packing.Algorithm.
+func (b *Baseline) Placement() *packing.Placement { return b.p }
+
+// Place implements packing.Algorithm.
+func (b *Baseline) Place(t packing.Tenant) error {
+	if err := b.p.AddTenant(t); err != nil {
+		return err
+	}
+	for _, rep := range b.p.Replicas(t) {
+		var sid int
+		switch b.strategy {
+		case FirstFit:
+			sid = b.firstFit(t.ID, rep)
+		case BestFit:
+			sid = b.bestFit(t.ID, rep)
+		default:
+			sid = b.nextFit(t.ID, rep)
+		}
+		if err := b.p.Place(sid, rep); err != nil {
+			return fmt.Errorf("baseline: internal: %w", err)
+		}
+		if b.strategy == BestFit {
+			b.reposition(sid)
+		}
+	}
+	return nil
+}
+
+func (b *Baseline) fits(sid int, id packing.TenantID, rep packing.Replica) bool {
+	s := b.p.Server(sid)
+	return !s.Hosts(id) && s.Level()+rep.Size <= 1+eps
+}
+
+func (b *Baseline) firstFit(id packing.TenantID, rep packing.Replica) int {
+	for sid := 0; sid < b.p.NumServers(); sid++ {
+		if b.fits(sid, id, rep) {
+			return sid
+		}
+	}
+	return b.openServer()
+}
+
+func (b *Baseline) bestFit(id packing.TenantID, rep packing.Replica) int {
+	limit := 1 - rep.Size + eps
+	start := sort.Search(len(b.byLevel), func(k int) bool {
+		return b.p.Server(b.byLevel[k]).Level() <= limit
+	})
+	for i := start; i < len(b.byLevel); i++ {
+		sid := b.byLevel[i]
+		if b.fits(sid, id, rep) {
+			return sid
+		}
+	}
+	return b.openServer()
+}
+
+func (b *Baseline) nextFit(id packing.TenantID, rep packing.Replica) int {
+	for _, sid := range b.open {
+		if b.fits(sid, id, rep) {
+			return sid
+		}
+	}
+	// No current server fits: open a fresh one and slide the window (at
+	// most γ servers stay open so each tenant's replicas find distinct
+	// homes without reopening closed servers).
+	sid := b.p.OpenServer()
+	b.open = append(b.open, sid)
+	if len(b.open) > b.gamma {
+		b.open = b.open[1:]
+	}
+	return sid
+}
+
+func (b *Baseline) openServer() int {
+	sid := b.p.OpenServer()
+	if b.strategy == BestFit {
+		b.pos = append(b.pos, len(b.byLevel))
+		b.byLevel = append(b.byLevel, sid)
+	}
+	return sid
+}
+
+// reposition restores the (level desc, ID asc) index order after sid's
+// level increased.
+func (b *Baseline) reposition(sid int) {
+	i := b.pos[sid]
+	level := b.p.Server(sid).Level()
+	j := sort.Search(i, func(k int) bool {
+		other := b.byLevel[k]
+		ol := b.p.Server(other).Level()
+		return ol < level || (ol == level && other > sid)
+	})
+	if j == i {
+		return
+	}
+	copy(b.byLevel[j+1:i+1], b.byLevel[j:i])
+	b.byLevel[j] = sid
+	for k := j; k <= i; k++ {
+		b.pos[b.byLevel[k]] = k
+	}
+}

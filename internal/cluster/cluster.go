@@ -1,0 +1,488 @@
+// Package cluster is the discrete-event substitute for the paper's
+// 73-machine PostgreSQL/TPC-H testbed (§IV-V; see DESIGN.md §3).
+//
+// Each data-store server is modelled as a processor-sharing queue: all
+// statements in flight progress simultaneously, each at 1/n of the server
+// speed. Every tenant client is a closed loop that keeps exactly one
+// statement outstanding against its home replica server. Following the
+// paper's model in which "the analytic workload of a tenant is shared
+// between its γ replicas", a tenant with c clients and s surviving
+// replicas contributes a client load of c/s to each of them; the simulator
+// realizes these fractional shares by carry-rounding the per-tenant shares
+// within each server, so a server's closed-loop population matches its
+// analytical client load to within one client. Updates (5% of the mix)
+// fan out to every surviving replica for consistency and complete when the
+// slowest replica finishes.
+//
+// The load model's per-tenant overhead β appears as permanent background
+// jobs that consume processor share, so a server at normalized load L runs
+// L/δ client-equivalents of concurrency. With the TPC-H mix calibrated so
+// the demand P99 equals SLA·δ, a server at load 1.0 — e.g. the 52-client
+// single-tenant saturation point of the paper's testbed — shows a
+// 99th-percentile statement latency of exactly the 5-second SLA, and
+// servers overloaded by failed-over clients blow past it. The SLA verdict
+// uses the worst per-server P99 (the paper's worst overload case),
+// alongside cluster-wide percentiles.
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cubefit/internal/eventsim"
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+	"cubefit/internal/stats"
+	"cubefit/internal/tpch"
+	"cubefit/internal/workload"
+)
+
+// Config parameterizes one simulated measurement run.
+type Config struct {
+	// SLA is the 99th-percentile response-time bound in seconds (the paper
+	// uses 5).
+	SLA float64
+	// Warmup is the simulated time before measurement starts; the paper
+	// warms up for 5 minutes to populate caches.
+	Warmup float64
+	// Measure is the measurement window length; the paper measures for 5
+	// minutes.
+	Measure float64
+	// Seed drives all stochastic choices of the run.
+	Seed uint64
+	// Mix is the statement workload; nil means a TPC-H mix calibrated
+	// against the SLA and load model (demand P99 = SLA·δ, so a server at
+	// load 1.0 — whose effective concurrency is 1/δ — sits exactly at the
+	// SLA).
+	Mix *tpch.Mix
+	// Model is the linear load model; its β overhead materializes as
+	// permanent background work on each server proportional to the hosted
+	// tenant replicas (β/δ client-equivalents per whole tenant). The zero
+	// value means workload.DefaultLoadModel.
+	Model workload.LoadModel
+	// TimedFailures kill servers DURING the run (the paper's live-failure
+	// protocol): at the given time the server's in-flight statements abort
+	// and are retried by their clients against surviving replicas, and the
+	// clients homed there reconnect, spreading evenly over each tenant's
+	// survivors. This captures the failover transient; for steady-state
+	// measurement apply failures to the Assignment instead.
+	TimedFailures []TimedFailure
+}
+
+// TimedFailure is one mid-run server failure.
+type TimedFailure struct {
+	// Time is when the server dies (seconds of simulated time).
+	Time float64
+	// Server is the server ID to fail.
+	Server int
+}
+
+// DefaultConfig mirrors the paper's measurement protocol at a reduced
+// simulated duration (the paper notes results do not change with longer
+// intervals).
+func DefaultConfig() Config {
+	return Config{SLA: 5, Warmup: 60, Measure: 120, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SLA <= 0 {
+		return errors.New("cluster: SLA must be positive")
+	}
+	if c.Warmup < 0 {
+		return errors.New("cluster: negative warmup")
+	}
+	if c.Measure <= 0 {
+		return errors.New("cluster: measurement window must be positive")
+	}
+	for _, f := range c.TimedFailures {
+		if f.Time < 0 {
+			return fmt.Errorf("cluster: timed failure at negative time %v", f.Time)
+		}
+		if f.Server < 0 {
+			return fmt.Errorf("cluster: timed failure of negative server %d", f.Server)
+		}
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Queries completed inside the measurement window (client-visible).
+	Queries int
+	// P99, P95, P50 and Mean response times (seconds) of those queries,
+	// cluster-wide.
+	P99, P95, P50, Mean float64
+	// WorstServerP99 is the highest per-server 99th-percentile statement
+	// latency — the paper's worst-overload-case metric.
+	WorstServerP99 float64
+	// WorstServer is the server exhibiting WorstServerP99.
+	WorstServer int
+	// ViolatesSLA is WorstServerP99 > SLA.
+	ViolatesSLA bool
+	// MaxClientLoad is the largest fractional client load on one server.
+	MaxClientLoad float64
+	// LostClients counts clients whose tenant lost every replica before
+	// the run (pre-applied failures).
+	LostClients int
+	// StalledClients counts clients whose tenant lost every replica
+	// through mid-run TimedFailures.
+	StalledClients int
+	// MaxConcurrency is the largest number of statements simultaneously in
+	// flight on one server.
+	MaxConcurrency int
+}
+
+// Run simulates the assignment (a placement plus any applied failures) and
+// returns latency statistics over the measurement window.
+func Run(p *packing.Placement, assign *failure.Assignment, cfg Config) (Result, error) {
+	_, res, err := runSim(p, assign, cfg)
+	return res, err
+}
+
+// runSim is Run with the internal simulation state exposed for tests.
+func runSim(p *packing.Placement, assign *failure.Assignment, cfg Config) (*sim, Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Result{}, err
+	}
+	model := cfg.Model
+	if model.Delta == 0 {
+		model = workload.DefaultLoadModel()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, Result{}, err
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		// A server at normalized load L carries L/δ client-equivalents of
+		// concurrency, so the SLA at L=1 pins the demand P99 to SLA·δ.
+		m, err := tpch.NewMix(tpch.WithTargetP99(cfg.SLA * model.Delta))
+		if err != nil {
+			return nil, Result{}, err
+		}
+		mix = m
+	}
+
+	s := &sim{
+		eng:        eventsim.New(),
+		cfg:        cfg,
+		mix:        mix,
+		servers:    make([]*psServer, p.NumServers()),
+		serverResp: make([][]float64, p.NumServers()),
+		dynFailed:  make([]bool, p.NumServers()),
+		rehomeRR:   make(map[packing.TenantID]int),
+	}
+	for i := range s.servers {
+		s.servers[i] = &psServer{sim: s, id: i}
+	}
+	for _, f := range cfg.TimedFailures {
+		if f.Server >= p.NumServers() {
+			return nil, Result{}, fmt.Errorf("cluster: timed failure of unknown server %d", f.Server)
+		}
+		if assign.Failed(f.Server) {
+			return nil, Result{}, fmt.Errorf("cluster: timed failure of already-failed server %d", f.Server)
+		}
+		srv := s.servers[f.Server]
+		if err := s.eng.Schedule(f.Time, srv.kill); err != nil {
+			return nil, Result{}, fmt.Errorf("cluster: %w", err)
+		}
+	}
+
+	master := rng.New(cfg.Seed)
+	horizon := cfg.Warmup + cfg.Measure
+	// Spawn clients deterministically: servers in ID order, each server's
+	// hosted tenants in ID order, carry-rounding the fractional per-tenant
+	// shares so the server's closed-loop population equals its analytical
+	// client load to within one client.
+	overheadPerTenant := model.Beta / model.Delta
+	for sid := 0; sid < p.NumServers(); sid++ {
+		if assign.Failed(sid) {
+			continue
+		}
+		carry := 0.0
+		overhead := 0.0
+		for _, r := range p.Server(sid).Replicas() {
+			survivors := assign.SurvivingHosts(r.Tenant)
+			if len(survivors) == 0 {
+				continue
+			}
+			// The tenant's β overhead spreads over its survivors just like
+			// its clients do.
+			overhead += overheadPerTenant / float64(len(survivors))
+			share := assign.TenantShare(r.Tenant)
+			carry += share
+			n := int(carry)
+			carry -= float64(n)
+			if n == 0 {
+				continue
+			}
+			hosts := survivors
+			sort.Ints(hosts)
+			for k := 0; k < n; k++ {
+				c := &client{
+					sim:    s,
+					tenant: r.Tenant,
+					home:   sid,
+					hosts:  hosts,
+					r:      master.Split(),
+				}
+				start := master.Float64()
+				if err := s.eng.Schedule(start, c.issue); err != nil {
+					return nil, Result{}, fmt.Errorf("cluster: %w", err)
+				}
+			}
+		}
+		s.servers[sid].overhead = int(overhead)
+	}
+
+	s.eng.RunUntil(horizon)
+
+	_, maxLoad := assign.MaxClientLoad()
+	res := Result{
+		Queries:        len(s.responses),
+		MaxClientLoad:  maxLoad,
+		LostClients:    assign.Lost(),
+		StalledClients: s.stalledClients,
+		MaxConcurrency: s.maxConcurrency,
+		WorstServer:    -1,
+	}
+	if len(s.responses) > 0 {
+		sum, err := stats.Summarize(s.responses)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		res.P99, res.P95, res.P50, res.Mean = sum.P99, sum.P95, sum.P50, sum.Mean
+	}
+	for id, resp := range s.serverResp {
+		if len(resp) == 0 {
+			continue
+		}
+		p99, err := stats.P99(resp)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		if p99 > res.WorstServerP99 {
+			res.WorstServerP99 = p99
+			res.WorstServer = id
+		}
+	}
+	res.ViolatesSLA = res.WorstServerP99 > cfg.SLA
+	return s, res, nil
+}
+
+// sim carries the shared run state.
+type sim struct {
+	eng     *eventsim.Engine
+	cfg     Config
+	mix     *tpch.Mix
+	servers []*psServer
+	// dynFailed marks servers killed by TimedFailures during the run.
+	dynFailed []bool
+	// rehomeRR spreads a failed server's clients evenly per tenant.
+	rehomeRR map[packing.TenantID]int
+	// stalledClients counts clients whose tenant lost every replica
+	// mid-run.
+	stalledClients int
+	// responses holds client-visible end-to-end response times; serverResp
+	// holds per-server statement latencies (write sub-statements count at
+	// each replica they execute on).
+	responses      []float64
+	serverResp     [][]float64
+	maxConcurrency int
+}
+
+func (s *sim) inWindow() bool {
+	now := s.eng.Now()
+	return now >= s.cfg.Warmup && now <= s.cfg.Warmup+s.cfg.Measure
+}
+
+// client is a closed-loop workload generator for one tenant client. Reads
+// execute on the client's home replica server; updates hit every surviving
+// replica of the tenant. When a mid-run failure kills a statement, the
+// client retries against survivors (re-homing first if its own server
+// died), and the eventual response time includes the disruption.
+type client struct {
+	sim    *sim
+	tenant packing.TenantID
+	home   int
+	hosts  []int
+	r      *rng.RNG
+}
+
+// issue samples and submits the client's next statement.
+func (c *client) issue() {
+	c.issueAt(c.sim.eng.Now())
+}
+
+// issueAt submits a statement whose response time is measured from start
+// (start < now when this is a post-failure retry).
+func (c *client) issueAt(start float64) {
+	live := c.liveHosts()
+	if len(live) == 0 {
+		// Every replica of the tenant is gone; the client stalls.
+		c.sim.stalledClients++
+		return
+	}
+	if c.sim.dynFailed[c.home] {
+		c.rehome(live)
+	}
+	q := c.sim.mix.Sample(c.r)
+	if !q.Update {
+		c.sim.servers[c.home].submit(q.Demand, start, func(ok bool) {
+			if !ok {
+				c.issueAt(start) // reconnect and retry
+				return
+			}
+			c.complete(start)
+		})
+		return
+	}
+	pending := len(live)
+	done := func(bool) {
+		// A sub-statement on a dying replica no longer needs to apply;
+		// the update completes on the survivors.
+		pending--
+		if pending == 0 {
+			c.complete(start)
+		}
+	}
+	for _, h := range live {
+		c.sim.servers[h].submit(q.Demand, start, done)
+	}
+}
+
+// liveHosts filters the tenant's replica servers by dynamic failures.
+func (c *client) liveHosts() []int {
+	live := make([]int, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		if !c.sim.dynFailed[h] {
+			live = append(live, h)
+		}
+	}
+	return live
+}
+
+// rehome reconnects the client to a surviving replica, round-robin per
+// tenant so a failed server's clients spread evenly.
+func (c *client) rehome(live []int) {
+	i := c.sim.rehomeRR[c.tenant] % len(live)
+	c.sim.rehomeRR[c.tenant]++
+	c.home = live[i]
+}
+
+func (c *client) complete(start float64) {
+	if c.sim.inWindow() {
+		c.sim.responses = append(c.sim.responses, c.sim.eng.Now()-start)
+	}
+	c.issue()
+}
+
+// psServer is a processor-sharing queue driven by virtual time: a job with
+// demand d finishes when the server's virtual time (which advances at rate
+// 1/n with n jobs in flight) has progressed d beyond its admission point.
+type psServer struct {
+	sim *sim
+	id  int
+	// overhead is the number of permanent background jobs materializing
+	// the load model's per-tenant β work: they consume processor share but
+	// never complete.
+	overhead int
+	vt       float64
+	lastT    float64
+	jobs     jobHeap
+	timerVer int
+}
+
+type job struct {
+	target float64
+	start  float64
+	// done receives true on completion, false when the server died with
+	// the statement in flight.
+	done func(ok bool)
+}
+
+// sync advances virtual time to the engine's current time.
+func (s *psServer) sync() {
+	now := s.sim.eng.Now()
+	if n := len(s.jobs); n > 0 {
+		s.vt += (now - s.lastT) / float64(n+s.overhead)
+	}
+	s.lastT = now
+}
+
+// submit admits one statement with the given demand.
+func (s *psServer) submit(demand, start float64, done func(ok bool)) {
+	if s.sim.dynFailed[s.id] {
+		done(false)
+		return
+	}
+	s.sync()
+	heap.Push(&s.jobs, job{target: s.vt + demand, start: start, done: done})
+	if len(s.jobs) > s.sim.maxConcurrency {
+		s.sim.maxConcurrency = len(s.jobs)
+	}
+	s.reschedule()
+}
+
+// reschedule (re)arms the completion timer for the earliest-finishing job.
+// Stale timers are invalidated by version.
+func (s *psServer) reschedule() {
+	s.timerVer++
+	if len(s.jobs) == 0 {
+		return
+	}
+	ver := s.timerVer
+	next := s.sim.eng.Now() + (s.jobs[0].target-s.vt)*float64(len(s.jobs)+s.overhead)
+	if next < s.sim.eng.Now() {
+		next = s.sim.eng.Now()
+	}
+	// Schedule can only fail for past or non-finite times, both excluded.
+	_ = s.sim.eng.Schedule(next, func() { s.fire(ver) })
+}
+
+// fire completes every job whose virtual target has been reached.
+func (s *psServer) fire(ver int) {
+	if ver != s.timerVer {
+		return
+	}
+	s.sync()
+	for len(s.jobs) > 0 && s.jobs[0].target <= s.vt+1e-12 {
+		j := heap.Pop(&s.jobs).(job)
+		if s.sim.inWindow() {
+			s.sim.serverResp[s.id] = append(s.sim.serverResp[s.id], s.sim.eng.Now()-j.start)
+		}
+		// done may submit follow-up work to this server; that bumps
+		// timerVer, which is fine — we reschedule below regardless.
+		j.done(true)
+	}
+	s.reschedule()
+}
+
+// kill fails the server mid-run: pending statements abort (their clients
+// retry on survivors) and no further work is accepted.
+func (s *psServer) kill() {
+	s.sim.dynFailed[s.id] = true
+	s.timerVer++ // cancel any armed completion timer
+	aborted := s.jobs
+	s.jobs = nil
+	for _, j := range aborted {
+		j.done(false)
+	}
+}
+
+type jobHeap []job
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return h[i].target < h[j].target }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+)
+
+// singleServerPlacement builds a γ=1 placement with one tenant of the given
+// client count on one server.
+func singleServerPlacement(t *testing.T, clients int) *packing.Placement {
+	t.Helper()
+	p, err := packing.NewPlacement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := p.OpenServer()
+	tn := packing.Tenant{ID: 1, Load: 1, Clients: clients}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(sid, p.Replicas(tn)[0]); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runSingle(t *testing.T, clients int, cfg Config) Result {
+	t.Helper()
+	p := singleServerPlacement(t, clients)
+	res, err := Run(p, failure.NewAssignment(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func shortConfig(seed uint64) Config {
+	return Config{SLA: 5, Warmup: 20, Measure: 60, Seed: seed}
+}
+
+// TestSaturationCalibration is the anchor experiment: a server at its
+// 52-client capacity must sit at (not far above, not far below) the
+// 5-second P99 SLA.
+func TestSaturationCalibration(t *testing.T) {
+	res := runSingle(t, 52, shortConfig(1))
+	if res.Queries < 500 {
+		t.Fatalf("only %d queries completed", res.Queries)
+	}
+	if res.P99 < 4.0 || res.P99 > 6.0 {
+		t.Fatalf("saturated P99 = %v s, want about 5", res.P99)
+	}
+	if math.Abs(res.MaxClientLoad-52) > 1e-9 {
+		t.Fatalf("max client load = %v", res.MaxClientLoad)
+	}
+}
+
+// TestLightLoadFarBelowSLA: 10 clients should see roughly 10/52 of the
+// saturated latency.
+func TestLightLoadFarBelowSLA(t *testing.T) {
+	res := runSingle(t, 10, shortConfig(2))
+	if res.ViolatesSLA {
+		t.Fatalf("light load violates SLA: P99 = %v", res.P99)
+	}
+	if res.P99 > 2 {
+		t.Fatalf("light-load P99 = %v, want around 1s", res.P99)
+	}
+	if res.P50 >= res.P99 {
+		t.Fatalf("P50 %v >= P99 %v", res.P50, res.P99)
+	}
+}
+
+// TestOverloadViolatesSLA: more clients than capacity must blow the SLA.
+func TestOverloadViolatesSLA(t *testing.T) {
+	res := runSingle(t, 80, shortConfig(3))
+	if !res.ViolatesSLA {
+		t.Fatalf("80-client overload did not violate SLA: P99 = %v", res.P99)
+	}
+	if res.P99 < 6 {
+		t.Fatalf("overloaded P99 = %v, expected well above 5", res.P99)
+	}
+}
+
+// TestLatencyMonotoneInClients: latency grows with concurrency.
+func TestLatencyMonotoneInClients(t *testing.T) {
+	prev := 0.0
+	for i, clients := range []int{10, 30, 52, 80} {
+		res := runSingle(t, clients, shortConfig(4))
+		if res.P99 <= prev {
+			t.Fatalf("P99 not increasing at step %d (%d clients): %v <= %v",
+				i, clients, res.P99, prev)
+		}
+		prev = res.P99
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runSingle(t, 30, shortConfig(7))
+	b := runSingle(t, 30, shortConfig(7))
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedSensitivityIsSmall(t *testing.T) {
+	a := runSingle(t, 52, shortConfig(11))
+	b := runSingle(t, 52, shortConfig(12))
+	if a == b {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+	if math.Abs(a.P99-b.P99)/a.P99 > 0.25 {
+		t.Fatalf("P99 unstable across seeds: %v vs %v", a.P99, b.P99)
+	}
+}
+
+// replicatedPlacement: two tenants on three servers with γ=2.
+func replicatedPlacement(t *testing.T) *packing.Placement {
+	t.Helper()
+	p, err := packing.NewPlacement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.OpenServer()
+	}
+	for _, spec := range []struct {
+		tn    packing.Tenant
+		hosts [2]int
+	}{
+		{tn: packing.Tenant{ID: 1, Load: 0.6, Clients: 30}, hosts: [2]int{0, 1}},
+		{tn: packing.Tenant{ID: 2, Load: 0.6, Clients: 30}, hosts: [2]int{1, 2}},
+	} {
+		if err := p.AddTenant(spec.tn); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range p.Replicas(spec.tn) {
+			if err := p.Place(spec.hosts[i], r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return p
+}
+
+// TestFailureRaisesLatency: failing a server redirects its clients and
+// raises the observed P99.
+func TestFailureRaisesLatency(t *testing.T) {
+	p := replicatedPlacement(t)
+	healthy, err := Run(p, failure.NewAssignment(p), shortConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := failure.NewAssignment(p)
+	if err := failed.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Run(p, failed, shortConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.P99 <= healthy.P99 {
+		t.Fatalf("failure did not raise latency: %v vs %v", degraded.P99, healthy.P99)
+	}
+	// Server 1 now carries tenant 1 entirely (30) plus half of tenant 2
+	// (15): 45 client load, still under capacity.
+	if math.Abs(degraded.MaxClientLoad-45) > 1e-9 {
+		t.Fatalf("max client load after failure = %v, want 45", degraded.MaxClientLoad)
+	}
+}
+
+// TestLostClientsReported: killing both replicas of a tenant reports its
+// clients as lost and the rest keep running.
+func TestLostClientsReported(t *testing.T) {
+	p := replicatedPlacement(t)
+	a := failure.NewAssignment(p)
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, a, shortConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostClients != 30 {
+		t.Fatalf("lost clients = %d, want 30 (tenant 1)", res.LostClients)
+	}
+	if res.Queries == 0 {
+		t.Fatal("surviving tenant processed no queries")
+	}
+}
+
+// TestUpdatesFanOut: with updates in the mix, concurrency on a server can
+// exceed its own client count.
+func TestUpdatesFanOut(t *testing.T) {
+	p := replicatedPlacement(t)
+	res, err := Run(p, failure.NewAssignment(p), shortConfig(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.MaxConcurrency) < res.MaxClientLoad {
+		t.Fatalf("max concurrency %d below max client load %v", res.MaxConcurrency, res.MaxClientLoad)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := singleServerPlacement(t, 5)
+	a := failure.NewAssignment(p)
+	for _, cfg := range []Config{
+		{SLA: 0, Warmup: 1, Measure: 1},
+		{SLA: 5, Warmup: -1, Measure: 1},
+		{SLA: 5, Warmup: 1, Measure: 0},
+	} {
+		if _, err := Run(p, a, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPlacement(t *testing.T) {
+	p, err := packing.NewPlacement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, failure.NewAssignment(p), shortConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 0 || res.ViolatesSLA {
+		t.Fatalf("empty placement result = %+v", res)
+	}
+}

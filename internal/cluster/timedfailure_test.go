@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+)
+
+// timedConfig kills a server at the start of the measurement window.
+func timedConfig(seed uint64, failures ...TimedFailure) Config {
+	cfg := shortConfig(seed)
+	cfg.TimedFailures = failures
+	return cfg
+}
+
+func TestTimedFailureRaisesLatency(t *testing.T) {
+	p := replicatedPlacement(t)
+	healthy, err := Run(p, failure.NewAssignment(p), shortConfig(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill server 0 as measurement starts: tenant 1's clients reconnect to
+	// server 1.
+	res, err := Run(p, failure.NewAssignment(p), timedConfig(41, TimedFailure{Time: 20, Server: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstServerP99 <= healthy.WorstServerP99 {
+		t.Fatalf("mid-run failure did not raise worst P99: %v vs %v",
+			res.WorstServerP99, healthy.WorstServerP99)
+	}
+	if res.StalledClients != 0 {
+		t.Fatalf("clients stalled despite surviving replicas: %d", res.StalledClients)
+	}
+}
+
+func TestTimedFailureNoWorkOnDeadServer(t *testing.T) {
+	p := replicatedPlacement(t)
+	// Kill server 0 before the measurement window opens: it must record no
+	// statements at all.
+	cfg := timedConfig(43, TimedFailure{Time: 1, Server: 0})
+	s, err := runForInspection(p, failure.NewAssignment(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.serverResp[0]) != 0 {
+		t.Fatalf("dead server recorded %d statements", len(s.serverResp[0]))
+	}
+	if len(s.serverResp[1]) == 0 || len(s.serverResp[2]) == 0 {
+		t.Fatal("survivors recorded no statements")
+	}
+}
+
+func TestTimedFailureAllReplicasStallsTenant(t *testing.T) {
+	p := replicatedPlacement(t)
+	cfg := timedConfig(47,
+		TimedFailure{Time: 5, Server: 0},
+		TimedFailure{Time: 10, Server: 1},
+	)
+	res, err := Run(p, failure.NewAssignment(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 1 lived on servers 0 and 1 only: its 30 clients stall.
+	if res.StalledClients != 30 {
+		t.Fatalf("stalled clients = %d, want 30", res.StalledClients)
+	}
+	// Tenant 2's clients (servers 1 and 2) survive on server 2.
+	if res.Queries == 0 {
+		t.Fatal("no queries despite a surviving tenant")
+	}
+}
+
+func TestTimedFailureValidation(t *testing.T) {
+	p := replicatedPlacement(t)
+	a := failure.NewAssignment(p)
+	if _, err := Run(p, a, timedConfig(1, TimedFailure{Time: -1, Server: 0})); err == nil {
+		t.Fatal("negative failure time accepted")
+	}
+	if _, err := Run(p, a, timedConfig(1, TimedFailure{Time: 5, Server: -2})); err == nil {
+		t.Fatal("negative server accepted")
+	}
+	if _, err := Run(p, a, timedConfig(1, TimedFailure{Time: 5, Server: 99})); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	// Failing an already-failed server is rejected.
+	pre := failure.NewAssignment(p)
+	if err := pre.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, pre, timedConfig(1, TimedFailure{Time: 5, Server: 0})); err == nil {
+		t.Fatal("timed failure of pre-failed server accepted")
+	}
+}
+
+func TestTimedFailureMatchesSteadyStateDirection(t *testing.T) {
+	// The transient (mid-run) and steady-state (pre-applied) failure modes
+	// must agree on the big picture: both show higher latency than
+	// healthy, and the steady state bounds the transient's tail from
+	// above or close (the transient averages healthy and degraded time).
+	p := replicatedPlacement(t)
+	healthy, err := Run(p, failure.NewAssignment(p), shortConfig(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := failure.NewAssignment(p)
+	if err := steady.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	steadyRes, err := Run(p, steady, shortConfig(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	transientRes, err := Run(p, failure.NewAssignment(p), timedConfig(53, TimedFailure{Time: 0, Server: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steadyRes.WorstServerP99 <= healthy.WorstServerP99 {
+		t.Fatal("steady-state failure did not raise latency")
+	}
+	if transientRes.WorstServerP99 <= healthy.WorstServerP99 {
+		t.Fatal("transient failure did not raise latency")
+	}
+	// A failure at t=0 should land close to the steady state.
+	ratio := transientRes.WorstServerP99 / steadyRes.WorstServerP99
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("transient/steady mismatch: %v vs %v", transientRes.WorstServerP99, steadyRes.WorstServerP99)
+	}
+}
+
+// runForInspection exposes the internal simulation state to tests.
+func runForInspection(p *packing.Placement, assign *failure.Assignment, cfg Config) (*sim, error) {
+	s, _, err := runSim(p, assign, cfg)
+	return s, err
+}

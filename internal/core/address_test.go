@@ -1,0 +1,126 @@
+package core
+
+import "testing"
+
+// TestCubeAddressingPaperExampleGamma2 reproduces the §III example: τ=3,
+// γ=2, counter I₃ = (21)₃: the first replica goes to slot (2,1) of the
+// first cube (bin prefix 2, slot 1), the second to slot (1,2) of the second
+// cube (bin prefix 1, slot 2).
+func TestCubeAddressingPaperExampleGamma2(t *testing.T) {
+	cb := &cube{tau: 3, cnt: 2*3 + 1, digits: make([]int, 2)}
+	cb.loadDigits()
+	if cb.digits[0] != 2 || cb.digits[1] != 1 {
+		t.Fatalf("digits = %v, want [2 1]", cb.digits)
+	}
+	binIdx, slotIdx := cb.address(0)
+	if binIdx != 2 || slotIdx != 1 {
+		t.Fatalf("replica 0 at (%d,%d), want (2,1)", binIdx, slotIdx)
+	}
+	binIdx, slotIdx = cb.address(1)
+	if binIdx != 1 || slotIdx != 2 {
+		t.Fatalf("replica 1 at (%d,%d), want (1,2)", binIdx, slotIdx)
+	}
+}
+
+// TestCubeAddressingPaperExampleGamma3 reproduces the second §III example:
+// τ=3, γ=3, I₃ = (001)₃: replicas at slots (0,0,1), (1,0,0) and (0,1,0) of
+// cubes 1, 2 and 3 respectively.
+func TestCubeAddressingPaperExampleGamma3(t *testing.T) {
+	cb := &cube{tau: 3, cnt: 1, digits: make([]int, 3)}
+	cb.loadDigits()
+	wantDigits := []int{0, 0, 1}
+	for i, d := range cb.digits {
+		if d != wantDigits[i] {
+			t.Fatalf("digits = %v, want %v", cb.digits, wantDigits)
+		}
+	}
+	tests := []struct {
+		j        int
+		wantBin  int // prefix digits interpreted base 3
+		wantSlot int
+	}{
+		{j: 0, wantBin: 0, wantSlot: 1}, // (0,0,1)
+		{j: 1, wantBin: 3, wantSlot: 0}, // (1,0,0): prefix (1,0) = 3
+		{j: 2, wantBin: 1, wantSlot: 0}, // (0,1,0): prefix (0,1) = 1
+	}
+	for _, tt := range tests {
+		binIdx, slotIdx := cb.address(tt.j)
+		if binIdx != tt.wantBin || slotIdx != tt.wantSlot {
+			t.Fatalf("replica %d at (%d,%d), want (%d,%d)",
+				tt.j, binIdx, slotIdx, tt.wantBin, tt.wantSlot)
+		}
+	}
+}
+
+// TestCubeAddressesAreDistinctPerBin verifies that over a full counter
+// sweep, every (group, bin, slot) triple is used exactly once — each bin of
+// type τ receives exactly τ replicas, one per payload slot.
+func TestCubeAddressesAreDistinctPerBin(t *testing.T) {
+	for _, gamma := range []int{1, 2, 3} {
+		for tau := 1; tau <= 4; tau++ {
+			size, _ := ipow(tau, gamma)
+			seen := make(map[[3]int]bool)
+			for cnt := 0; cnt < size; cnt++ {
+				cb := &cube{tau: tau, cnt: cnt, digits: make([]int, gamma)}
+				cb.loadDigits()
+				for j := 0; j < gamma; j++ {
+					binIdx, slotIdx := cb.address(j)
+					key := [3]int{j, binIdx, slotIdx}
+					if seen[key] {
+						t.Fatalf("γ=%d τ=%d: duplicate address %v at cnt=%d", gamma, tau, key, cnt)
+					}
+					if slotIdx < 0 || slotIdx >= tau {
+						t.Fatalf("γ=%d τ=%d: slot %d out of range", gamma, tau, slotIdx)
+					}
+					rowLen, _ := ipow(tau, gamma-1)
+					if binIdx < 0 || binIdx >= rowLen {
+						t.Fatalf("γ=%d τ=%d: bin %d out of range", gamma, tau, binIdx)
+					}
+					seen[key] = true
+				}
+			}
+			want, _ := ipow(tau, gamma)
+			if len(seen) != want*gamma {
+				t.Fatalf("γ=%d τ=%d: %d addresses used, want %d", gamma, tau, len(seen), want*gamma)
+			}
+		}
+	}
+}
+
+// TestCubeSharedPrefixLemma checks the combinatorial heart of Lemma 1
+// directly on addresses: for two distinct counter values, no pair of
+// (group, bin) locations coincides for both values across two different
+// groups.
+func TestCubeSharedPrefixLemma(t *testing.T) {
+	const tau, gamma = 3, 3
+	size, _ := ipow(tau, gamma)
+	type loc struct{ group, bin int }
+	binsOf := func(cnt int) []loc {
+		cb := &cube{tau: tau, cnt: cnt, digits: make([]int, gamma)}
+		cb.loadDigits()
+		out := make([]loc, gamma)
+		for j := 0; j < gamma; j++ {
+			b, _ := cb.address(j)
+			out[j] = loc{group: j, bin: b}
+		}
+		return out
+	}
+	for a := 0; a < size; a++ {
+		for b := a + 1; b < size; b++ {
+			la, lb := binsOf(a), binsOf(b)
+			common := 0
+			for _, x := range la {
+				for _, y := range lb {
+					if x == y {
+						common++
+					}
+				}
+			}
+			// Two tenants share at most one server: at most one common
+			// (group, bin) location.
+			if common > 1 {
+				t.Fatalf("counters %d and %d share %d bins", a, b, common)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+)
+
+// TestClassBoundaryLoads feeds tenants whose replica sizes sit exactly on
+// (and a hair on either side of) every class boundary — the regime where
+// floating-point misclassification would corrupt the slot discipline.
+func TestClassBoundaryLoads(t *testing.T) {
+	for _, gamma := range []int{2, 3} {
+		cfg := Config{Gamma: gamma, K: 10}
+		cf := mustCubeFit(t, cfg)
+		id := packing.TenantID(0)
+		for m := gamma; m <= cfg.K+gamma; m++ {
+			boundary := 1 / float64(m) // replica-size boundary
+			for _, size := range []float64{
+				boundary,
+				math.Nextafter(boundary, 0),
+				math.Nextafter(boundary, 1),
+				boundary * 0.999,
+				boundary * 1.001,
+			} {
+				load := size * float64(gamma)
+				if load <= 0 || load > 1 {
+					continue
+				}
+				if err := cf.Place(packing.Tenant{ID: id, Load: load}); err != nil {
+					t.Fatalf("γ=%d boundary 1/%d size %v: %v", gamma, m, size, err)
+				}
+				id++
+			}
+		}
+		if err := cf.Placement().Validate(); err != nil {
+			t.Fatalf("γ=%d: boundary loads broke the invariant: %v", gamma, err)
+		}
+	}
+}
+
+// TestExtremeLoads checks the extreme legal loads.
+func TestExtremeLoads(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	if err := cf.Place(packing.Tenant{ID: 1, Load: 1}); err != nil {
+		t.Fatalf("full load: %v", err)
+	}
+	if err := cf.Place(packing.Tenant{ID: 2, Load: 1e-12}); err != nil {
+		t.Fatalf("minuscule load: %v", err)
+	}
+	if err := cf.Place(packing.Tenant{ID: 3, Load: math.Nextafter(1, 0)}); err != nil {
+		t.Fatalf("just-below-unit load: %v", err)
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyFullLoadTenants: unit-load tenants leave zero slack anywhere;
+// every pair of their bins is at the robustness boundary.
+func TestManyFullLoadTenants(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 5})
+	for i := 0; i < 20; i++ {
+		if err := cf.Place(packing.Tenant{ID: packing.TenantID(i), Load: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := cf.Placement()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each tenant needs its own pair of servers: level 0.5 + failover 0.5
+	// saturates both, so nothing can share.
+	if got := p.NumUsedServers(); got != 40 {
+		t.Fatalf("unit tenants used %d servers, want 40", got)
+	}
+}
+
+// TestAdversarialAlternation alternates huge and tiny tenants to stress
+// stage transitions.
+func TestAdversarialAlternation(t *testing.T) {
+	r := rng.New(271828)
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	for i := 0; i < 400; i++ {
+		var load float64
+		if i%2 == 0 {
+			load = 0.7 + 0.3*r.Float64() // huge
+		} else {
+			load = 0.001 + 0.01*r.Float64() // tiny
+		}
+		if err := cf.Place(packing.Tenant{ID: packing.TenantID(i), Load: load}); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := cf.Placement().ValidateRobustness(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecreasingAndIncreasingSequences stress the first stage from both
+// directions: decreasing loads mature big bins first (heavy first-stage
+// reuse), increasing loads starve it.
+func TestMonotoneSequences(t *testing.T) {
+	for name, transform := range map[string]func(i int) float64{
+		"decreasing": func(i int) float64 { return 1 - float64(i)/500 },
+		"increasing": func(i int) float64 { return 0.002 + float64(i)/500 },
+	} {
+		cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+		for i := 0; i < 499; i++ {
+			load := transform(i)
+			if load <= 0 || load > 1 {
+				continue
+			}
+			if err := cf.Place(packing.Tenant{ID: packing.TenantID(i), Load: load}); err != nil {
+				t.Fatalf("%s step %d: %v", name, i, err)
+			}
+		}
+		if err := cf.Placement().Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

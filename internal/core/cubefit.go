@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+
+	"cubefit/internal/packing"
+)
+
+// eps absorbs floating-point accumulation error in capacity comparisons.
+const eps = 1e-9
+
+// maxCubeSize caps τ^γ so that cube group arrays stay reasonably sized.
+const maxCubeSize = 1 << 22
+
+// CubeFit is the paper's online consolidation algorithm. It is not safe
+// for concurrent use.
+type CubeFit struct {
+	cfg Config
+	p   *packing.Placement
+
+	// bins[i] describes server i; nil entries cannot occur because every
+	// server is opened by CubeFit itself.
+	bins []*bin
+	// active lists mature bins eligible for the first stage.
+	active []*bin
+	cubes  map[cubeKey]*cube
+	// refs records where each tenant's replicas went, for Remove.
+	refs map[packing.TenantID][]slotRef
+
+	stats Stats
+}
+
+// Stats counts which placement path each admitted tenant took.
+type Stats struct {
+	// FirstStageTenants were fully placed into mature bins by Best Fit.
+	FirstStageTenants int
+	// RegularTenants went through the cube construction of their class.
+	RegularTenants int
+	// TinyTenants are class-K tenants placed via the tiny policy.
+	TinyTenants int
+}
+
+var _ packing.Algorithm = (*CubeFit)(nil)
+
+type cubeKey struct {
+	tau  int
+	tiny bool
+}
+
+// cube is the second-stage state for one class: γ groups of τ^(γ−1) bins
+// addressed by a base-τ counter.
+type cube struct {
+	tau      int
+	tiny     bool
+	slotSize float64
+	cnt      int // current counter value in [0, size)
+	size     int // τ^γ
+	rowLen   int // τ^(γ−1), bins per group
+	groups   [][]int
+	digits   []int // scratch: base-τ digits of cnt, most significant first
+
+	// Tiny accumulation (class-K replicas): while open, additional tiny
+	// tenants join the slots addressed by cnt until the next replica would
+	// not fit, at which point the cursor advances.
+	open bool
+	fill float64
+}
+
+// bin is CubeFit's bookkeeping for one server.
+type bin struct {
+	server   int
+	tau      int
+	tiny     bool
+	slotSize float64
+	// slotUsed/slotCount track the τ payload slots; the γ−1 reserved
+	// slots are never represented because they stay empty by construction.
+	slotUsed  []float64
+	slotCount []int
+	closed    int // payload slots the cursor has advanced past
+	mature    bool
+	retired   bool // mature and permanently removed from active (pruned)
+	activeIdx int  // index in CubeFit.active, or -1
+	reserve   float64
+}
+
+type slotRef struct {
+	server int
+	slot   int // payload slot index, or -1 for a first-stage placement
+}
+
+// New creates a CubeFit instance for the given configuration.
+func New(cfg Config) (*CubeFit, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if size, ok := ipow(cfg.K-1, cfg.Gamma); !ok || size > maxCubeSize {
+		return nil, fmt.Errorf("core: cube size (K-1)^γ = %d^%d too large", cfg.K-1, cfg.Gamma)
+	}
+	p, err := packing.NewPlacement(cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	return &CubeFit{
+		cfg:   cfg,
+		p:     p,
+		cubes: make(map[cubeKey]*cube),
+		refs:  make(map[packing.TenantID][]slotRef),
+	}, nil
+}
+
+// Name implements packing.Algorithm.
+func (cf *CubeFit) Name() string {
+	return fmt.Sprintf("cubefit(γ=%d,k=%d)", cf.cfg.Gamma, cf.cfg.K)
+}
+
+// Placement implements packing.Algorithm.
+func (cf *CubeFit) Placement() *packing.Placement { return cf.p }
+
+// Config returns the configuration the instance was built with.
+func (cf *CubeFit) Config() Config { return cf.cfg }
+
+// Place admits one tenant, placing its γ replicas on γ distinct servers.
+// The resulting placement always satisfies the robustness invariant.
+func (cf *CubeFit) Place(t packing.Tenant) error {
+	if err := cf.p.AddTenant(t); err != nil {
+		return err
+	}
+	reps := cf.p.Replicas(t)
+
+	if !cf.cfg.DisableFirstStage && cf.tryFirstStage(t, reps) {
+		cf.stats.FirstStageTenants++
+		return nil
+	}
+
+	tau := cf.cfg.ClassOf(reps[0].Size)
+	if tau == cf.cfg.K {
+		cf.stats.TinyTenants++
+		return cf.placeTiny(reps)
+	}
+	cf.stats.RegularTenants++
+	return cf.placeRegular(tau, reps)
+}
+
+// Stats returns counters describing which placement paths tenants took.
+func (cf *CubeFit) Stats() Stats { return cf.stats }
+
+// Remove evicts a tenant and releases its capacity for future arrivals
+// (dynamic-departure extension; see DESIGN.md §7). Freed slot space is
+// reused both by the tiny accumulation within its slot and by the first
+// stage once the bin is mature.
+func (cf *CubeFit) Remove(id packing.TenantID) error {
+	t, ok := cf.p.Tenant(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", packing.ErrUnknownTenant, id)
+	}
+	size := cf.p.ReplicaSize(t)
+	hosts := cf.p.TenantHosts(id)
+	if err := cf.p.RemoveTenant(id); err != nil {
+		return err
+	}
+	for _, ref := range cf.refs[id] {
+		b := cf.bins[ref.server]
+		if ref.slot >= 0 {
+			b.slotUsed[ref.slot] -= size
+			if b.slotUsed[ref.slot] < 0 {
+				b.slotUsed[ref.slot] = 0
+			}
+			b.slotCount[ref.slot]--
+		}
+	}
+	delete(cf.refs, id)
+	for _, h := range hosts {
+		if h >= 0 {
+			cf.refreshBin(cf.bins[h])
+		}
+	}
+	return nil
+}
+
+// placeRegular runs the second stage for a class-τ tenant (τ < K).
+func (cf *CubeFit) placeRegular(tau int, reps []packing.Replica) error {
+	cb := cf.cube(tau, false)
+	if err := cf.placeAtCursor(cb, reps); err != nil {
+		return err
+	}
+	cf.advance(cb)
+	return nil
+}
+
+// placeTiny runs the second stage for a class-K tenant: its replicas join
+// the currently open slots of the tiny cube, or a fresh cursor position
+// when they no longer fit. Under TinyClassKMinusOne the tiny cube has the
+// geometry of class K−1 (the paper's empirical optimization); under
+// TinyMultiReplica it has the geometry of class αK−γ+1, so a full slot is
+// exactly a multi-replica of size at most 1/αK.
+func (cf *CubeFit) placeTiny(reps []packing.Replica) error {
+	tau := cf.tinyClass()
+	cb := cf.cube(tau, true)
+	size := reps[0].Size
+	if cb.open && cb.fill+size > cb.slotSize+eps {
+		cf.advance(cb)
+	}
+	if err := cf.placeAtCursor(cb, reps); err != nil {
+		return err
+	}
+	cb.open = true
+	cb.fill += size
+	return nil
+}
+
+// tinyClass returns the bin class hosting class-K replicas.
+func (cf *CubeFit) tinyClass() int {
+	if cf.cfg.TinyPolicy == TinyMultiReplica {
+		return AlphaK(cf.cfg.K) - cf.cfg.Gamma + 1
+	}
+	return cf.cfg.K - 1
+}
+
+// placeAtCursor places the γ replicas at the slots addressed by the cube's
+// current counter value: replica j uses the (j)-fold right-cyclic shift of
+// the counter's base-τ digits; the first γ−1 digits select the bin within
+// group j and the last digit the slot within the bin.
+func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
+	cb.loadDigits()
+	for j, rep := range reps {
+		binIdx, slotIdx := cb.address(j)
+		b, err := cf.binAt(cb, j, binIdx)
+		if err != nil {
+			return err
+		}
+		if rep.Size > cb.slotSize+eps {
+			return fmt.Errorf("core: internal: replica size %v exceeds slot size %v of class %d",
+				rep.Size, cb.slotSize, cb.tau)
+		}
+		if err := cf.p.Place(b.server, rep); err != nil {
+			return fmt.Errorf("core: internal: cube placement rejected: %w", err)
+		}
+		b.slotUsed[slotIdx] += rep.Size
+		b.slotCount[slotIdx]++
+		cf.refs[rep.Tenant] = append(cf.refs[rep.Tenant], slotRef{server: b.server, slot: slotIdx})
+	}
+	// Refresh reserve caches once per touched server (shared loads changed
+	// between every pair of the γ bins).
+	hosts := cf.p.TenantHosts(reps[0].Tenant)
+	for _, h := range hosts {
+		if h >= 0 {
+			cf.refreshBin(cf.bins[h])
+		}
+	}
+	return nil
+}
+
+// advance closes the slots at the current cursor position and moves the
+// counter forward, replacing the groups with fresh bins on wrap-around.
+func (cf *CubeFit) advance(cb *cube) {
+	cb.loadDigits()
+	for j := 0; j < cf.cfg.Gamma; j++ {
+		binIdx, _ := cb.address(j)
+		sid := cb.groups[j][binIdx]
+		if sid < 0 {
+			continue // address never materialized (cannot happen after placement)
+		}
+		b := cf.bins[sid]
+		b.closed++
+		if b.closed == b.tau && !b.mature {
+			cf.matureBin(b)
+		}
+	}
+	cb.open = false
+	cb.fill = 0
+	cb.cnt++
+	if cb.cnt == cb.size {
+		cb.cnt = 0
+		for j := range cb.groups {
+			row := make([]int, cb.rowLen)
+			for i := range row {
+				row[i] = -1
+			}
+			cb.groups[j] = row
+		}
+	}
+}
+
+// cube returns (creating on demand) the cube for a class and kind.
+func (cf *CubeFit) cube(tau int, tiny bool) *cube {
+	key := cubeKey{tau: tau, tiny: tiny}
+	if cb, ok := cf.cubes[key]; ok {
+		return cb
+	}
+	gamma := cf.cfg.Gamma
+	size, _ := ipow(tau, gamma)
+	rowLen, _ := ipow(tau, gamma-1)
+	cb := &cube{
+		tau:      tau,
+		tiny:     tiny,
+		slotSize: cf.cfg.SlotSize(tau),
+		size:     size,
+		rowLen:   rowLen,
+		groups:   make([][]int, gamma),
+		digits:   make([]int, gamma),
+	}
+	for j := range cb.groups {
+		row := make([]int, rowLen)
+		for i := range row {
+			row[i] = -1
+		}
+		cb.groups[j] = row
+	}
+	cf.cubes[key] = cb
+	return cb
+}
+
+// binAt returns the bin for group j, index binIdx of the cube, opening a
+// new server for it on first use.
+func (cf *CubeFit) binAt(cb *cube, j, binIdx int) (*bin, error) {
+	if sid := cb.groups[j][binIdx]; sid >= 0 {
+		return cf.bins[sid], nil
+	}
+	sid := cf.p.OpenServer()
+	if sid != len(cf.bins) {
+		return nil, fmt.Errorf("core: internal: server id %d does not match bin table %d", sid, len(cf.bins))
+	}
+	b := &bin{
+		server:    sid,
+		tau:       cb.tau,
+		tiny:      cb.tiny,
+		slotSize:  cb.slotSize,
+		slotUsed:  make([]float64, cb.tau),
+		slotCount: make([]int, cb.tau),
+		activeIdx: -1,
+	}
+	cf.bins = append(cf.bins, b)
+	cb.groups[j][binIdx] = sid
+	return b, nil
+}
+
+// matureBin marks a bin mature and makes it available to the first stage.
+func (cf *CubeFit) matureBin(b *bin) {
+	b.mature = true
+	cf.refreshBin(b)
+}
+
+// refreshBin recomputes the bin's cached failover reserve and maintains its
+// membership in the active (first-stage candidate) list.
+func (cf *CubeFit) refreshBin(b *bin) {
+	srv := cf.p.Server(b.server)
+	b.reserve = srv.TopShared(cf.cfg.Gamma - 1)
+	if !b.mature {
+		return
+	}
+	slack := 1 - srv.Level() - b.reserve
+	switch {
+	case slack <= cf.cfg.PruneSlack+eps:
+		if b.activeIdx >= 0 {
+			cf.removeActive(b)
+		}
+		b.retired = true
+	case b.activeIdx < 0:
+		// (Re-)activate: either freshly matured, or slack was regained by a
+		// tenant departure.
+		b.retired = false
+		b.activeIdx = len(cf.active)
+		cf.active = append(cf.active, b)
+	}
+}
+
+func (cf *CubeFit) removeActive(b *bin) {
+	last := len(cf.active) - 1
+	i := b.activeIdx
+	cf.active[i] = cf.active[last]
+	cf.active[i].activeIdx = i
+	cf.active = cf.active[:last]
+	b.activeIdx = -1
+}
+
+// NumActiveMatureBins reports the number of mature bins currently eligible
+// for first-stage placement (exposed for tests and diagnostics).
+func (cf *CubeFit) NumActiveMatureBins() int { return len(cf.active) }
+
+// loadDigits refreshes the scratch digit expansion of cnt (base τ, most
+// significant digit first).
+func (cb *cube) loadDigits() {
+	v := cb.cnt
+	for i := len(cb.digits) - 1; i >= 0; i-- {
+		cb.digits[i] = v % cb.tau
+		v /= cb.tau
+	}
+}
+
+// address returns (binIdx, slotIdx) for replica j at the current cursor:
+// the j-fold right-cyclic shift of the digits, split into a γ−1 digit bin
+// prefix and a final slot digit.
+func (cb *cube) address(j int) (binIdx, slotIdx int) {
+	gamma := len(cb.digits)
+	// shifted[i] = digits[(i - j) mod gamma]; iterate the prefix directly.
+	for i := 0; i < gamma-1; i++ {
+		binIdx = binIdx*cb.tau + cb.digits[((i-j)%gamma+gamma)%gamma]
+	}
+	slotIdx = cb.digits[((gamma-1-j)%gamma+gamma)%gamma]
+	return binIdx, slotIdx
+}
+
+// ipow returns base^exp and whether it fit in an int without overflow.
+func ipow(base, exp int) (int, bool) {
+	if exp < 0 {
+		return 0, false
+	}
+	result := 1
+	for i := 0; i < exp; i++ {
+		if base != 0 && result > maxCubeSize*64/base {
+			return 0, false
+		}
+		result *= base
+	}
+	return result, true
+}

@@ -1,0 +1,184 @@
+package core
+
+import "cubefit/internal/packing"
+
+// tryFirstStage attempts to place all γ replicas of the tenant into mature
+// bins using the Best Fit strategy under the m-fit test. Replicas are
+// placed one by one, each into the eligible mature bin with the highest
+// level; if some replica has no m-fitting bin, all earlier replicas are
+// rolled back and the tenant falls through to the second stage.
+func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool {
+	placed := 0
+	for j := range reps {
+		b := cf.bestMFit(t, reps[j])
+		if b == nil {
+			cf.rollbackFirstStage(t, reps, placed)
+			return false
+		}
+		// The placement cannot fail: bestMFit verified capacity, tenant
+		// distinctness and the robustness reserve.
+		if err := cf.p.Place(b.server, reps[j]); err != nil {
+			cf.rollbackFirstStage(t, reps, placed)
+			return false
+		}
+		placed++
+		cf.refs[t.ID] = append(cf.refs[t.ID], slotRef{server: b.server, slot: -1})
+		cf.refreshAfterPlacement(t.ID)
+	}
+	return true
+}
+
+// rollbackFirstStage unplaces the first `placed` replicas of the tenant and
+// restores the reserve caches of every affected bin.
+func (cf *CubeFit) rollbackFirstStage(t packing.Tenant, reps []packing.Replica, placed int) {
+	if placed == 0 {
+		return
+	}
+	hosts := cf.p.TenantHosts(t.ID)
+	for j := 0; j < placed; j++ {
+		_ = cf.p.Unplace(t.ID, reps[j].Index)
+	}
+	delete(cf.refs, t.ID)
+	for _, h := range hosts {
+		if h >= 0 {
+			cf.refreshBin(cf.bins[h])
+		}
+	}
+}
+
+// refreshAfterPlacement refreshes the reserve caches of every server
+// hosting a replica of the tenant (their pairwise shared loads changed).
+func (cf *CubeFit) refreshAfterPlacement(id packing.TenantID) {
+	for _, h := range cf.p.TenantHosts(id) {
+		if h >= 0 {
+			cf.refreshBin(cf.bins[h])
+		}
+	}
+}
+
+// bestMFit returns the active mature bin with the highest level that m-fits
+// the replica, or nil. A bin B m-fits replica r iff B does not already host
+// the tenant, has room for r, and after placing r the empty space of B
+// still covers the worst-case load redirected from any γ−1 simultaneous
+// server failures. We additionally require that the reserve of the servers
+// hosting the tenant's earlier replicas remains sufficient, since placing r
+// increases their shared load with B.
+func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) *bin {
+	earlier := cf.placedHosts(t.ID)
+	var best *bin
+	bestLevel := -1.0
+	for i := 0; i < len(cf.active); i++ {
+		b := cf.active[i]
+		srv := cf.p.Server(b.server)
+		slack := 1 - srv.Level() - b.reserve
+		if slack <= cf.cfg.PruneSlack+eps {
+			// Permanently retire bins with no usable slack; the scan index
+			// stays put because removeActive swaps the last element in.
+			cf.removeActive(b)
+			b.retired = true
+			i--
+			continue
+		}
+		// Best Fit: maximize level; break ties on the lower server ID so
+		// the choice does not depend on active-list scan order.
+		if srv.Level() < bestLevel ||
+			(srv.Level() == bestLevel && best != nil && b.server > best.server) {
+			continue
+		}
+		if slack+eps < rep.Size {
+			continue // necessary condition: new reserve only grows
+		}
+		if srv.Hosts(t.ID) {
+			continue
+		}
+		if cf.mFits(srv, earlier, rep) {
+			best = b
+			bestLevel = srv.Level()
+		}
+	}
+	return best
+}
+
+// placedHosts returns the servers currently hosting replicas of the tenant
+// (empty for the first replica).
+func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
+	var hosts []int
+	for _, h := range cf.p.TenantHosts(id) {
+		if h >= 0 {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+// mFits performs the exact m-fit test for placing rep on srv given the
+// tenant's earlier replicas on `earlier`.
+func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica) bool {
+	k := cf.cfg.Gamma - 1
+	level := srv.Level()
+	if level+rep.Size > 1+eps {
+		return false
+	}
+	// Candidate server: its shared load with each earlier host grows by
+	// rep.Size once rep lands here.
+	after := topSharedAdjusted(srv, k, earlier, rep.Size)
+	if level+rep.Size+after > 1+eps {
+		return false
+	}
+	// Earlier hosts: their shared load with the candidate grows by the size
+	// of their own replica of this tenant, which equals rep.Size.
+	for _, h := range earlier {
+		hs := cf.p.Server(h)
+		afterH := topSharedAdjusted(hs, k, []int{srv.ID()}, rep.Size)
+		if hs.Level()+afterH > 1+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// topSharedAdjusted computes the sum of the k largest shared loads of s
+// after hypothetically adding delta to its shared load with each server in
+// bump (servers absent from the shared map count as delta).
+func topSharedAdjusted(s *packing.Server, k int, bump []int, delta float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	var top [8]float64 // k is γ−1, far below 8 for any valid config
+	if k > len(top) {
+		k = len(top)
+	}
+	push := func(v float64) {
+		for i := 0; i < k; i++ {
+			if v > top[i] {
+				copy(top[i+1:k], top[i:k-1])
+				top[i] = v
+				break
+			}
+		}
+	}
+	seen := 0
+	s.EachShared(func(j int, v float64) {
+		for _, b := range bump {
+			if b == j {
+				v += delta
+				seen++
+				break
+			}
+		}
+		push(v)
+	})
+	if seen < len(bump) {
+		// Servers in bump with no current shared load contribute delta.
+		for _, b := range bump {
+			if s.SharedWith(b) == 0 {
+				push(delta)
+			}
+		}
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += top[i]
+	}
+	return sum
+}

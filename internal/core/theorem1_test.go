@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+	"cubefit/internal/workload"
+)
+
+// TestTheorem1Randomized is the main safety property test: for random
+// configurations and random tenant sequences from the experiment
+// distributions, the placement after every arrival satisfies the full
+// robustness invariant (no server overloads under any γ−1 simultaneous
+// failures).
+func TestTheorem1Randomized(t *testing.T) {
+	r := rng.New(20170605)
+	gammas := []int{2, 3}
+	ks := []int{5, 10}
+	policies := []TinyPolicy{TinyClassKMinusOne, TinyMultiReplica}
+
+	for trial := 0; trial < 24; trial++ {
+		cfg := Config{
+			Gamma:      gammas[r.Intn(len(gammas))],
+			K:          ks[r.Intn(len(ks))],
+			TinyPolicy: policies[r.Intn(len(policies))],
+		}
+		if cfg.Validate() != nil {
+			cfg.TinyPolicy = TinyClassKMinusOne
+		}
+		cf := mustCubeFit(t, cfg)
+
+		var src workload.Source
+		var err error
+		switch trial % 3 {
+		case 0:
+			src, err = workload.NewLoadSource(1, r.Uint64())
+		case 1:
+			var dist workload.Uniform
+			dist, err = workload.NewUniform(1, 15)
+			if err == nil {
+				src, err = workload.NewClientSource(workload.DefaultLoadModel(), dist, r.Uint64())
+			}
+		default:
+			var dist *workload.Zipf
+			dist, err = workload.NewZipf(3, workload.MaxClientsPerServer)
+			if err == nil {
+				src, err = workload.NewClientSource(workload.DefaultLoadModel(), dist, r.Uint64())
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n := 100 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			tn := src.Next()
+			if err := cf.Place(tn); err != nil {
+				t.Fatalf("trial %d cfg %+v tenant %d: %v", trial, cfg, i, err)
+			}
+			// Incremental check keeps failures local to the offending step;
+			// do it on a sample of steps to bound test time, and always on
+			// the final step.
+			if i%25 == 0 || i == n-1 {
+				if err := cf.Placement().ValidateRobustness(); err != nil {
+					t.Fatalf("trial %d cfg %+v after tenant %d: %v", trial, cfg, i, err)
+				}
+			}
+		}
+		if err := cf.Placement().Validate(); err != nil {
+			t.Fatalf("trial %d cfg %+v final: %v", trial, cfg, err)
+		}
+		// Cross-check the top-(γ−1) validator with subset enumeration on a
+		// couple of trials (it is O(n^γ)).
+		if trial < 2 {
+			if err := cf.Placement().ValidateExhaustive(); err != nil {
+				t.Fatalf("trial %d cfg %+v exhaustive: %v", trial, cfg, err)
+			}
+		}
+	}
+}
+
+// TestTheorem1WorstCaseFailures picks the worst failure sets greedily and
+// verifies survivors stay within capacity, for both γ=2 (one failure) and
+// γ=3 (two failures).
+func TestTheorem1WorstCaseFailures(t *testing.T) {
+	for _, gamma := range []int{2, 3} {
+		cfg := Config{Gamma: gamma, K: 5}
+		cf := mustCubeFit(t, cfg)
+		dist, err := workload.NewUniform(1, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			if err := cf.Place(src.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := cf.Placement()
+		n := p.NumServers()
+		if gamma == 2 {
+			for f := 0; f < n; f++ {
+				if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+					t.Fatalf("γ=2: failing server %d overloads survivors to %v", f, got)
+				}
+			}
+		} else {
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					if got := p.MaxPostFailureLoad([]int{a, b}); got > 1+1e-9 {
+						t.Fatalf("γ=3: failing {%d,%d} overloads survivors to %v", a, b, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1WithRemovals exercises the departure extension: interleaved
+// arrivals and removals must preserve the invariant throughout.
+func TestTheorem1WithRemovals(t *testing.T) {
+	r := rng.New(555)
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	src, err := workload.NewLoadSource(1, 888)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []packing.TenantID
+	for step := 0; step < 600; step++ {
+		if len(live) > 0 && r.Float64() < 0.3 {
+			i := r.Intn(len(live))
+			if err := cf.Remove(live[i]); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			tn := src.Next()
+			if err := cf.Place(tn); err != nil {
+				t.Fatalf("step %d place: %v", step, err)
+			}
+			live = append(live, tn.ID)
+		}
+		if step%50 == 0 {
+			if err := cf.Placement().ValidateRobustness(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1Gamma4 checks the invariant for a replication factor beyond
+// the paper's presentation (arbitrary-γ extension).
+func TestTheorem1Gamma4(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 4, K: 6})
+	src, err := workload.NewLoadSource(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := cf.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

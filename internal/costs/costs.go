@@ -1,0 +1,64 @@
+// Package costs implements the paper's Table I dollar model: the yearly
+// cost of continuously operating server instances, priced per Amazon EC2
+// c4.4xlarge hour as of the paper's evaluation.
+package costs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultPricePerHour is the paper's c4.4xlarge on-demand price ($/hour).
+const DefaultPricePerHour = 0.822
+
+// HoursPerYear is the continuous-operation year of Table I.
+const HoursPerYear = 24 * 365
+
+// Model prices continuously operated servers.
+type Model struct {
+	// PricePerHour is the per-server hourly cost; zero means
+	// DefaultPricePerHour.
+	PricePerHour float64
+}
+
+// DefaultModel returns the paper's pricing.
+func DefaultModel() Model { return Model{PricePerHour: DefaultPricePerHour} }
+
+func (m Model) withDefaults() Model {
+	if m.PricePerHour == 0 {
+		m.PricePerHour = DefaultPricePerHour
+	}
+	return m
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.withDefaults().PricePerHour < 0 {
+		return errors.New("costs: negative price")
+	}
+	return nil
+}
+
+// Yearly returns the cost of running the given number of servers for one
+// year of continuous operation.
+func (m Model) Yearly(servers int) (float64, error) {
+	m = m.withDefaults()
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if servers < 0 {
+		return 0, fmt.Errorf("costs: negative server count %d", servers)
+	}
+	return float64(servers) * m.PricePerHour * HoursPerYear, nil
+}
+
+// Savings compares two server counts (baseline vs. improved) and returns
+// the yearly dollar savings, as in Table I where the baseline is RFI and
+// the improved count is CubeFit's.
+func (m Model) Savings(baselineServers, improvedServers int) (float64, error) {
+	if improvedServers > baselineServers {
+		return 0, fmt.Errorf("costs: improved count %d exceeds baseline %d",
+			improvedServers, baselineServers)
+	}
+	return m.Yearly(baselineServers - improvedServers)
+}

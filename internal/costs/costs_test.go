@@ -1,0 +1,80 @@
+package costs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYearly(t *testing.T) {
+	m := DefaultModel()
+	got, err := m.Yearly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.822 * 8760
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Yearly(1) = %v, want %v", got, want)
+	}
+}
+
+// TestTableIUniform reproduces the paper's Table I arithmetic: 2,506
+// servers saved at $0.822/hour yields $18,045,004 per year (the paper's
+// printed figure, ±rounding).
+func TestTableIUniform(t *testing.T) {
+	m := DefaultModel()
+	got, err := m.Savings(10951, 10951-2506)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-18045004) > 1 {
+		t.Fatalf("uniform Table I savings = %v, paper prints 18,045,004", got)
+	}
+}
+
+// TestTableIZipfian: 496 servers saved yields $3,571,557 per year.
+func TestTableIZipfian(t *testing.T) {
+	m := DefaultModel()
+	got, err := m.Savings(2218, 2218-496)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3571557) > 1 {
+		t.Fatalf("zipfian Table I savings = %v, paper prints 3,571,557", got)
+	}
+}
+
+func TestZeroValueUsesDefaultPrice(t *testing.T) {
+	var m Model
+	got, err := m.Yearly(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2*0.822*8760) > 1e-9 {
+		t.Fatalf("zero-value model Yearly(2) = %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.Yearly(-1); err == nil {
+		t.Fatal("negative servers accepted")
+	}
+	if _, err := m.Savings(5, 6); err == nil {
+		t.Fatal("negative savings accepted")
+	}
+	bad := Model{PricePerHour: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative price accepted")
+	}
+	if _, err := bad.Yearly(1); err == nil {
+		t.Fatal("negative price Yearly accepted")
+	}
+}
+
+func TestSavingsZero(t *testing.T) {
+	m := DefaultModel()
+	got, err := m.Savings(100, 100)
+	if err != nil || got != 0 {
+		t.Fatalf("Savings(100,100) = %v, %v", got, err)
+	}
+}

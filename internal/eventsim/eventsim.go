@@ -1,0 +1,111 @@
+// Package eventsim provides a minimal deterministic discrete-event
+// simulation kernel: a virtual clock and a time-ordered queue of callback
+// events. Ties are broken by scheduling order, so a single-threaded
+// simulation replays identically for identical inputs.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Engine is a discrete-event executor. The zero value is not usable;
+// construct with New. Engine is not safe for concurrent use.
+type Engine struct {
+	now  float64
+	seq  uint64
+	heap eventHeap
+}
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("eventsim: event scheduled in the past")
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// New creates an engine with the clock at 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule enqueues fn to run at the given time (which must not precede
+// the current time).
+func (e *Engine) Schedule(at float64, fn func()) error {
+	if at < e.now {
+		return ErrPast
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return errors.New("eventsim: non-finite event time")
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After enqueues fn to run delay units from now.
+func (e *Engine) After(delay float64, fn func()) error {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes all events with time ≤ t, then advances the clock to
+// t. Events scheduled during execution are honored if they fall within the
+// horizon.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

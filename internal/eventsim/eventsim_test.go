@@ -1,0 +1,135 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	add := func(at float64, id int) {
+		if err := e.Schedule(at, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3, 3)
+	add(1, 1)
+	add(2, 2)
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestTiesBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order broken: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPast(t *testing.T) {
+	e := New()
+	if err := e.Schedule(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.Schedule(0.5, func() {}); err != ErrPast {
+		t.Fatalf("past schedule error = %v", err)
+	}
+	if err := e.Schedule(math.NaN(), func() {}); err == nil {
+		t.Fatal("NaN time accepted")
+	}
+	if err := e.Schedule(math.Inf(1), func() {}); err == nil {
+		t.Fatal("Inf time accepted")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	fired := -1.0
+	if err := e.Schedule(2, func() {
+		if err := e.After(3, func() { fired = e.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("After fired at %v, want 5", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		if err := e.Schedule(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after full horizon", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			if err := e.After(1, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.Schedule(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("clock = %v, want 99", e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty returned true")
+	}
+}

@@ -1,0 +1,309 @@
+// Package failure implements the paper's worst-overload failure planning
+// (§V-B): "To cause f server failures, we select f servers that result in
+// the distribution of the highest number of clients to a single server
+// (resulting in the highest possible load on a server)."
+//
+// Following the paper's system model (§IV), a tenant's analytic workload
+// is shared between its γ replicas: each of the tenant's clients spreads
+// its queries evenly over the tenant's surviving replica servers. A server
+// therefore carries a (fractional) client load of Σ_t clients_t/s_t over
+// its hosted tenants t, where s_t is the tenant's surviving replica count.
+// When a server fails, each affected tenant's client load redistributes to
+// its remaining replicas; tenants whose servers all failed become
+// unavailable.
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"cubefit/internal/packing"
+)
+
+// Assignment tracks the fractional client load each server carries, derived
+// from a placement and mutated by failures.
+type Assignment struct {
+	p      *packing.Placement
+	failed map[int]bool
+	// survivors[t] = number of live replicas of tenant t.
+	survivors map[packing.TenantID]int
+	// load[s] = Σ clients_t / survivors_t over live tenants t hosted on s.
+	load []float64
+	// lost counts clients of tenants that lost all replicas.
+	lost int
+}
+
+// NewAssignment derives the initial per-server client loads from the
+// placement: every tenant's clients spread evenly over its γ replicas.
+func NewAssignment(p *packing.Placement) *Assignment {
+	a := &Assignment{
+		p:         p,
+		failed:    make(map[int]bool),
+		survivors: make(map[packing.TenantID]int, p.NumTenants()),
+		load:      make([]float64, p.NumServers()),
+	}
+	for _, t := range p.Tenants() {
+		live := 0
+		for _, h := range p.TenantHosts(t.ID) {
+			if h >= 0 {
+				live++
+			}
+		}
+		a.survivors[t.ID] = live
+	}
+	for _, s := range p.Servers() {
+		a.load[s.ID()] = a.computeLoad(s)
+	}
+	return a
+}
+
+func (a *Assignment) computeLoad(s *packing.Server) float64 {
+	sum := 0.0
+	for _, r := range s.Replicas() {
+		t, ok := a.p.Tenant(r.Tenant)
+		if !ok {
+			continue
+		}
+		if live := a.survivors[r.Tenant]; live > 0 {
+			sum += float64(t.Clients) / float64(live)
+		}
+	}
+	return sum
+}
+
+// ClientLoad returns the fractional client load on server s (0 if failed).
+func (a *Assignment) ClientLoad(s int) float64 {
+	if s < 0 || s >= len(a.load) || a.failed[s] {
+		return 0
+	}
+	return a.load[s]
+}
+
+// TenantShare returns the client load tenant id contributes to each of its
+// surviving servers (clients divided by surviving replicas; 0 if the
+// tenant is unavailable).
+func (a *Assignment) TenantShare(id packing.TenantID) float64 {
+	t, ok := a.p.Tenant(id)
+	if !ok {
+		return 0
+	}
+	live := a.survivors[id]
+	if live == 0 {
+		return 0
+	}
+	return float64(t.Clients) / float64(live)
+}
+
+// SurvivingHosts returns the live servers hosting tenant id.
+func (a *Assignment) SurvivingHosts(id packing.TenantID) []int {
+	var out []int
+	for _, h := range a.p.TenantHosts(id) {
+		if h >= 0 && !a.failed[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Lost returns the total clients of tenants that lost every replica.
+func (a *Assignment) Lost() int { return a.lost }
+
+// Failed reports whether server s has been failed.
+func (a *Assignment) Failed(s int) bool { return a.failed[s] }
+
+// MaxClientLoad returns the highest client load across surviving servers
+// and the server holding it (-1 when no server survives).
+func (a *Assignment) MaxClientLoad() (server int, clients float64) {
+	server = -1
+	for s, c := range a.load {
+		if a.failed[s] {
+			continue
+		}
+		if server == -1 || c > clients {
+			server, clients = s, c
+		}
+	}
+	return server, clients
+}
+
+// Snapshot returns a copy of the live client loads keyed by server.
+func (a *Assignment) Snapshot() map[int]float64 {
+	out := make(map[int]float64, len(a.load))
+	for s, c := range a.load {
+		if !a.failed[s] {
+			out[s] = c
+		}
+	}
+	return out
+}
+
+// Fail marks server s failed: each hosted tenant's client load
+// redistributes evenly over its remaining replicas. Clients of
+// fully-failed tenants are counted as lost.
+func (a *Assignment) Fail(s int) error {
+	if s < 0 || s >= len(a.load) {
+		return fmt.Errorf("failure: no such server %d", s)
+	}
+	if a.failed[s] {
+		return fmt.Errorf("failure: server %d already failed", s)
+	}
+	a.failed[s] = true
+	a.load[s] = 0
+	for _, r := range a.p.Server(s).Replicas() {
+		id := r.Tenant
+		t, ok := a.p.Tenant(id)
+		if !ok {
+			continue
+		}
+		before := a.survivors[id]
+		if before <= 0 {
+			continue
+		}
+		after := before - 1
+		a.survivors[id] = after
+		if after == 0 {
+			a.lost += t.Clients
+			continue
+		}
+		delta := float64(t.Clients) * (1/float64(after) - 1/float64(before))
+		for _, h := range a.p.TenantHosts(id) {
+			if h >= 0 && h != s && !a.failed[h] {
+				a.load[h] += delta
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the assignment (the placement is shared, read-only).
+func (a *Assignment) Clone() *Assignment {
+	cp := &Assignment{
+		p:         a.p,
+		failed:    make(map[int]bool, len(a.failed)),
+		survivors: make(map[packing.TenantID]int, len(a.survivors)),
+		load:      make([]float64, len(a.load)),
+		lost:      a.lost,
+	}
+	for k, v := range a.failed {
+		cp.failed[k] = v
+	}
+	for k, v := range a.survivors {
+		cp.survivors[k] = v
+	}
+	copy(cp.load, a.load)
+	return cp
+}
+
+// Plan is a chosen set of servers to fail and the resulting overload.
+type Plan struct {
+	// Servers to fail, in failure order.
+	Servers []int
+	// MaxClientLoad is the highest client load on any surviving server
+	// after all failures.
+	MaxClientLoad float64
+	// MaxServer is the surviving server carrying MaxClientLoad.
+	MaxServer int
+	// LostClients counts clients of tenants that lost every replica.
+	LostClients int
+}
+
+// WorstCase finds the set of f servers whose simultaneous failure pushes
+// the most client load onto a single surviving server. For f ≤ 2 the
+// search is exhaustive over all server subsets (as is feasible for the
+// paper's 69-server cluster); larger f extends the exhaustive pair search
+// greedily.
+func WorstCase(p *packing.Placement, f int) (Plan, error) {
+	n := p.NumServers()
+	if f < 0 {
+		return Plan{}, fmt.Errorf("failure: negative failure count %d", f)
+	}
+	if f > n {
+		return Plan{}, fmt.Errorf("failure: cannot fail %d of %d servers", f, n)
+	}
+	base := NewAssignment(p)
+	if f == 0 {
+		srv, c := base.MaxClientLoad()
+		return Plan{MaxClientLoad: c, MaxServer: srv}, nil
+	}
+
+	exhaustive := 2
+	if f < exhaustive {
+		exhaustive = f
+	}
+	best := Plan{MaxClientLoad: math.Inf(-1), MaxServer: -1}
+	var rec func(start int, chosen []int, a *Assignment)
+	rec = func(start int, chosen []int, a *Assignment) {
+		if len(chosen) == exhaustive {
+			plan := a
+			tail := make([]int, 0, f-exhaustive)
+			if f > exhaustive {
+				plan = a.Clone()
+				tail = greedyExtend(plan, f-exhaustive)
+			}
+			srv, c := plan.MaxClientLoad()
+			if c > best.MaxClientLoad {
+				servers := append(append([]int{}, chosen...), tail...)
+				best = Plan{
+					Servers:       servers,
+					MaxClientLoad: c,
+					MaxServer:     srv,
+					LostClients:   plan.Lost(),
+				}
+			}
+			return
+		}
+		for s := start; s < n; s++ {
+			next := a.Clone()
+			if err := next.Fail(s); err != nil {
+				continue
+			}
+			rec(s+1, append(chosen, s), next)
+		}
+	}
+	rec(0, nil, base)
+	if best.MaxServer == -1 && len(best.Servers) == 0 {
+		return Plan{}, fmt.Errorf("failure: no feasible plan for f=%d", f)
+	}
+	return best, nil
+}
+
+// greedyExtend fails `extra` more servers one at a time, each time picking
+// the failure that maximizes the resulting single-server client load.
+// It mutates a and returns the chosen servers.
+func greedyExtend(a *Assignment, extra int) []int {
+	var chosen []int
+	for k := 0; k < extra; k++ {
+		bestS := -1
+		bestC := math.Inf(-1)
+		for s := range a.load {
+			if a.failed[s] {
+				continue
+			}
+			trial := a.Clone()
+			if err := trial.Fail(s); err != nil {
+				continue
+			}
+			if _, c := trial.MaxClientLoad(); c > bestC {
+				bestS, bestC = s, c
+			}
+		}
+		if bestS < 0 {
+			break
+		}
+		_ = a.Fail(bestS)
+		chosen = append(chosen, bestS)
+	}
+	return chosen
+}
+
+// Apply executes a plan against a fresh assignment derived from the
+// placement and returns the post-failure assignment.
+func Apply(p *packing.Placement, plan Plan) (*Assignment, error) {
+	a := NewAssignment(p)
+	for _, s := range plan.Servers {
+		if err := a.Fail(s); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,378 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/workload"
+
+	"cubefit/internal/core"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// buildPlacement constructs a placement with explicit replica hosts for
+// hand-verified scenarios.
+func buildPlacement(t *testing.T, gamma int, tenants []packing.Tenant, hosts map[packing.TenantID][]int) *packing.Placement {
+	t.Helper()
+	p, err := packing.NewPlacement(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxServer := -1
+	for _, hs := range hosts {
+		for _, h := range hs {
+			if h > maxServer {
+				maxServer = h
+			}
+		}
+	}
+	for s := 0; s <= maxServer; s++ {
+		p.OpenServer()
+	}
+	for _, tn := range tenants {
+		if err := p.AddTenant(tn); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range p.Replicas(tn) {
+			if err := p.Place(hosts[tn.ID][i], r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return p
+}
+
+func TestAssignmentInitialLoads(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{
+			{ID: 1, Load: 0.4, Clients: 10},
+			{ID: 2, Load: 0.2, Clients: 5},
+		},
+		map[packing.TenantID][]int{
+			1: {0, 1},
+			2: {1, 2},
+		})
+	a := NewAssignment(p)
+	// Tenant 1 spreads 10 clients over servers {0,1}: 5 each. Tenant 2
+	// spreads 5 over {1,2}: 2.5 each.
+	if got := a.ClientLoad(0); !almost(got, 5) {
+		t.Fatalf("server 0 load = %v, want 5", got)
+	}
+	if got := a.ClientLoad(1); !almost(got, 7.5) {
+		t.Fatalf("server 1 load = %v, want 7.5", got)
+	}
+	if got := a.ClientLoad(2); !almost(got, 2.5) {
+		t.Fatalf("server 2 load = %v, want 2.5", got)
+	}
+	srv, c := a.MaxClientLoad()
+	if srv != 1 || !almost(c, 7.5) {
+		t.Fatalf("max = server %d with %v, want server 1 with 7.5", srv, c)
+	}
+	if got := a.TenantShare(1); !almost(got, 5) {
+		t.Fatalf("tenant 1 share = %v, want 5", got)
+	}
+}
+
+func TestFailRedistributesLoad(t *testing.T) {
+	p := buildPlacement(t, 3,
+		[]packing.Tenant{{ID: 1, Load: 0.3, Clients: 9}},
+		map[packing.TenantID][]int{1: {0, 1, 2}})
+	a := NewAssignment(p)
+	// 9 clients over 3 replicas: 3 each.
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	// Now 9 clients over 2 survivors: 4.5 each.
+	if got := a.ClientLoad(1); !almost(got, 4.5) {
+		t.Fatalf("server 1 load = %v, want 4.5", got)
+	}
+	if got := a.ClientLoad(2); !almost(got, 4.5) {
+		t.Fatalf("server 2 load = %v, want 4.5", got)
+	}
+	if a.ClientLoad(0) != 0 || !a.Failed(0) {
+		t.Fatal("failed server still reports load")
+	}
+	if a.Lost() != 0 {
+		t.Fatalf("lost = %d, want 0", a.Lost())
+	}
+	if hosts := a.SurvivingHosts(1); len(hosts) != 2 {
+		t.Fatalf("surviving hosts = %v", hosts)
+	}
+}
+
+// TestFractionalSingleClient is the integrality case that motivates the
+// query-level sharing model: a 1-client tenant on 3 replicas contributes
+// 1/3 to each, and after one failure 1/2 to each survivor — never a whole
+// client to a single server.
+func TestFractionalSingleClient(t *testing.T) {
+	p := buildPlacement(t, 3,
+		[]packing.Tenant{{ID: 1, Load: 0.1, Clients: 1}},
+		map[packing.TenantID][]int{1: {0, 1, 2}})
+	a := NewAssignment(p)
+	if got := a.ClientLoad(0); !almost(got, 1.0/3) {
+		t.Fatalf("initial share = %v, want 1/3", got)
+	}
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.ClientLoad(1); !almost(got, 0.5) {
+		t.Fatalf("post-failure share = %v, want 1/2", got)
+	}
+}
+
+func TestFailCascadeLosesTenant(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 8}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	a := NewAssignment(p)
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.ClientLoad(1); !almost(got, 8) {
+		t.Fatalf("server 1 load after first failure = %v, want 8", got)
+	}
+	if err := a.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Lost() != 8 {
+		t.Fatalf("lost = %d, want 8", a.Lost())
+	}
+	if a.TenantShare(1) != 0 {
+		t.Fatal("dead tenant still reports a share")
+	}
+}
+
+func TestFailErrors(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 4}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	a := NewAssignment(p)
+	if err := a.Fail(99); err == nil {
+		t.Fatal("failing unknown server succeeded")
+	}
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fail(0); err == nil {
+		t.Fatal("double failure succeeded")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 8}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	a := NewAssignment(p)
+	b := a.Clone()
+	if err := b.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Failed(0) || !almost(a.ClientLoad(1), 4) {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestWorstCaseSingleFailure(t *testing.T) {
+	// Server 1 is the shared neighbour of both tenants; failing server 0
+	// moves tenant 1's full 8 clients onto it (4+4+3 = 11 total), failing
+	// server 2 moves tenant 2's full 6 (4+3+3 = 10). Worst is server 0.
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{
+			{ID: 1, Load: 0.4, Clients: 8},
+			{ID: 2, Load: 0.3, Clients: 6},
+		},
+		map[packing.TenantID][]int{
+			1: {0, 1},
+			2: {1, 2},
+		})
+	plan, err := WorstCase(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Servers) != 1 || plan.Servers[0] != 0 {
+		t.Fatalf("worst plan failed servers %v, want [0]", plan.Servers)
+	}
+	if plan.MaxServer != 1 || !almost(plan.MaxClientLoad, 11) {
+		t.Fatalf("worst overload = server %d with %v, want server 1 with 11",
+			plan.MaxServer, plan.MaxClientLoad)
+	}
+}
+
+func TestWorstCaseZeroFailures(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 8}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	plan, err := WorstCase(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Servers) != 0 || !almost(plan.MaxClientLoad, 4) {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestWorstCaseErrors(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 8}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	if _, err := WorstCase(p, -1); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := WorstCase(p, 3); err == nil {
+		t.Fatal("f > n accepted")
+	}
+}
+
+// TestWorstCasePairBeatsRandomPairs: the exhaustive pair search must find
+// an overload at least as bad as any other pair.
+func TestWorstCasePairBeatsRandomPairs(t *testing.T) {
+	cf, err := core.New(core.Config{Gamma: 2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if err := cf.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := cf.Placement()
+	plan, err := WorstCase(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumServers()
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			a := NewAssignment(p)
+			if err := a.Fail(x); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Fail(y); err != nil {
+				t.Fatal(err)
+			}
+			if _, c := a.MaxClientLoad(); c > plan.MaxClientLoad+1e-9 {
+				t.Fatalf("pair {%d,%d} yields %v clients > plan %v", x, y, c, plan.MaxClientLoad)
+			}
+		}
+	}
+}
+
+// TestCubeFitReserveBoundsClientLoad ties the failure model back to
+// Theorem 1: for a CubeFit γ=3 placement, ANY two failures leave every
+// server's client load within the calibrated capacity.
+func TestCubeFitReserveBoundsClientLoad(t *testing.T) {
+	cf, err := core.New(core.Config{Gamma: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := workload.NewZipf(3, workload.MaxClientsPerServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := cf.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := WorstCase(cf.Placement(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxClientLoad > workload.MaxClientsPerServer+1e-9 {
+		t.Fatalf("worst 2-failure client load %v exceeds capacity %d",
+			plan.MaxClientLoad, workload.MaxClientsPerServer)
+	}
+}
+
+func TestApply(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{
+			{ID: 1, Load: 0.4, Clients: 8},
+			{ID: 2, Load: 0.3, Clients: 6},
+		},
+		map[packing.TenantID][]int{
+			1: {0, 1},
+			2: {1, 2},
+		})
+	plan, err := WorstCase(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, c := a.MaxClientLoad(); !almost(c, plan.MaxClientLoad) {
+		t.Fatalf("applied max %v != planned %v", c, plan.MaxClientLoad)
+	}
+	// Applying a plan with a bogus server errors.
+	if _, err := Apply(p, Plan{Servers: []int{42}}); err == nil {
+		t.Fatal("bogus plan applied")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	p := buildPlacement(t, 2,
+		[]packing.Tenant{{ID: 1, Load: 0.4, Clients: 8}},
+		map[packing.TenantID][]int{1: {0, 1}})
+	a := NewAssignment(p)
+	if err := a.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if _, ok := snap[0]; ok {
+		t.Fatal("failed server present in snapshot")
+	}
+	if !almost(snap[1], 8) {
+		t.Fatalf("snapshot[1] = %v, want 8", snap[1])
+	}
+}
+
+// TestGreedyExtendBeyondPairs exercises f=3 (greedy extension).
+func TestGreedyExtendBeyondPairs(t *testing.T) {
+	cf, err := core.New(core.Config{Gamma: 2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if err := cf.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan3, err := WorstCase(cf.Placement(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan3.Servers) != 3 {
+		t.Fatalf("plan servers = %v", plan3.Servers)
+	}
+	plan2, err := WorstCase(cf.Placement(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan3.MaxClientLoad < plan2.MaxClientLoad-1e-9 {
+		t.Fatalf("three failures %v milder than two %v", plan3.MaxClientLoad, plan2.MaxClientLoad)
+	}
+}

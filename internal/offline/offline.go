@@ -1,0 +1,132 @@
+// Package offline implements robust tenant placement with full knowledge
+// of the tenant set — the "ideal scenario" the paper's introduction
+// contrasts with the online setting ("a cloud service provider has access
+// to all tenants before assigning any of them to servers").
+//
+// The algorithm is First Fit Decreasing adapted to the failover model:
+// tenants are sorted by load descending and each replica goes to the first
+// server where both the capacity and the (γ−1)-failure reserve constraints
+// keep holding for every affected server. The result is a strong practical
+// proxy for OPT in the competitive-ratio experiments and a deployment
+// option for batch (re)placement.
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefit/internal/packing"
+)
+
+const eps = 1e-9
+
+// PlaceAll places all tenants with full lookahead and returns the
+// placement. The input slice is not modified.
+func PlaceAll(gamma int, tenants []packing.Tenant) (*packing.Placement, error) {
+	p, err := packing.NewPlacement(gamma)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]packing.Tenant, len(tenants))
+	copy(sorted, tenants)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Load != sorted[j].Load {
+			return sorted[i].Load > sorted[j].Load
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, t := range sorted {
+		if err := placeTenant(p, t); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// placeTenant places one tenant's replicas First Fit.
+func placeTenant(p *packing.Placement, t packing.Tenant) error {
+	if err := p.AddTenant(t); err != nil {
+		return err
+	}
+	for _, rep := range p.Replicas(t) {
+		sid := -1
+		for _, s := range p.Servers() {
+			if fits(p, s, t.ID, rep) {
+				sid = s.ID()
+				break
+			}
+		}
+		if sid < 0 {
+			sid = p.OpenServer()
+		}
+		if err := p.Place(sid, rep); err != nil {
+			return fmt.Errorf("offline: %w", err)
+		}
+	}
+	return nil
+}
+
+// fits checks capacity plus the robustness reserve for the candidate and
+// every server hosting one of the tenant's earlier replicas, anticipating
+// the sibling shares of replicas not yet placed (as in the online RFI
+// implementation, an early replica must not strand a later one).
+func fits(p *packing.Placement, s *packing.Server, id packing.TenantID, rep packing.Replica) bool {
+	if s.Hosts(id) {
+		return false
+	}
+	if s.Level()+rep.Size > 1+eps {
+		return false
+	}
+	k := p.Gamma() - 1
+	var earlier []int
+	for _, h := range p.TenantHosts(id) {
+		if h >= 0 {
+			earlier = append(earlier, h)
+		}
+	}
+	// Candidate: reserve after placement, anticipating that the remaining
+	// replicas will each share rep.Size with this server.
+	if s.Level()+rep.Size+reserveAfter(p, s, earlier, rep.Size, k, p.Gamma()-1) > 1+eps {
+		return false
+	}
+	for _, h := range earlier {
+		hs := p.Server(h)
+		if hs.Level()+reserveAfter(p, hs, []int{s.ID()}, rep.Size, k, 0) > 1+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// reserveAfter computes the top-k shared sum of s after adding delta to
+// its shared load with each server in bump, plus `anticipate` additional
+// hypothetical entries of size delta for replicas not yet placed anywhere.
+func reserveAfter(p *packing.Placement, s *packing.Server, bump []int, delta float64, k, anticipate int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	var vals []float64
+	s.EachShared(func(j int, v float64) {
+		for _, b := range bump {
+			if b == j {
+				v += delta
+				break
+			}
+		}
+		vals = append(vals, v)
+	})
+	for _, b := range bump {
+		if s.SharedWith(b) == 0 {
+			vals = append(vals, delta)
+		}
+	}
+	for i := 0; i < anticipate-len(bump); i++ {
+		vals = append(vals, delta)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sum := 0.0
+	for i := 0; i < k && i < len(vals); i++ {
+		sum += vals[i]
+	}
+	return sum
+}

@@ -1,0 +1,155 @@
+package offline
+
+import (
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/ratio"
+	"cubefit/internal/workload"
+)
+
+func loadTenants(t *testing.T, n int, seed uint64) []packing.Tenant {
+	t.Helper()
+	src, err := workload.NewLoadSource(1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Take(src, n)
+}
+
+func TestPlaceAllValid(t *testing.T) {
+	for _, gamma := range []int{1, 2, 3} {
+		p, err := PlaceAll(gamma, loadTenants(t, 400, 11))
+		if err != nil {
+			t.Fatalf("γ=%d: %v", gamma, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("γ=%d: offline placement not robust: %v", gamma, err)
+		}
+		if p.NumTenants() != 400 {
+			t.Fatalf("γ=%d: %d tenants placed", gamma, p.NumTenants())
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	tenants := loadTenants(t, 50, 3)
+	first := tenants[0]
+	if _, err := PlaceAll(2, tenants); err != nil {
+		t.Fatal(err)
+	}
+	if tenants[0] != first {
+		t.Fatal("input slice reordered")
+	}
+}
+
+func TestOfflineAtLeastLowerBound(t *testing.T) {
+	tenants := loadTenants(t, 600, 21)
+	p, err := PlaceAll(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := ratio.LowerBoundServers(tenants, 2)
+	if p.NumUsedServers() < lb {
+		t.Fatalf("offline used %d servers, below the lower bound %d — impossible",
+			p.NumUsedServers(), lb)
+	}
+}
+
+// TestOfflineBeatsOnline: with full lookahead, FFD should consolidate at
+// least as well as online CubeFit on this workload, confirming it as a
+// sensible OPT proxy.
+func TestOfflineBeatsOnline(t *testing.T) {
+	tenants := loadTenants(t, 1200, 33)
+	off, err := PlaceAll(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packing.PlaceAll(cf, tenants); err != nil {
+		t.Fatal(err)
+	}
+	if off.NumUsedServers() > cf.Placement().NumUsedServers() {
+		t.Fatalf("offline FFD used %d servers, online CubeFit %d",
+			off.NumUsedServers(), cf.Placement().NumUsedServers())
+	}
+}
+
+// TestSingleFailureSafetyByConstruction mirrors the RFI test: any single
+// failure leaves survivors within capacity for γ=2.
+func TestSingleFailureSafety(t *testing.T) {
+	p, err := PlaceAll(2, loadTenants(t, 300, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < p.NumServers(); f++ {
+		if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+			t.Fatalf("failing server %d overloads survivors to %v", f, got)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tenants := loadTenants(t, 500, 77)
+	a, err := PlaceAll(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceAll(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumUsedServers() != b.NumUsedServers() {
+		t.Fatalf("non-deterministic: %d vs %d", a.NumUsedServers(), b.NumUsedServers())
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	// Equal loads: placement order must follow tenant ID, keeping the
+	// result independent of input order.
+	tenants := []packing.Tenant{
+		{ID: 3, Load: 0.4}, {ID: 1, Load: 0.4}, {ID: 2, Load: 0.4},
+	}
+	p, err := PlaceAll(2, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := []packing.Tenant{
+		{ID: 2, Load: 0.4}, {ID: 1, Load: 0.4}, {ID: 3, Load: 0.4},
+	}
+	q, err := PlaceAll(2, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []packing.TenantID{1, 2, 3} {
+		ph, qh := p.TenantHosts(id), q.TenantHosts(id)
+		for i := range ph {
+			if ph[i] != qh[i] {
+				t.Fatalf("tenant %d placed differently: %v vs %v", id, ph, qh)
+			}
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := PlaceAll(0, nil); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	if _, err := PlaceAll(2, []packing.Tenant{{ID: 1, Load: 2}}); err == nil {
+		t.Fatal("overload tenant accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	p, err := PlaceAll(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumUsedServers() != 0 {
+		t.Fatalf("empty input used %d servers", p.NumUsedServers())
+	}
+}

@@ -1,0 +1,262 @@
+// Package opt computes the exact optimal robust placement for small
+// tenant sets by exhaustive branch-and-bound. It exists to validate the
+// rest of the repository against true OPT: the competitive-ratio bounds of
+// Theorem 2, the quality of the offline FFD proxy, and CubeFit's
+// near-optimality claims can all be checked exactly on small instances.
+//
+// The search assigns each tenant's γ replicas to a set of servers, using
+// the monotonicity of the robustness constraint (levels and shared loads
+// only grow as replicas are added) to prune invalid partial placements,
+// plus standard symmetry breaking (a new server may only be the
+// next-unused index) and a volume lower bound.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cubefit/internal/packing"
+)
+
+// ErrBudget is returned when the search exceeds its node budget.
+var ErrBudget = errors.New("opt: node budget exhausted")
+
+// DefaultNodeBudget bounds the search tree size.
+const DefaultNodeBudget = 5_000_000
+
+// Result is the outcome of an exact optimization.
+type Result struct {
+	// Servers is the optimal number of servers.
+	Servers int
+	// Hosts maps each tenant to the servers of its replicas in the optimal
+	// placement found.
+	Hosts map[packing.TenantID][]int
+	// Nodes is the number of search nodes explored.
+	Nodes int
+}
+
+// Solve returns the minimum number of unit-capacity servers any robust
+// placement needs for the tenants (γ replicas each, tolerating any γ−1
+// failures). nodeBudget ≤ 0 selects DefaultNodeBudget. Instances beyond
+// roughly a dozen tenants exceed any reasonable budget — this is a
+// verification tool, not a production placer.
+func Solve(gamma int, tenants []packing.Tenant, nodeBudget int) (Result, error) {
+	if gamma < 1 {
+		return Result{}, fmt.Errorf("opt: gamma %d < 1", gamma)
+	}
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	for _, t := range tenants {
+		if err := t.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	if len(tenants) == 0 {
+		return Result{Hosts: map[packing.TenantID][]int{}}, nil
+	}
+
+	// Sort descending by load: placing big tenants first tightens pruning.
+	order := make([]packing.Tenant, len(tenants))
+	copy(order, tenants)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Load != order[j].Load {
+			return order[i].Load > order[j].Load
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	volume := 0.0
+	for _, t := range order {
+		volume += t.Load
+	}
+	lowerBound := int(math.Ceil(volume - 1e-9))
+	if lowerBound < 1 {
+		lowerBound = 1
+	}
+
+	s := &solver{
+		gamma:  gamma,
+		order:  order,
+		budget: nodeBudget,
+		lb:     lowerBound,
+	}
+	// Start from the FFD-style upper bound: one fresh placement attempt
+	// caps the server count so pruning bites immediately.
+	maxServers := len(order) * gamma
+	s.best = maxServers + 1
+	p, err := packing.NewPlacement(gamma)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < maxServers; i++ {
+		p.OpenServer()
+	}
+	s.p = p
+	s.assignment = make(map[packing.TenantID][]int, len(order))
+	s.bestHosts = nil
+
+	if err := s.dfs(0, 0); err != nil {
+		return Result{}, err
+	}
+	if s.bestHosts == nil {
+		return Result{}, errors.New("opt: no feasible placement found")
+	}
+	return Result{Servers: s.best, Hosts: s.bestHosts, Nodes: s.nodes}, nil
+}
+
+type solver struct {
+	gamma      int
+	order      []packing.Tenant
+	p          *packing.Placement
+	assignment map[packing.TenantID][]int
+	best       int
+	bestHosts  map[packing.TenantID][]int
+	nodes      int
+	budget     int
+	lb         int
+}
+
+// dfs places tenant index ti given `used` servers are occupied so far.
+func (s *solver) dfs(ti, used int) error {
+	s.nodes++
+	if s.nodes > s.budget {
+		return ErrBudget
+	}
+	if used >= s.best {
+		return nil // cannot improve
+	}
+	if ti == len(s.order) {
+		s.best = used
+		s.bestHosts = make(map[packing.TenantID][]int, len(s.assignment))
+		for id, hosts := range s.assignment {
+			cp := make([]int, len(hosts))
+			copy(cp, hosts)
+			s.bestHosts[id] = cp
+		}
+		return nil
+	}
+	t := s.order[ti]
+	if err := s.p.AddTenant(t); err != nil {
+		return err
+	}
+	defer func() {
+		// AddTenant is undone implicitly by RemoveTenant in unplace paths;
+		// when no replica was placed we must forget the tenant explicitly.
+		_ = s.p.RemoveTenant(t.ID)
+		delete(s.assignment, t.ID)
+	}()
+
+	reps := s.p.Replicas(t)
+	chosen := make([]int, 0, s.gamma)
+	var place func(ri, minServer, usedNow int) error
+	place = func(ri, minServer, usedNow int) error {
+		if usedNow >= s.best {
+			return nil
+		}
+		if ri == s.gamma {
+			hosts := make([]int, len(chosen))
+			copy(hosts, chosen)
+			s.assignment[t.ID] = hosts
+			return s.dfs(ti+1, usedNow)
+		}
+		// Candidate servers: any already-used server after the previous
+		// replica's choice (replica order within a tenant is symmetric, so
+		// enforce ascending server IDs), or the first fresh server.
+		limit := usedNow
+		if limit < s.p.NumServers() {
+			limit++ // allow opening exactly one fresh server (index usedNow)
+		}
+		for sid := minServer; sid < limit; sid++ {
+			if !s.feasible(sid, reps[ri]) {
+				continue
+			}
+			if err := s.p.Place(sid, reps[ri]); err != nil {
+				continue
+			}
+			chosen = append(chosen, sid)
+			nextUsed := usedNow
+			if sid == usedNow {
+				nextUsed++ // opened the fresh server
+			}
+			err := place(ri+1, sid+1, nextUsed)
+			chosen = chosen[:len(chosen)-1]
+			if uerr := s.p.Unplace(t.ID, reps[ri].Index); uerr != nil {
+				return uerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := place(0, 0, used); err != nil {
+		return err
+	}
+	return nil
+}
+
+// feasible prunes replicas that would immediately break capacity or the
+// (monotone) robustness constraint for the candidate or any server sharing
+// tenants with it.
+func (s *solver) feasible(sid int, rep packing.Replica) bool {
+	const eps = 1e-9
+	srv := s.p.Server(sid)
+	if srv.Hosts(rep.Tenant) {
+		return false
+	}
+	if srv.Level()+rep.Size > 1+eps {
+		return false
+	}
+	// Tentatively check the robustness constraint: the earlier replicas of
+	// this tenant already in the placement raise shared loads.
+	k := s.gamma - 1
+	var earlier []int
+	for _, h := range s.p.TenantHosts(rep.Tenant) {
+		if h >= 0 {
+			earlier = append(earlier, h)
+		}
+	}
+	after := topSharedBumped(srv, k, earlier, rep.Size)
+	if srv.Level()+rep.Size+after > 1+eps {
+		return false
+	}
+	for _, h := range earlier {
+		hs := s.p.Server(h)
+		if hs.Level()+topSharedBumped(hs, k, []int{sid}, rep.Size) > 1+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// topSharedBumped is the top-k shared sum of srv after adding delta to its
+// shared load with each server in bump.
+func topSharedBumped(srv *packing.Server, k int, bump []int, delta float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	var vals []float64
+	srv.EachShared(func(j int, v float64) {
+		for _, b := range bump {
+			if b == j {
+				v += delta
+				break
+			}
+		}
+		vals = append(vals, v)
+	})
+	for _, b := range bump {
+		if srv.SharedWith(b) == 0 {
+			vals = append(vals, delta)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sum := 0.0
+	for i := 0; i < k && i < len(vals); i++ {
+		sum += vals[i]
+	}
+	return sum
+}

@@ -1,0 +1,165 @@
+package opt
+
+import (
+	"errors"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/offline"
+	"cubefit/internal/packing"
+	"cubefit/internal/ratio"
+	"cubefit/internal/rng"
+)
+
+func mustSolve(t *testing.T, gamma int, loads []float64) Result {
+	t.Helper()
+	tenants := make([]packing.Tenant, len(loads))
+	for i, l := range loads {
+		tenants[i] = packing.Tenant{ID: packing.TenantID(i + 1), Load: l}
+	}
+	res, err := Solve(gamma, tenants, 0)
+	if err != nil {
+		t.Fatalf("Solve(γ=%d, %v): %v", gamma, loads, err)
+	}
+	return res
+}
+
+func TestKnownOptima(t *testing.T) {
+	tests := []struct {
+		name  string
+		gamma int
+		loads []float64
+		want  int
+	}{
+		// γ=1 degenerates to classical bin packing.
+		{name: "classic two bins", gamma: 1, loads: []float64{0.5, 0.5, 0.5}, want: 2},
+		{name: "classic perfect fit", gamma: 1, loads: []float64{0.4, 0.6}, want: 1},
+		// One full-load tenant: two half-replicas, each server must absorb
+		// the other's failover: 0.5 + 0.5 = 1 exactly.
+		{name: "single unit tenant", gamma: 2, loads: []float64{1}, want: 2},
+		// Two half-load tenants share two servers at exactly capacity.
+		{name: "two halves", gamma: 2, loads: []float64{0.5, 0.5}, want: 2},
+		// Two unit tenants cannot share anything: every doubled server
+		// would sit at level 1 with positive failover exposure.
+		{name: "two unit tenants", gamma: 2, loads: []float64{1, 1}, want: 4},
+		// γ=3: one tenant, three replicas of 1/3 each; each server must
+		// absorb both others: 1/3 × 3 = 1 exactly.
+		{name: "gamma3 unit tenant", gamma: 3, loads: []float64{1}, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := mustSolve(t, tt.gamma, tt.loads)
+			if res.Servers != tt.want {
+				t.Fatalf("OPT = %d, want %d (nodes %d)", res.Servers, tt.want, res.Nodes)
+			}
+		})
+	}
+}
+
+// rebuild materializes a Result's witness and validates it.
+func rebuild(t *testing.T, gamma int, tenants []packing.Tenant, res Result) {
+	t.Helper()
+	p, err := packing.NewPlacement(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxServer := -1
+	for _, hosts := range res.Hosts {
+		for _, h := range hosts {
+			if h > maxServer {
+				maxServer = h
+			}
+		}
+	}
+	for i := 0; i <= maxServer; i++ {
+		p.OpenServer()
+	}
+	for _, tn := range tenants {
+		if err := p.AddTenant(tn); err != nil {
+			t.Fatal(err)
+		}
+		hosts := res.Hosts[tn.ID]
+		if len(hosts) != gamma {
+			t.Fatalf("witness for tenant %d has %d hosts", tn.ID, len(hosts))
+		}
+		for i, rep := range p.Replicas(tn) {
+			if err := p.Place(hosts[i], rep); err != nil {
+				t.Fatalf("witness placement rejected: %v", err)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("witness not robust: %v", err)
+	}
+	if p.NumUsedServers() != res.Servers {
+		t.Fatalf("witness uses %d servers, result says %d", p.NumUsedServers(), res.Servers)
+	}
+}
+
+// TestOptimalityProperties cross-validates OPT against the lower bound,
+// the offline FFD proxy, and online CubeFit on random small instances.
+func TestOptimalityProperties(t *testing.T) {
+	r := rng.New(314159)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(3) // 3..5 tenants
+		tenants := make([]packing.Tenant, n)
+		for i := range tenants {
+			tenants[i] = packing.Tenant{
+				ID:   packing.TenantID(i + 1),
+				Load: 0.1 + 0.8*r.Float64(),
+			}
+		}
+		res, err := Solve(2, tenants, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rebuild(t, 2, tenants, res)
+
+		if lb := ratio.LowerBoundServers(tenants, 2); res.Servers < lb {
+			t.Fatalf("trial %d: OPT %d below lower bound %d", trial, res.Servers, lb)
+		}
+		ffd, err := offline.PlaceAll(2, tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ffd.NumUsedServers() < res.Servers {
+			t.Fatalf("trial %d: FFD %d beat OPT %d — OPT is not optimal",
+				trial, ffd.NumUsedServers(), res.Servers)
+		}
+		cf, err := core.New(core.Config{Gamma: 2, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := packing.PlaceAll(cf, tenants); err != nil {
+			t.Fatal(err)
+		}
+		if cf.Placement().NumUsedServers() < res.Servers {
+			t.Fatalf("trial %d: CubeFit %d beat OPT %d — OPT is not optimal",
+				trial, cf.Placement().NumUsedServers(), res.Servers)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(0, nil, 0); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	if _, err := Solve(2, []packing.Tenant{{ID: 1, Load: 2}}, 0); err == nil {
+		t.Fatal("invalid tenant accepted")
+	}
+	res, err := Solve(2, nil, 0)
+	if err != nil || res.Servers != 0 {
+		t.Fatalf("empty instance: %+v, %v", res, err)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	tenants := make([]packing.Tenant, 8)
+	for i := range tenants {
+		tenants[i] = packing.Tenant{ID: packing.TenantID(i + 1), Load: 0.3 + 0.05*float64(i)}
+	}
+	_, err := Solve(2, tenants, 50)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget error = %v, want ErrBudget", err)
+	}
+}

@@ -1,0 +1,420 @@
+// Package packing defines the shared model of the robust tenant placement
+// problem from Mate, Daudjee and Kamali (ICDCS 2017): tenants, replicas,
+// servers, placements, and the robustness invariant
+//
+//	|Si| + Σ_{Sj ∈ S*} |Si ∩ Sj| ≤ 1
+//
+// for every server Si and every set S* of at most γ−1 other servers, where
+// |Si| is the total replica load on Si and |Si ∩ Sj| the load of Si's
+// replicas whose tenant also has a replica on Sj.
+//
+// All consolidation algorithms in this repository (CubeFit, RFI, the naive
+// baselines) build on this package, and the Validate family of functions is
+// the ground truth used by their tests.
+package packing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TenantID identifies a tenant within one placement.
+type TenantID int
+
+// Tenant is one arriving client application. Load is the normalized
+// in-memory server load in (0, 1] from the paper's linear model
+// load = δ·clients + β. Clients is carried along for the cluster simulator
+// and may be zero in pure packing experiments.
+type Tenant struct {
+	ID      TenantID
+	Load    float64
+	Clients int
+}
+
+// Validate reports whether the tenant is well formed.
+func (t Tenant) Validate() error {
+	if t.Load <= 0 || t.Load > 1 {
+		return fmt.Errorf("packing: tenant %d load %v outside (0,1]", t.ID, t.Load)
+	}
+	if t.Clients < 0 {
+		return fmt.Errorf("packing: tenant %d has negative clients", t.ID)
+	}
+	return nil
+}
+
+// Replica is one of the γ copies of a tenant. Size is Load/γ; Clients is
+// the number of this tenant's clients routed to this replica.
+type Replica struct {
+	Tenant  TenantID
+	Index   int // 0-based replica index within the tenant
+	Size    float64
+	Clients int
+}
+
+// Server is one unit-capacity machine in a placement. Fields are managed by
+// Placement; read-only for callers.
+type Server struct {
+	id       int
+	level    float64
+	replicas map[TenantID]Replica
+	// shared[j] = total load of replicas on this server whose tenant also
+	// has a replica on server j, i.e. |Si ∩ Sj|.
+	shared map[int]float64
+}
+
+// ID returns the server's index within its placement.
+func (s *Server) ID() int { return s.id }
+
+// Level returns the total replica load currently hosted (|Si|).
+func (s *Server) Level() float64 { return s.level }
+
+// NumReplicas returns the number of replicas hosted.
+func (s *Server) NumReplicas() int { return len(s.replicas) }
+
+// Replicas returns a copy of the hosted replicas in tenant order.
+func (s *Server) Replicas() []Replica {
+	out := make([]Replica, 0, len(s.replicas))
+	for _, r := range s.replicas {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Hosts reports whether the server hosts a replica of tenant id.
+func (s *Server) Hosts(id TenantID) bool {
+	_, ok := s.replicas[id]
+	return ok
+}
+
+// SharedWith returns |Si ∩ Sj| for this server Si and server j.
+func (s *Server) SharedWith(j int) float64 { return s.shared[j] }
+
+// TopShared returns the sum of the k largest shared loads with other
+// servers: the worst-case extra load under any simultaneous failure of k
+// other servers (the reserve this server must hold).
+func (s *Server) TopShared(k int) float64 {
+	if k <= 0 || len(s.shared) == 0 {
+		return 0
+	}
+	if k >= len(s.shared) {
+		sum := 0.0
+		for _, v := range s.shared {
+			sum += v
+		}
+		return sum
+	}
+	if k <= topSharedFastK {
+		// Single pass keeping the k largest values; γ−1 is 1 or 2 in the
+		// paper's configurations, so this path dominates.
+		var top [topSharedFastK]float64
+		for _, v := range s.shared {
+			for i := 0; i < k; i++ {
+				if v > top[i] {
+					copy(top[i+1:k], top[i:k-1])
+					top[i] = v
+					break
+				}
+			}
+		}
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += top[i]
+		}
+		return sum
+	}
+	vals := make([]float64, 0, len(s.shared))
+	for _, v := range s.shared {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += vals[i]
+	}
+	return sum
+}
+
+// topSharedFastK is the largest k served by TopShared's allocation-free
+// fast path.
+const topSharedFastK = 4
+
+// Free returns the spare capacity 1 − Level().
+func (s *Server) Free() float64 { return 1 - s.level }
+
+// Placement is a mutable assignment of tenant replicas to servers. It
+// maintains pairwise shared loads incrementally so that robustness checks
+// and m-fit tests are cheap. Placement is not safe for concurrent use.
+type Placement struct {
+	gamma   int
+	servers []*Server
+	// tenantHosts[t] = server IDs hosting each replica of t, indexed by
+	// replica index; -1 for not-yet-placed replicas.
+	tenantHosts map[TenantID][]int
+	tenants     map[TenantID]Tenant
+}
+
+// Errors returned by Placement mutations.
+var (
+	ErrNoServer        = errors.New("packing: no such server")
+	ErrDuplicateTenant = errors.New("packing: tenant already placed on server")
+	ErrOverflow        = errors.New("packing: server capacity exceeded")
+	ErrUnknownTenant   = errors.New("packing: unknown tenant")
+	ErrBadReplica      = errors.New("packing: invalid replica")
+)
+
+// NewPlacement creates an empty placement with the given replication
+// factor γ ≥ 1.
+func NewPlacement(gamma int) (*Placement, error) {
+	if gamma < 1 {
+		return nil, fmt.Errorf("packing: replication factor %d < 1", gamma)
+	}
+	return &Placement{
+		gamma:       gamma,
+		tenantHosts: make(map[TenantID][]int),
+		tenants:     make(map[TenantID]Tenant),
+	}, nil
+}
+
+// Gamma returns the replication factor.
+func (p *Placement) Gamma() int { return p.gamma }
+
+// NumServers returns the number of servers ever opened.
+func (p *Placement) NumServers() int { return len(p.servers) }
+
+// NumUsedServers returns the number of servers hosting at least one replica.
+func (p *Placement) NumUsedServers() int {
+	n := 0
+	for _, s := range p.servers {
+		if len(s.replicas) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumTenants returns the number of tenants known to the placement.
+func (p *Placement) NumTenants() int { return len(p.tenants) }
+
+// Server returns the server with the given ID, or nil.
+func (p *Placement) Server(id int) *Server {
+	if id < 0 || id >= len(p.servers) {
+		return nil
+	}
+	return p.servers[id]
+}
+
+// Servers returns the internal server slice; callers must not mutate it.
+func (p *Placement) Servers() []*Server { return p.servers }
+
+// Tenant returns the stored tenant and whether it exists.
+func (p *Placement) Tenant(id TenantID) (Tenant, bool) {
+	t, ok := p.tenants[id]
+	return t, ok
+}
+
+// Tenants returns all tenants in ID order.
+func (p *Placement) Tenants() []Tenant {
+	out := make([]Tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TenantHosts returns the server IDs hosting tenant id's replicas by replica
+// index (-1 where unplaced), or nil if the tenant is unknown. The returned
+// slice is a copy.
+func (p *Placement) TenantHosts(id TenantID) []int {
+	hosts, ok := p.tenantHosts[id]
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(hosts))
+	copy(out, hosts)
+	return out
+}
+
+// OpenServer allocates a new empty server and returns its ID.
+func (p *Placement) OpenServer() int {
+	s := &Server{
+		id:       len(p.servers),
+		replicas: make(map[TenantID]Replica),
+		shared:   make(map[int]float64),
+	}
+	p.servers = append(p.servers, s)
+	return s.id
+}
+
+// AddTenant registers a tenant without placing any replicas. Registration is
+// idempotent for identical tenants and fails on conflicting re-registration.
+func (p *Placement) AddTenant(t Tenant) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if prev, ok := p.tenants[t.ID]; ok {
+		if prev != t {
+			return fmt.Errorf("packing: tenant %d re-registered with different attributes", t.ID)
+		}
+		return nil
+	}
+	p.tenants[t.ID] = t
+	hosts := make([]int, p.gamma)
+	for i := range hosts {
+		hosts[i] = -1
+	}
+	p.tenantHosts[t.ID] = hosts
+	return nil
+}
+
+// ReplicaSize returns the per-replica load of tenant t under this
+// placement's replication factor.
+func (p *Placement) ReplicaSize(t Tenant) float64 { return t.Load / float64(p.gamma) }
+
+// Replicas builds the γ replicas of tenant t, distributing its clients
+// round-robin across replica indices.
+func (p *Placement) Replicas(t Tenant) []Replica {
+	size := p.ReplicaSize(t)
+	out := make([]Replica, p.gamma)
+	base := t.Clients / p.gamma
+	extra := t.Clients % p.gamma
+	for i := range out {
+		c := base
+		if i < extra {
+			c++
+		}
+		out[i] = Replica{Tenant: t.ID, Index: i, Size: size, Clients: c}
+	}
+	return out
+}
+
+// Place puts replica r of a registered tenant onto server sid. It enforces
+// that a server hosts at most one replica per tenant and that the server's
+// direct load does not exceed unit capacity. It does NOT enforce the
+// robustness reserve; that is the placing algorithm's job (checked by
+// Validate).
+func (p *Placement) Place(sid int, r Replica) error {
+	s := p.Server(sid)
+	if s == nil {
+		return fmt.Errorf("%w: %d", ErrNoServer, sid)
+	}
+	hosts, ok := p.tenantHosts[r.Tenant]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTenant, r.Tenant)
+	}
+	if r.Index < 0 || r.Index >= p.gamma {
+		return fmt.Errorf("%w: index %d with gamma %d", ErrBadReplica, r.Index, p.gamma)
+	}
+	if r.Size <= 0 {
+		return fmt.Errorf("%w: size %v", ErrBadReplica, r.Size)
+	}
+	if hosts[r.Index] != -1 {
+		return fmt.Errorf("%w: replica %d of tenant %d already on server %d",
+			ErrBadReplica, r.Index, r.Tenant, hosts[r.Index])
+	}
+	if s.Hosts(r.Tenant) {
+		return fmt.Errorf("%w: tenant %d on server %d", ErrDuplicateTenant, r.Tenant, sid)
+	}
+	if s.level+r.Size > 1+capacityEps {
+		return fmt.Errorf("%w: server %d level %v + %v", ErrOverflow, sid, s.level, r.Size)
+	}
+
+	s.replicas[r.Tenant] = r
+	s.level += r.Size
+	hosts[r.Index] = sid
+
+	// Update pairwise shared loads with the tenant's other hosts.
+	for i, other := range hosts {
+		if i == r.Index || other == -1 {
+			continue
+		}
+		o := p.servers[other]
+		s.shared[other] += r.Size
+		o.shared[sid] += o.replicas[r.Tenant].Size
+	}
+	return nil
+}
+
+// Unplace removes replica index idx of tenant id from its server. Used for
+// first-stage rollback in CubeFit and for the tenant-departure extension.
+func (p *Placement) Unplace(id TenantID, idx int) error {
+	hosts, ok := p.tenantHosts[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTenant, id)
+	}
+	if idx < 0 || idx >= p.gamma || hosts[idx] == -1 {
+		return fmt.Errorf("%w: replica %d of tenant %d not placed", ErrBadReplica, idx, id)
+	}
+	sid := hosts[idx]
+	s := p.servers[sid]
+	r := s.replicas[id]
+
+	for i, other := range hosts {
+		if i == idx || other == -1 {
+			continue
+		}
+		o := p.servers[other]
+		s.shared[other] -= r.Size
+		if s.shared[other] <= sharedEps {
+			delete(s.shared, other)
+		}
+		o.shared[sid] -= o.replicas[id].Size
+		if o.shared[sid] <= sharedEps {
+			delete(o.shared, sid)
+		}
+	}
+	delete(s.replicas, id)
+	s.level -= r.Size
+	if s.level < 0 {
+		s.level = 0
+	}
+	hosts[idx] = -1
+	return nil
+}
+
+// RemoveTenant unplaces every replica of the tenant and forgets it
+// (the dynamic-departure extension; see DESIGN.md §7).
+func (p *Placement) RemoveTenant(id TenantID) error {
+	hosts, ok := p.tenantHosts[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTenant, id)
+	}
+	for i, sid := range hosts {
+		if sid == -1 {
+			continue
+		}
+		if err := p.Unplace(id, i); err != nil {
+			return err
+		}
+	}
+	delete(p.tenantHosts, id)
+	delete(p.tenants, id)
+	return nil
+}
+
+// TotalLoad returns the sum of all placed replica loads.
+func (p *Placement) TotalLoad() float64 {
+	sum := 0.0
+	for _, s := range p.servers {
+		sum += s.level
+	}
+	return sum
+}
+
+// Utilization returns TotalLoad divided by the number of used servers
+// (0 when no server is used).
+func (p *Placement) Utilization() float64 {
+	used := p.NumUsedServers()
+	if used == 0 {
+		return 0
+	}
+	return p.TotalLoad() / float64(used)
+}
+
+const (
+	// capacityEps absorbs accumulated floating-point error in level sums.
+	capacityEps = 1e-9
+	sharedEps   = 1e-12
+)

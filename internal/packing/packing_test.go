@@ -1,0 +1,608 @@
+package packing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cubefit/internal/rng"
+)
+
+func mustPlacement(t *testing.T, gamma int) *Placement {
+	t.Helper()
+	p, err := NewPlacement(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// addAndPlace registers a tenant and places its replicas on the given
+// servers (one per replica index).
+func addAndPlace(t *testing.T, p *Placement, tn Tenant, servers ...int) {
+	t.Helper()
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatalf("AddTenant(%v): %v", tn, err)
+	}
+	reps := p.Replicas(tn)
+	if len(servers) != len(reps) {
+		t.Fatalf("tenant %d: %d servers for %d replicas", tn.ID, len(servers), len(reps))
+	}
+	for i, sid := range servers {
+		if err := p.Place(sid, reps[i]); err != nil {
+			t.Fatalf("Place tenant %d replica %d on %d: %v", tn.ID, i, sid, err)
+		}
+	}
+}
+
+func TestTenantValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		give   Tenant
+		wantOK bool
+	}{
+		{name: "ok", give: Tenant{ID: 1, Load: 0.5}, wantOK: true},
+		{name: "full load", give: Tenant{ID: 1, Load: 1}, wantOK: true},
+		{name: "zero load", give: Tenant{ID: 1, Load: 0}},
+		{name: "negative load", give: Tenant{ID: 1, Load: -0.1}},
+		{name: "overload", give: Tenant{ID: 1, Load: 1.01}},
+		{name: "negative clients", give: Tenant{ID: 1, Load: 0.5, Clients: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", tt.give, err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestNewPlacementRejectsBadGamma(t *testing.T) {
+	if _, err := NewPlacement(0); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	if _, err := NewPlacement(-2); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+}
+
+func TestReplicasSplitLoadAndClients(t *testing.T) {
+	p := mustPlacement(t, 3)
+	reps := p.Replicas(Tenant{ID: 7, Load: 0.6, Clients: 8})
+	if len(reps) != 3 {
+		t.Fatalf("got %d replicas", len(reps))
+	}
+	totalClients := 0
+	for i, r := range reps {
+		if math.Abs(r.Size-0.2) > 1e-12 {
+			t.Fatalf("replica %d size %v, want 0.2", i, r.Size)
+		}
+		if r.Tenant != 7 || r.Index != i {
+			t.Fatalf("replica %d mislabelled: %+v", i, r)
+		}
+		totalClients += r.Clients
+	}
+	if totalClients != 8 {
+		t.Fatalf("clients split to %d, want 8", totalClients)
+	}
+	// Round-robin: 8 = 3+3+2, earliest replicas get the extras.
+	if reps[0].Clients != 3 || reps[1].Clients != 3 || reps[2].Clients != 2 {
+		t.Fatalf("client split = %d,%d,%d", reps[0].Clients, reps[1].Clients, reps[2].Clients)
+	}
+}
+
+func TestPlaceBasics(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1 := p.OpenServer()
+	s2 := p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, s1, s2)
+
+	if p.NumServers() != 2 || p.NumUsedServers() != 2 || p.NumTenants() != 1 {
+		t.Fatalf("counts wrong: %d servers, %d used, %d tenants",
+			p.NumServers(), p.NumUsedServers(), p.NumTenants())
+	}
+	if got := p.Server(s1).Level(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("level = %v, want 0.3", got)
+	}
+	if !p.Server(s1).Hosts(1) || !p.Server(s2).Hosts(1) {
+		t.Fatal("servers do not host tenant 1")
+	}
+	hosts := p.TenantHosts(1)
+	if len(hosts) != 2 || hosts[0] != s1 || hosts[1] != s2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	if math.Abs(p.TotalLoad()-0.6) > 1e-12 {
+		t.Fatalf("total load = %v", p.TotalLoad())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1 := p.OpenServer()
+	tn := Tenant{ID: 1, Load: 0.5}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatal(err)
+	}
+	reps := p.Replicas(tn)
+
+	if err := p.Place(99, reps[0]); !errors.Is(err, ErrNoServer) {
+		t.Fatalf("missing server error = %v", err)
+	}
+	if err := p.Place(s1, Replica{Tenant: 42, Index: 0, Size: 0.1}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant error = %v", err)
+	}
+	if err := p.Place(s1, Replica{Tenant: 1, Index: 5, Size: 0.1}); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("bad index error = %v", err)
+	}
+	if err := p.Place(s1, Replica{Tenant: 1, Index: 0, Size: 0}); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("zero size error = %v", err)
+	}
+	if err := p.Place(s1, reps[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Same replica again.
+	if err := p.Place(s1, reps[0]); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("double place error = %v", err)
+	}
+	// Other replica of the same tenant on the same server.
+	if err := p.Place(s1, reps[1]); !errors.Is(err, ErrDuplicateTenant) {
+		t.Fatalf("same-server replica error = %v", err)
+	}
+}
+
+func TestPlaceOverflow(t *testing.T) {
+	p := mustPlacement(t, 1)
+	s := p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.8}, s)
+	tn := Tenant{ID: 2, Load: 0.3}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(s, p.Replicas(tn)[0]); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("overflow error = %v", err)
+	}
+}
+
+func TestAddTenantIdempotentAndConflict(t *testing.T) {
+	p := mustPlacement(t, 2)
+	tn := Tenant{ID: 1, Load: 0.5}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatalf("idempotent re-add failed: %v", err)
+	}
+	if err := p.AddTenant(Tenant{ID: 1, Load: 0.6}); err == nil {
+		t.Fatal("conflicting re-registration accepted")
+	}
+}
+
+func TestSharedLoadsMaintained(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1, s2, s3 := p.OpenServer(), p.OpenServer(), p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, s1, s2) // replicas 0.3
+	addAndPlace(t, p, Tenant{ID: 2, Load: 0.4}, s1, s2) // replicas 0.2
+	addAndPlace(t, p, Tenant{ID: 3, Load: 0.2}, s2, s3) // replicas 0.1
+
+	if got := p.Server(s1).SharedWith(s2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("shared(s1,s2) = %v, want 0.5", got)
+	}
+	if got := p.Server(s2).SharedWith(s1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("shared(s2,s1) = %v, want 0.5", got)
+	}
+	if got := p.Server(s2).SharedWith(s3); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("shared(s2,s3) = %v, want 0.1", got)
+	}
+	if got := p.Server(s1).SharedWith(s3); got != 0 {
+		t.Fatalf("shared(s1,s3) = %v, want 0", got)
+	}
+	// Reserve for one failure on s2 is the largest shared value: 0.5.
+	if got := p.Server(s2).TopShared(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TopShared(1) = %v, want 0.5", got)
+	}
+	if got := p.Server(s2).TopShared(2); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("TopShared(2) = %v, want 0.6", got)
+	}
+	if got := p.Server(s2).TopShared(0); got != 0 {
+		t.Fatalf("TopShared(0) = %v", got)
+	}
+}
+
+func TestValidateRobustnessViolation(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1, s2 := p.OpenServer(), p.OpenServer()
+	// Two tenants of load 1.0 fully shared across two servers: each server
+	// has level 1.0 and would take 1.0 extra if the other fails.
+	addAndPlace(t, p, Tenant{ID: 1, Load: 1}, s1, s2)
+	addAndPlace(t, p, Tenant{ID: 2, Load: 1}, s1, s2)
+	if err := p.Validate(); !errors.Is(err, ErrNotRobust) {
+		t.Fatalf("expected ErrNotRobust, got %v", err)
+	}
+	if err := p.ValidateExhaustive(); !errors.Is(err, ErrNotRobust) {
+		t.Fatalf("exhaustive expected ErrNotRobust, got %v", err)
+	}
+}
+
+func TestValidateIncomplete(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1 := p.OpenServer()
+	tn := Tenant{ID: 1, Load: 0.5}
+	if err := p.AddTenant(tn); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(s1, p.Replicas(tn)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("expected ErrIncomplete, got %v", err)
+	}
+}
+
+func TestUnplaceRestoresState(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1, s2, s3 := p.OpenServer(), p.OpenServer(), p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, s1, s2)
+	addAndPlace(t, p, Tenant{ID: 2, Load: 0.4}, s2, s3)
+
+	if err := p.Unplace(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Server(s2).Hosts(1) {
+		t.Fatal("server still hosts unplaced replica")
+	}
+	if got := p.Server(s1).SharedWith(s2); got != 0 {
+		t.Fatalf("shared(s1,s2) after unplace = %v", got)
+	}
+	if got := p.Server(s2).SharedWith(s3); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("unrelated shared load disturbed: %v", got)
+	}
+	if hosts := p.TenantHosts(1); hosts[1] != -1 || hosts[0] != s1 {
+		t.Fatalf("hosts after unplace = %v", hosts)
+	}
+	// Re-place somewhere else.
+	if err := p.Place(s3, Replica{Tenant: 1, Index: 1, Size: 0.3}); err != nil {
+		t.Fatalf("re-place failed: %v", err)
+	}
+	if got := p.Server(s3).SharedWith(s1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("shared(s3,s1) = %v, want 0.3", got)
+	}
+}
+
+func TestUnplaceErrors(t *testing.T) {
+	p := mustPlacement(t, 2)
+	if err := p.Unplace(9, 0); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant unplace error = %v", err)
+	}
+	if err := p.AddTenant(Tenant{ID: 1, Load: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unplace(1, 0); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("unplaced replica unplace error = %v", err)
+	}
+}
+
+func TestRemoveTenant(t *testing.T) {
+	p := mustPlacement(t, 2)
+	s1, s2 := p.OpenServer(), p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, s1, s2)
+	addAndPlace(t, p, Tenant{ID: 2, Load: 0.2}, s1, s2)
+	if err := p.RemoveTenant(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTenants() != 1 {
+		t.Fatalf("tenants = %d, want 1", p.NumTenants())
+	}
+	if math.Abs(p.TotalLoad()-0.2) > 1e-12 {
+		t.Fatalf("total load = %v, want 0.2", p.TotalLoad())
+	}
+	if got := p.Server(s1).SharedWith(s2); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("shared after removal = %v, want 0.1", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("placement invalid after removal: %v", err)
+	}
+	if err := p.RemoveTenant(1); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("double removal error = %v", err)
+	}
+}
+
+func TestFailureImpact(t *testing.T) {
+	p := mustPlacement(t, 3)
+	ids := make([]int, 4)
+	for i := range ids {
+		ids[i] = p.OpenServer()
+	}
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, ids[0], ids[1], ids[2]) // 0.2 each
+	addAndPlace(t, p, Tenant{ID: 2, Load: 0.3}, ids[1], ids[2], ids[3]) // 0.1 each
+
+	impact := p.FailureImpact([]int{ids[0], ids[1]})
+	if len(impact) != 2 {
+		t.Fatalf("impact map size %d, want 2 survivors", len(impact))
+	}
+	// Server 2 shares tenant 1 with both failed servers (0.2 each) and
+	// tenant 2 with failed server 1 (0.1).
+	if got := impact[ids[2]]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("impact on server 2 = %v, want 0.5", got)
+	}
+	if got := impact[ids[3]]; math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("impact on server 3 = %v, want 0.1", got)
+	}
+	want := p.Server(ids[2]).Level() + 0.5
+	if got := p.MaxPostFailureLoad([]int{ids[0], ids[1]}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxPostFailureLoad = %v, want %v", got, want)
+	}
+}
+
+// TestValidateMatchesExhaustive cross-checks the incremental top-(γ−1)
+// validator against full subset enumeration on random placements.
+func TestValidateMatchesExhaustive(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 200; trial++ {
+		gamma := r.IntRange(2, 4)
+		p := mustPlacement(t, gamma)
+		nServers := r.IntRange(gamma, 8)
+		for i := 0; i < nServers; i++ {
+			p.OpenServer()
+		}
+		nTenants := r.IntRange(1, 12)
+		for id := 0; id < nTenants; id++ {
+			tn := Tenant{ID: TenantID(id), Load: 0.05 + 0.95*r.Float64()}
+			if err := p.AddTenant(tn); err != nil {
+				t.Fatal(err)
+			}
+			perm := r.Perm(nServers)
+			for j, rep := range p.Replicas(tn) {
+				// Ignore overflow errors: we want a mix of valid and
+				// invalid placements, but Place enforces capacity.
+				_ = p.Place(perm[j], rep)
+			}
+		}
+		fast := p.ValidateRobustness()
+		slow := p.ValidateExhaustive()
+		if (fast == nil) != (slow == nil) {
+			t.Fatalf("trial %d (gamma=%d): fast=%v slow=%v", trial, gamma, fast, slow)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := mustPlacement(t, 2)
+	if p.Utilization() != 0 {
+		t.Fatal("empty utilization not 0")
+	}
+	s1, s2 := p.OpenServer(), p.OpenServer()
+	p.OpenServer() // opened but unused
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.8}, s1, s2)
+	if got := p.Utilization(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.4", got)
+	}
+	if p.NumUsedServers() != 2 {
+		t.Fatalf("used servers = %d, want 2", p.NumUsedServers())
+	}
+}
+
+func TestServerReplicasSorted(t *testing.T) {
+	p := mustPlacement(t, 1)
+	s := p.OpenServer()
+	for _, id := range []TenantID{5, 1, 3} {
+		addAndPlace(t, p, Tenant{ID: id, Load: 0.1}, s)
+	}
+	reps := p.Server(s).Replicas()
+	if len(reps) != 3 || reps[0].Tenant != 1 || reps[1].Tenant != 3 || reps[2].Tenant != 5 {
+		t.Fatalf("replicas not sorted: %+v", reps)
+	}
+}
+
+func TestTenantsSorted(t *testing.T) {
+	p := mustPlacement(t, 1)
+	for _, id := range []TenantID{5, 1, 3} {
+		if err := p.AddTenant(Tenant{ID: id, Load: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := p.Tenants()
+	if len(ts) != 3 || ts[0].ID != 1 || ts[1].ID != 3 || ts[2].ID != 5 {
+		t.Fatalf("tenants not sorted: %+v", ts)
+	}
+}
+
+func TestTenantHostsUnknown(t *testing.T) {
+	p := mustPlacement(t, 2)
+	if hosts := p.TenantHosts(42); hosts != nil {
+		t.Fatalf("unknown tenant hosts = %v, want nil", hosts)
+	}
+}
+
+// naiveTopK recomputes TopShared by full sort for cross-checking.
+func naiveTopK(s *Server, k int) float64 {
+	var vals []float64
+	s.EachShared(func(_ int, v float64) { vals = append(vals, v) })
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] > vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	sum := 0.0
+	for i := 0; i < k && i < len(vals); i++ {
+		sum += vals[i]
+	}
+	return sum
+}
+
+func TestTopSharedMatchesNaive(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 100; trial++ {
+		gamma := r.IntRange(2, 5)
+		p := mustPlacement(t, gamma)
+		n := r.IntRange(gamma, 10)
+		for i := 0; i < n; i++ {
+			p.OpenServer()
+		}
+		for id := 0; id < r.IntRange(1, 20); id++ {
+			tn := Tenant{ID: TenantID(id), Load: 0.01 + 0.3*r.Float64()}
+			if err := p.AddTenant(tn); err != nil {
+				t.Fatal(err)
+			}
+			perm := r.Perm(n)
+			for j, rep := range p.Replicas(tn) {
+				_ = p.Place(perm[j], rep)
+			}
+		}
+		for _, s := range p.Servers() {
+			for k := 0; k <= 6; k++ {
+				if got, want := s.TopShared(k), naiveTopK(s, k); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("TopShared(%d) on server %d = %v, want %v", k, s.ID(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceAll(t *testing.T) {
+	// A trivial algorithm placing every replica on its own server.
+	p := mustPlacement(t, 2)
+	a := &oneServerPerReplica{p: p}
+	tenants := []Tenant{{ID: 1, Load: 0.4}, {ID: 2, Load: 0.6}}
+	if err := PlaceAll(a, tenants); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumUsedServers() != 4 {
+		t.Fatalf("used servers = %d, want 4", p.NumUsedServers())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid tenant stops the stream.
+	if err := PlaceAll(a, []Tenant{{ID: 3, Load: -1}}); err == nil {
+		t.Fatal("invalid tenant accepted")
+	}
+}
+
+type oneServerPerReplica struct{ p *Placement }
+
+func (a *oneServerPerReplica) Name() string          { return "one-server-per-replica" }
+func (a *oneServerPerReplica) Placement() *Placement { return a.p }
+
+func (a *oneServerPerReplica) Place(t Tenant) error {
+	if err := a.p.AddTenant(t); err != nil {
+		return err
+	}
+	for _, r := range a.p.Replicas(t) {
+		if err := a.p.Place(a.p.OpenServer(), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestAccessors(t *testing.T) {
+	p := mustPlacement(t, 2)
+	if p.Gamma() != 2 {
+		t.Fatalf("Gamma = %d", p.Gamma())
+	}
+	s1, s2 := p.OpenServer(), p.OpenServer()
+	addAndPlace(t, p, Tenant{ID: 1, Load: 0.6}, s1, s2)
+	srv := p.Server(s1)
+	if srv.ID() != s1 {
+		t.Fatalf("ID = %d", srv.ID())
+	}
+	if srv.NumReplicas() != 1 {
+		t.Fatalf("NumReplicas = %d", srv.NumReplicas())
+	}
+	if got := srv.Free(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Free = %v", got)
+	}
+	if srv.NumShared() != 1 {
+		t.Fatalf("NumShared = %d", srv.NumShared())
+	}
+	tn, ok := p.Tenant(1)
+	if !ok || tn.Load != 0.6 {
+		t.Fatalf("Tenant lookup = %+v, %v", tn, ok)
+	}
+	if _, ok := p.Tenant(99); ok {
+		t.Fatal("phantom tenant found")
+	}
+}
+
+// TestSharedLoadsMatchRecomputation interleaves random placements and
+// removals, then cross-checks the incrementally maintained pairwise shared
+// loads against a from-scratch recomputation over the replica lists.
+func TestSharedLoadsMatchRecomputation(t *testing.T) {
+	r := rng.New(987)
+	for trial := 0; trial < 30; trial++ {
+		gamma := r.IntRange(2, 4)
+		p := mustPlacement(t, gamma)
+		n := r.IntRange(gamma, 9)
+		for i := 0; i < n; i++ {
+			p.OpenServer()
+		}
+		var live []TenantID
+		nextID := TenantID(0)
+		for step := 0; step < 120; step++ {
+			if len(live) > 0 && r.Float64() < 0.35 {
+				i := r.Intn(len(live))
+				if err := p.RemoveTenant(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			tn := Tenant{ID: nextID, Load: 0.02 + 0.3*r.Float64()}
+			nextID++
+			if err := p.AddTenant(tn); err != nil {
+				t.Fatal(err)
+			}
+			perm := r.Perm(n)
+			ok := true
+			for j, rep := range p.Replicas(tn) {
+				if err := p.Place(perm[j], rep); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Roll the partial tenant back entirely.
+				if err := p.RemoveTenant(tn.ID); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			live = append(live, tn.ID)
+		}
+		// Recompute every pairwise shared load from the replica lists.
+		for _, si := range p.Servers() {
+			for _, sj := range p.Servers() {
+				if si.ID() == sj.ID() {
+					continue
+				}
+				want := 0.0
+				for _, rep := range si.Replicas() {
+					if sj.Hosts(rep.Tenant) {
+						want += rep.Size
+					}
+				}
+				if got := si.SharedWith(sj.ID()); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: shared(%d,%d) = %v, recomputed %v",
+						trial, si.ID(), sj.ID(), got, want)
+				}
+			}
+		}
+		// Levels must also match replica sums.
+		for _, s := range p.Servers() {
+			want := 0.0
+			for _, rep := range s.Replicas() {
+				want += rep.Size
+			}
+			if math.Abs(s.Level()-want) > 1e-9 {
+				t.Fatalf("trial %d: level(%d) = %v, recomputed %v", trial, s.ID(), s.Level(), want)
+			}
+		}
+	}
+}

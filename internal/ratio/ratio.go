@@ -1,0 +1,255 @@
+// Package ratio reproduces the paper's worst-case analysis (§III-A,
+// Theorem 2): an upper bound on CubeFit's competitive ratio obtained by a
+// weighting argument.
+//
+// Each replica is assigned a weight such that (I) every full CubeFit bin
+// carries total weight at least 1, and (II) the total weight any single
+// bin of a valid robust packing can carry is at most r. Together these
+// give CUBEFIT(σ) ≤ W(σ) ≤ r·OPT(σ). The bound r is the optimum of an
+// integer program over the class composition of an adversarial OPT bin,
+// which this package solves exactly by branch-and-bound. The paper reports
+// r → 1.59 for γ=2 and r → 1.625 for γ=3 as K grows.
+package ratio
+
+import (
+	"fmt"
+	"math"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+)
+
+// Bound is the result of solving the weighting integer program.
+type Bound struct {
+	Gamma int
+	K     int
+	// Ratio is the competitive-ratio upper bound r.
+	Ratio float64
+	// Witness is the optimal adversarial bin composition: Witness[i] is the
+	// number of class-(i+1) replicas in the bin.
+	Witness []int
+	// WitnessTiny is the total size of class-K (tiny) replicas in the bin.
+	WitnessTiny float64
+}
+
+// defaultEps is the symbolic "just above the class boundary" slack of the
+// paper's program.
+const defaultEps = 1e-9
+
+// UpperBound solves the Theorem 2 integer program for the given
+// replication factor and class count.
+func UpperBound(gamma, k int) (Bound, error) {
+	if gamma < 2 {
+		return Bound{}, fmt.Errorf("ratio: gamma %d < 2 (no failover, no reserve constraint)", gamma)
+	}
+	if k < 2 {
+		return Bound{}, fmt.Errorf("ratio: K %d < 2", k)
+	}
+	alpha := core.AlphaK(k)
+	tinyDensity := 0.0
+	if alpha-gamma+1 >= 1 {
+		// Weight of a tiny replica of size s is s·(αK+1)/(αK−γ+1); its
+		// weight density per unit of size:
+		tinyDensity = float64(alpha+1) / float64(alpha-gamma+1)
+	}
+
+	s := &solver{
+		gamma:       gamma,
+		k:           k,
+		eps:         defaultEps,
+		tinyDensity: tinyDensity,
+	}
+	// weight and (infimum) size of one replica of class i (1..K−1).
+	s.weight = make([]float64, k)
+	s.size = make([]float64, k)
+	s.density = make([]float64, k)
+	for i := 1; i <= k-1; i++ {
+		s.weight[i] = 1 / float64(i)
+		s.size[i] = 1/float64(gamma+i) + s.eps
+		s.density[i] = s.weight[i] / s.size[i]
+	}
+
+	best := Bound{Gamma: gamma, K: k, Ratio: -1}
+
+	// Case A: the bin hosts fewer than γ−1 regular replicas, so the reserve
+	// equals the total size of ALL its regular replicas (plus nothing for
+	// tiny ones, following the paper's program). Enumerate compositions
+	// with Σ mi ≤ γ−2.
+	s.enumerateSmall(&best)
+
+	// Case B (the paper's program): T is the class of the smallest of the
+	// γ−1 largest replicas; all classes below T contribute everything to
+	// the reserve, class T contributes M = γ−1−Σ_{i<T} mi of its replicas.
+	for T := 1; T <= k-1; T++ {
+		s.enumerate(T, &best)
+	}
+	if best.Ratio < 0 {
+		return Bound{}, fmt.Errorf("ratio: no feasible adversarial bin for γ=%d K=%d", gamma, k)
+	}
+	return best, nil
+}
+
+type solver struct {
+	gamma, k    int
+	eps         float64
+	tinyDensity float64
+	weight      []float64
+	size        []float64
+	density     []float64
+}
+
+// maxDensityFrom returns the best achievable weight per unit of remaining
+// capacity using classes ≥ class or tiny filler. Regular densities
+// (γ+i)/i decrease with i, so the maximum is at the current class.
+func (s *solver) maxDensityFrom(class int) float64 {
+	d := s.tinyDensity
+	if class <= s.k-1 && s.density[class] > d {
+		d = s.density[class]
+	}
+	return d
+}
+
+// enumerateSmall handles bins with at most γ−2 regular replicas: every
+// regular replica doubles as reserve.
+func (s *solver) enumerateSmall(best *Bound) {
+	counts := make([]int, s.k)
+	var rec func(class, total int, usedSize, weight float64)
+	rec = func(class, total int, usedSize, weight float64) {
+		// Close the composition: fill the remaining capacity with tiny.
+		s.finish(counts, usedSize, weight, best)
+		if total == s.gamma-2 {
+			return
+		}
+		if weight+(1-usedSize)*s.maxDensityFrom(class) <= best.Ratio {
+			return // branch-and-bound: cannot beat the incumbent
+		}
+		for i := class; i <= s.k-1; i++ {
+			// A replica of class i occupies its size twice: once as load,
+			// once as reserved space.
+			need := 2 * s.size[i]
+			if usedSize+need > 1 {
+				continue
+			}
+			counts[i]++
+			rec(i, total+1, usedSize+need, weight+s.weight[i])
+			counts[i]--
+		}
+	}
+	rec(1, 0, 0, 0)
+}
+
+// enumerate solves the paper's program for a fixed T.
+func (s *solver) enumerate(T int, best *Bound) {
+	gamma := s.gamma
+	// Σ_{i<T} mi ≤ γ−2 (there must remain M ≥ 1 replicas of class T among
+	// the γ−1 largest). Enumerate the below-T part, then the ≥T part.
+	countsBelow := make([]int, s.k)
+	var recBelow func(class, total int, usedSize, weight float64)
+	recBelow = func(class, total int, usedSize, weight float64) {
+		// M replicas of class T complete the γ−1 largest; their reserve is
+		// M·(1/(γ+T)+ε) per the paper's program.
+		M := gamma - 1 - total
+		reserveT := float64(M) * s.size[T]
+		s.enumerateUpper(T, M, countsBelow, usedSize+reserveT, weight, best)
+		if total == gamma-2 {
+			return
+		}
+		if weight+(1-usedSize)*s.maxDensityFrom(class) <= best.Ratio {
+			return // branch-and-bound
+		}
+		for i := class; i <= T-1; i++ {
+			// Below-T replicas count fully in the reserve: size + reserve.
+			// Reserve uses the exact class infimum 1/(γ+i) per the paper.
+			need := s.size[i] + 1/float64(gamma+i)
+			if usedSize+need > 1 {
+				continue
+			}
+			countsBelow[i]++
+			recBelow(i, total+1, usedSize+need, weight+s.weight[i])
+			countsBelow[i]--
+		}
+	}
+	recBelow(1, 0, 0, 0)
+}
+
+// enumerateUpper packs classes T..K−1 (with at least max(M,1) replicas of
+// class T) and finishes with tiny filler.
+func (s *solver) enumerateUpper(T, M int, countsBelow []int, usedSize, weight float64, best *Bound) {
+	if M < 1 {
+		return
+	}
+	minT := M
+	needT := float64(minT) * s.size[T]
+	if usedSize+needT > 1 {
+		return
+	}
+	counts := make([]int, s.k)
+	copy(counts, countsBelow)
+	counts[T] += minT
+	var rec func(class int, usedSize, weight float64)
+	rec = func(class int, usedSize, weight float64) {
+		s.finish(counts, usedSize, weight, best)
+		if weight+(1-usedSize)*s.maxDensityFrom(class) <= best.Ratio {
+			return // branch-and-bound
+		}
+		for i := class; i <= s.k-1; i++ {
+			if usedSize+s.size[i] > 1 {
+				continue
+			}
+			counts[i]++
+			rec(i, usedSize+s.size[i], weight+s.weight[i])
+			counts[i]--
+		}
+	}
+	rec(T, usedSize+needT, weight+float64(minT)*s.weight[T])
+}
+
+// finish adds the tiny filler to a regular composition and updates best.
+func (s *solver) finish(counts []int, usedSize, weight float64, best *Bound) {
+	tiny := 0.0
+	if s.tinyDensity > 0 && usedSize < 1 {
+		tiny = 1 - usedSize
+		weight += tiny * s.tinyDensity
+	}
+	if weight > best.Ratio {
+		best.Ratio = weight
+		best.Witness = make([]int, s.k-1)
+		copy(best.Witness, counts[1:])
+		best.WitnessTiny = tiny
+	}
+}
+
+// LowerBoundServers returns a lower bound on the number of servers ANY
+// valid robust placement needs for the tenants: the larger of the total
+// volume bound (each server holds at most unit load) and the class-1
+// counting bound (a server can host at most γ replicas larger than
+// 1/(γ+1)).
+func LowerBoundServers(tenants []packing.Tenant, gamma int) int {
+	volume := 0.0
+	bigReplicas := 0
+	for _, t := range tenants {
+		volume += t.Load
+		if t.Load/float64(gamma) > 1/float64(gamma+1) {
+			bigReplicas += gamma
+		}
+	}
+	lb := int(math.Ceil(volume - 1e-9))
+	if counting := (bigReplicas + gamma - 1) / gamma; counting > lb {
+		lb = counting
+	}
+	return lb
+}
+
+// Empirical runs an algorithm over the tenants and reports the ratio of
+// servers used to the lower bound (an upper estimate of the true ratio to
+// OPT).
+func Empirical(alg packing.Algorithm, tenants []packing.Tenant) (float64, error) {
+	if err := packing.PlaceAll(alg, tenants); err != nil {
+		return 0, err
+	}
+	lb := LowerBoundServers(tenants, alg.Placement().Gamma())
+	if lb == 0 {
+		return 0, fmt.Errorf("ratio: degenerate lower bound for %d tenants", len(tenants))
+	}
+	return float64(alg.Placement().NumUsedServers()) / float64(lb), nil
+}

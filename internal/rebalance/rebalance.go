@@ -1,0 +1,188 @@
+// Package rebalance implements periodic consolidation maintenance: after
+// tenant churn leaves servers underutilized, Repack computes a fresh
+// offline placement for the current tenant population and the migration
+// plan that gets there. This complements the paper's arrival-only model
+// with the "dynamic consolidation" a long-running deployment needs (see
+// DESIGN.md §7); migration cost is surfaced so operators can trade server
+// savings against data movement.
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefit/internal/core"
+	"cubefit/internal/offline"
+	"cubefit/internal/packing"
+)
+
+// Move relocates one replica.
+type Move struct {
+	Tenant  packing.TenantID
+	Replica int
+	From    int
+	To      int
+}
+
+// Plan is the outcome of a repack computation.
+type Plan struct {
+	// Moves lists the replica migrations, ordered by tenant then replica.
+	Moves []Move
+	// MovedLoad is the total replica load being migrated (a proxy for the
+	// bytes to copy).
+	MovedLoad float64
+	// BeforeServers and AfterServers count used servers.
+	BeforeServers int
+	AfterServers  int
+}
+
+// Worthwhile reports whether the plan saves at least minSavedServers.
+func (pl Plan) Worthwhile(minSavedServers int) bool {
+	return pl.BeforeServers-pl.AfterServers >= minSavedServers
+}
+
+// Repack computes a fresh placement for the current tenants of p and the
+// migration plan from p to it. Two candidates are evaluated — offline
+// First Fit Decreasing and a fresh CubeFit pass over the live tenants —
+// and the one using fewer servers wins; if neither beats the current
+// placement, the plan is a no-op (no moves, AfterServers equal to
+// BeforeServers) and p itself is returned. The input placement is never
+// modified; a non-trivial returned placement is robust (it passes
+// packing.Validate).
+//
+// Replica indices are matched by position: replica i moves from its
+// current host to the new placement's host i. Replicas whose host does
+// not change produce no move.
+func Repack(p *packing.Placement) (*packing.Placement, Plan, error) {
+	tenants := p.Tenants()
+	fresh, err := bestCandidate(p.Gamma(), tenants)
+	if err != nil {
+		return nil, Plan{}, fmt.Errorf("rebalance: %w", err)
+	}
+	if fresh.NumUsedServers() >= p.NumUsedServers() {
+		n := p.NumUsedServers()
+		return p, Plan{BeforeServers: n, AfterServers: n}, nil
+	}
+	plan := Plan{
+		BeforeServers: p.NumUsedServers(),
+		AfterServers:  fresh.NumUsedServers(),
+	}
+	for _, t := range tenants {
+		oldHosts := p.TenantHosts(t.ID)
+		newHosts := fresh.TenantHosts(t.ID)
+		// Minimize moves: keep replicas whose current host also appears in
+		// the new host set by matching identical hosts first.
+		newUsed := make([]bool, len(newHosts))
+		oldMoved := make([]bool, len(oldHosts))
+		for i, oh := range oldHosts {
+			for j, nh := range newHosts {
+				if !newUsed[j] && oh == nh {
+					newUsed[j] = true
+					oldMoved[i] = true
+					break
+				}
+			}
+		}
+		size := p.ReplicaSize(t)
+		j := 0
+		for i, oh := range oldHosts {
+			if oldMoved[i] {
+				continue
+			}
+			for newUsed[j] {
+				j++
+			}
+			plan.Moves = append(plan.Moves, Move{
+				Tenant:  t.ID,
+				Replica: i,
+				From:    oh,
+				To:      newHosts[j],
+			})
+			plan.MovedLoad += size
+			newUsed[j] = true
+		}
+	}
+	sort.Slice(plan.Moves, func(i, j int) bool {
+		if plan.Moves[i].Tenant != plan.Moves[j].Tenant {
+			return plan.Moves[i].Tenant < plan.Moves[j].Tenant
+		}
+		return plan.Moves[i].Replica < plan.Moves[j].Replica
+	})
+	return fresh, plan, nil
+}
+
+// Apply verifies a plan against the placement it was computed for by
+// executing the moves on a deep reconstruction and validating the result.
+// It returns the migrated placement. This lets an operator double-check a
+// plan before acting on it.
+func Apply(p *packing.Placement, plan Plan) (*packing.Placement, error) {
+	// Reconstruct the current placement.
+	next, err := packing.NewPlacement(p.Gamma())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.NumServers(); i++ {
+		next.OpenServer()
+	}
+	target := make(map[moveKey]int, len(plan.Moves))
+	maxTo := -1
+	for _, m := range plan.Moves {
+		target[moveKey{tenant: m.Tenant, replica: m.Replica}] = m.To
+		if m.To > maxTo {
+			maxTo = m.To
+		}
+	}
+	for next.NumServers() <= maxTo {
+		next.OpenServer()
+	}
+	for _, t := range p.Tenants() {
+		if err := next.AddTenant(t); err != nil {
+			return nil, err
+		}
+		hosts := p.TenantHosts(t.ID)
+		for i, rep := range next.Replicas(t) {
+			dest := hosts[i]
+			if to, ok := target[moveKey{tenant: t.ID, replica: i}]; ok {
+				dest = to
+			}
+			if err := next.Place(dest, rep); err != nil {
+				return nil, fmt.Errorf("rebalance: applying move for tenant %d replica %d: %w",
+					t.ID, i, err)
+			}
+		}
+	}
+	if err := next.Validate(); err != nil {
+		return nil, fmt.Errorf("rebalance: migrated placement invalid: %w", err)
+	}
+	return next, nil
+}
+
+type moveKey struct {
+	tenant  packing.TenantID
+	replica int
+}
+
+// bestCandidate returns the better of an offline FFD placement and a
+// fresh CubeFit re-run (in tenant-ID order) over the tenants. FFD wins on
+// continuous load mixes; CubeFit's structured packing often wins on
+// client-quantized workloads.
+func bestCandidate(gamma int, tenants []packing.Tenant) (*packing.Placement, error) {
+	ffd, err := offline.PlaceAll(gamma, tenants)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Gamma = gamma
+	cf, err := core.New(cfg)
+	if err != nil {
+		// γ values CubeFit rejects (none today) fall back to FFD.
+		return ffd, nil
+	}
+	if err := packing.PlaceAll(cf, tenants); err != nil {
+		return nil, err
+	}
+	if cf.Placement().NumUsedServers() < ffd.NumUsedServers() {
+		return cf.Placement(), nil
+	}
+	return ffd, nil
+}

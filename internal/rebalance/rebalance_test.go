@@ -1,0 +1,191 @@
+package rebalance
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+	"cubefit/internal/workload"
+)
+
+// churned builds a CubeFit placement, then removes a large fraction of
+// tenants to create fragmentation.
+func churned(t *testing.T, n int, removeFrac float64, seed uint64) *packing.Placement {
+	t.Helper()
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewLoadSource(1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := workload.Take(src, n)
+	if err := packing.PlaceAll(cf, tenants); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	for _, tn := range tenants {
+		if r.Float64() < removeFrac {
+			if err := cf.Remove(tn.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return cf.Placement()
+}
+
+func TestRepackReducesServersAfterChurn(t *testing.T) {
+	p := churned(t, 800, 0.6, 42)
+	fresh, plan, err := Repack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BeforeServers != p.NumUsedServers() {
+		t.Fatalf("plan.Before = %d, placement has %d", plan.BeforeServers, p.NumUsedServers())
+	}
+	if plan.AfterServers != fresh.NumUsedServers() {
+		t.Fatalf("plan.After = %d, fresh has %d", plan.AfterServers, fresh.NumUsedServers())
+	}
+	if plan.AfterServers >= plan.BeforeServers {
+		t.Fatalf("repack did not consolidate: %d -> %d", plan.BeforeServers, plan.AfterServers)
+	}
+	if !plan.Worthwhile(1) {
+		t.Fatal("plan not worthwhile despite saving servers")
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatalf("repacked placement not robust: %v", err)
+	}
+}
+
+func TestPlanMovesConsistent(t *testing.T) {
+	p := churned(t, 400, 0.5, 7)
+	fresh, plan, err := Repack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedLoad := 0.0
+	for _, m := range plan.Moves {
+		tn, ok := p.Tenant(m.Tenant)
+		if !ok {
+			t.Fatalf("move references unknown tenant %d", m.Tenant)
+		}
+		hosts := p.TenantHosts(m.Tenant)
+		if hosts[m.Replica] != m.From {
+			t.Fatalf("move %+v: replica lives on %d", m, hosts[m.Replica])
+		}
+		if m.From == m.To {
+			t.Fatalf("no-op move %+v", m)
+		}
+		if !fresh.Server(m.To).Hosts(m.Tenant) {
+			t.Fatalf("move %+v: destination does not host tenant in fresh placement", m)
+		}
+		movedLoad += p.ReplicaSize(tn)
+	}
+	if math.Abs(movedLoad-plan.MovedLoad) > 1e-9 {
+		t.Fatalf("moved load %v != plan %v", movedLoad, plan.MovedLoad)
+	}
+}
+
+func TestRepackMinimizesStayingReplicas(t *testing.T) {
+	// A replica whose server coincides between old and new placements must
+	// not be moved.
+	p := churned(t, 300, 0.4, 13)
+	fresh, plan, err := Repack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := make(map[packing.TenantID]int)
+	for _, m := range plan.Moves {
+		moved[m.Tenant]++
+	}
+	for _, tn := range p.Tenants() {
+		old := p.TenantHosts(tn.ID)
+		new_ := fresh.TenantHosts(tn.ID)
+		common := 0
+		used := make(map[int]bool)
+		for _, oh := range old {
+			for _, nh := range new_ {
+				if oh == nh && !used[nh] {
+					used[nh] = true
+					common++
+					break
+				}
+			}
+		}
+		wantMoves := len(old) - common
+		if moved[tn.ID] != wantMoves {
+			t.Fatalf("tenant %d: %d moves, want %d (old %v new %v)",
+				tn.ID, moved[tn.ID], wantMoves, old, new_)
+		}
+	}
+}
+
+func TestApplyReproducesFreshPlacement(t *testing.T) {
+	p := churned(t, 400, 0.5, 99)
+	fresh, plan, err := Repack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.NumUsedServers() != fresh.NumUsedServers() {
+		t.Fatalf("applied uses %d servers, fresh %d",
+			applied.NumUsedServers(), fresh.NumUsedServers())
+	}
+	// Tenant host multisets must agree.
+	for _, tn := range p.Tenants() {
+		a := applied.TenantHosts(tn.ID)
+		f := fresh.TenantHosts(tn.ID)
+		am := make(map[int]int)
+		fm := make(map[int]int)
+		for i := range a {
+			am[a[i]]++
+			fm[f[i]]++
+		}
+		for k, v := range fm {
+			if am[k] != v {
+				t.Fatalf("tenant %d hosts differ: applied %v, fresh %v", tn.ID, a, f)
+			}
+		}
+	}
+	if err := applied.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyEmptyPlanIsIdentity(t *testing.T) {
+	p := churned(t, 100, 0, 5)
+	applied, err := Apply(p, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.NumUsedServers() != p.NumUsedServers() {
+		t.Fatalf("identity apply changed server count: %d vs %d",
+			applied.NumUsedServers(), p.NumUsedServers())
+	}
+}
+
+func TestWorthwhile(t *testing.T) {
+	pl := Plan{BeforeServers: 10, AfterServers: 8}
+	if !pl.Worthwhile(2) || pl.Worthwhile(3) {
+		t.Fatalf("Worthwhile logic wrong for %+v", pl)
+	}
+}
+
+func TestRepackNoChurnStable(t *testing.T) {
+	// Without churn the repack may still shuffle, but must never increase
+	// the server count.
+	p := churned(t, 500, 0, 123)
+	_, plan, err := Repack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AfterServers > plan.BeforeServers {
+		t.Fatalf("repack increased servers: %d -> %d", plan.BeforeServers, plan.AfterServers)
+	}
+}

@@ -1,0 +1,168 @@
+// Package report renders fixed-width tables and ASCII bar charts for the
+// experiment CLIs, matching the artifacts of the paper (Figures 5 and 6,
+// Table I) in plain text.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells and long
+// rows are an error at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		if len(row) > len(t.headers) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(row), len(t.headers))
+		}
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, w))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.headers))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if n := len([]rune(s)); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
+}
+
+// Bar is one labeled bar with an optional symmetric error (CI half-width).
+type Bar struct {
+	Label string
+	Value float64
+	Err   float64
+}
+
+// BarChart renders labeled horizontal bars scaled to the given width with
+// ± error annotations, e.g.
+//
+//	uniform(1..15)  ████████████░░  29.9 ±1.2
+func BarChart(w io.Writer, title, unit string, width int, bars []Bar) error {
+	if width <= 0 {
+		return errors.New("report: bar width must be positive")
+	}
+	if len(bars) == 0 {
+		return errors.New("report: no bars")
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if math.IsNaN(b.Value) || math.IsInf(b.Value, 0) {
+			return fmt.Errorf("report: non-finite bar value for %q", b.Label)
+		}
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if n := len([]rune(b.Label)); n > labelW {
+			labelW = n
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 && b.Value > 0 {
+			n = int(math.Round(b.Value / maxVal * float64(width)))
+		}
+		bar := strings.Repeat("█", n) + strings.Repeat("░", width-n)
+		suffix := fmt.Sprintf("%.1f", b.Value)
+		if b.Err > 0 {
+			suffix += fmt.Sprintf(" ±%.1f", b.Err)
+		}
+		if unit != "" {
+			suffix += " " + unit
+		}
+		if _, err := fmt.Fprintf(w, "%s  %s  %s\n", pad(b.Label, labelW), bar, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Money formats a dollar amount with thousands separators, e.g.
+// "18,045,004".
+func Money(v float64) string {
+	neg := v < 0
+	n := int64(math.Round(math.Abs(v)))
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Seconds formats a latency in seconds with two decimals and unit.
+func Seconds(v float64) string { return fmt.Sprintf("%.2f s", v) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

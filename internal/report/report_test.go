@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Distribution", "RFI Servers", "Saved")
+	tb.AddRow("Uniform", "10951", "2506")
+	tb.AddRow("Zipfian", "2218", "496")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Distribution") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "10951") || !strings.Contains(lines[3], "496") {
+		t.Fatalf("data rows wrong:\n%s", out)
+	}
+	// Columns align: 'RFI Servers' and '10951' start at the same offset.
+	h := strings.Index(lines[0], "RFI Servers")
+	d := strings.Index(lines[2], "10951")
+	if h != d {
+		t.Fatalf("column misaligned: header at %d, data at %d\n%s", h, d, out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("x")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable().Render(&buf); err == nil {
+		t.Fatal("empty table rendered")
+	}
+	tb := NewTable("A")
+	tb.AddRow("1", "2")
+	if err := tb.Render(&buf); err == nil {
+		t.Fatal("overlong row rendered")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []Bar{
+		{Label: "uniform", Value: 30, Err: 1.2},
+		{Label: "zipf", Value: 15},
+	}
+	if err := BarChart(&buf, "Savings", "%", 20, bars); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Savings") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "±1.2") {
+		t.Fatalf("error whisker missing:\n%s", out)
+	}
+	// The larger bar has more filled cells.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+	if strings.Count(lines[1], "█")+strings.Count(lines[1], "░") != 20 {
+		t.Fatalf("bar width wrong:\n%s", out)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", "", 0, []Bar{{Label: "x", Value: 1}}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if err := BarChart(&buf, "", "", 10, nil); err == nil {
+		t.Fatal("no bars accepted")
+	}
+	if err := BarChart(&buf, "", "", 10, []Bar{{Label: "x", Value: math.NaN()}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", "", 10, []Bar{{Label: "x", Value: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), strings.Repeat("░", 10)) {
+		t.Fatalf("zero bar not empty:\n%s", buf.String())
+	}
+}
+
+func TestMoney(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{give: 18045004, want: "18,045,004"},
+		{give: 3571557, want: "3,571,557"},
+		{give: 999, want: "999"},
+		{give: 1000, want: "1,000"},
+		{give: 0, want: "0"},
+		{give: -1234567, want: "-1,234,567"},
+		{give: 1234.6, want: "1,235"},
+	}
+	for _, tt := range tests {
+		if got := Money(tt.give); got != tt.want {
+			t.Errorf("Money(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSecondsAndPct(t *testing.T) {
+	if got := Seconds(4.273); got != "4.27 s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Pct(29.94); got != "29.9%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

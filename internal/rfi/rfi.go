@@ -1,0 +1,247 @@
+// Package rfi implements the RFI algorithm, the paper's baseline drawn
+// from Schaffner et al.'s RTP system (SIGMOD 2013, reference [12]), as
+// described in §V of the CubeFit paper:
+//
+// "RFI first searches for the server that would have the least load left
+// over after a tenant is placed on it, including having enough reserved
+// capacity for additional load from any single failed server (overload
+// capacity) and a μ value that governs how much of the first server's total
+// capacity to use for interleaving. If no such server is found, a new
+// server is provisioned and the replica is placed there. For the second
+// replica, the algorithm repeats the process but selects a different server
+// machine."
+//
+// RFI reserves capacity against any SINGLE server failure; unlike CubeFit
+// it cannot protect against multiple simultaneous failures.
+package rfi
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefit/internal/packing"
+)
+
+const eps = 1e-9
+
+// DefaultMu is the interleaving parameter recommended by [12] and used in
+// the paper's experiments.
+const DefaultMu = 0.85
+
+// Config parameterizes RFI.
+type Config struct {
+	// Gamma is the number of replicas per tenant (2 in [12]).
+	Gamma int
+	// Mu caps the direct load on a server: a replica may only be placed
+	// where level + size ≤ Mu, leaving 1−Mu headroom for interleaving
+	// failed-over load. The zero value means DefaultMu.
+	Mu float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mu == 0 {
+		c.Mu = DefaultMu
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Gamma < 1 {
+		return fmt.Errorf("rfi: gamma %d < 1", c.Gamma)
+	}
+	if c.Mu <= 0 || c.Mu > 1 {
+		return fmt.Errorf("rfi: mu %v outside (0,1]", c.Mu)
+	}
+	return nil
+}
+
+// RFI is the baseline consolidation algorithm. It is not safe for
+// concurrent use.
+type RFI struct {
+	cfg Config
+	p   *packing.Placement
+
+	// byLevel holds server IDs sorted by (level descending, ID ascending);
+	// pos is the inverse permutation. The Best Fit target is the first
+	// feasible entry at or after the position where level + size ≤ μ.
+	byLevel []int
+	pos     []int
+	// maxShared caches each server's largest pairwise shared load. Shared
+	// loads only grow (RFI has no departures), so the cache is maintained
+	// with O(1) monotone updates.
+	maxShared []float64
+}
+
+var _ packing.Algorithm = (*RFI)(nil)
+
+// New creates an RFI instance.
+func New(cfg Config) (*RFI, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := packing.NewPlacement(cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	return &RFI{cfg: cfg, p: p}, nil
+}
+
+// Name implements packing.Algorithm.
+func (a *RFI) Name() string {
+	return fmt.Sprintf("rfi(γ=%d,μ=%.2f)", a.cfg.Gamma, a.cfg.Mu)
+}
+
+// Placement implements packing.Algorithm.
+func (a *RFI) Placement() *packing.Placement { return a.p }
+
+// Config returns the configuration the instance was built with.
+func (a *RFI) Config() Config { return a.cfg }
+
+// Place admits one tenant: each replica goes, Best Fit style, to the
+// feasible server with the least leftover capacity; a new server is opened
+// when no server qualifies.
+func (a *RFI) Place(t packing.Tenant) error {
+	if err := a.p.AddTenant(t); err != nil {
+		return err
+	}
+	for _, rep := range a.p.Replicas(t) {
+		sid := a.bestServer(t.ID, rep)
+		if sid < 0 {
+			sid = a.openServer()
+			if !a.feasible(a.p.Server(sid), t.ID, rep) {
+				return fmt.Errorf("rfi: replica of size %v infeasible even on an empty server (μ=%v)",
+					rep.Size, a.cfg.Mu)
+			}
+		}
+		if err := a.place(sid, t.ID, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *RFI) openServer() int {
+	sid := a.p.OpenServer()
+	a.pos = append(a.pos, len(a.byLevel))
+	a.byLevel = append(a.byLevel, sid)
+	a.maxShared = append(a.maxShared, 0)
+	return sid
+}
+
+// place commits the replica and maintains the level index and shared
+// caches for every affected server.
+func (a *RFI) place(sid int, id packing.TenantID, rep packing.Replica) error {
+	if err := a.p.Place(sid, rep); err != nil {
+		return fmt.Errorf("rfi: internal: %w", err)
+	}
+	s := a.p.Server(sid)
+	for _, h := range a.p.TenantHosts(id) {
+		if h < 0 || h == sid {
+			continue
+		}
+		if v := s.SharedWith(h); v > a.maxShared[sid] {
+			a.maxShared[sid] = v
+		}
+		if v := a.p.Server(h).SharedWith(sid); v > a.maxShared[h] {
+			a.maxShared[h] = v
+		}
+	}
+	a.reposition(sid)
+	return nil
+}
+
+// reposition restores the (level desc, ID asc) order after sid's level
+// increased: sid can only move toward the front.
+func (a *RFI) reposition(sid int) {
+	i := a.pos[sid]
+	level := a.p.Server(sid).Level()
+	// Binary search for the first position whose entry should come after
+	// sid under the new key, within byLevel[0:i].
+	j := sort.Search(i, func(k int) bool {
+		other := a.byLevel[k]
+		ol := a.p.Server(other).Level()
+		return ol < level || (ol == level && other > sid)
+	})
+	if j == i {
+		return
+	}
+	copy(a.byLevel[j+1:i+1], a.byLevel[j:i])
+	a.byLevel[j] = sid
+	for k := j; k <= i; k++ {
+		a.pos[a.byLevel[k]] = k
+	}
+}
+
+// bestServer returns the feasible server with the highest level (least
+// leftover capacity after placement), or -1. The level index makes the
+// first feasible entry at or after the μ-cap boundary the Best Fit answer.
+func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
+	limit := a.cfg.Mu - rep.Size + eps
+	start := sort.Search(len(a.byLevel), func(k int) bool {
+		return a.p.Server(a.byLevel[k]).Level() <= limit
+	})
+	for i := start; i < len(a.byLevel); i++ {
+		sid := a.byLevel[i]
+		s := a.p.Server(sid)
+		// Cheap necessary condition: the cached max shared load only grows
+		// once the replica lands, so failing it means infeasible.
+		if s.Level()+rep.Size+a.maxShared[sid] > 1+eps {
+			continue
+		}
+		if s.Hosts(id) {
+			continue
+		}
+		if a.feasible(s, id, rep) {
+			return sid
+		}
+	}
+	return -1
+}
+
+// feasible reports whether placing rep on s keeps (a) the direct load under
+// the μ interleaving cap and (b) single-failure safety for s and for every
+// server already hosting one of the tenant's replicas (their shared load
+// with s grows by the replica size).
+func (a *RFI) feasible(s *packing.Server, id packing.TenantID, rep packing.Replica) bool {
+	if s.Level()+rep.Size > a.cfg.Mu+eps {
+		return false
+	}
+	earlier := make([]int, 0, a.cfg.Gamma-1)
+	for _, h := range a.p.TenantHosts(id) {
+		if h >= 0 {
+			earlier = append(earlier, h)
+		}
+	}
+	// Candidate: worst single failure after placement. Its shared load
+	// with each earlier host grows by rep.Size — and once the tenant's
+	// remaining replicas land elsewhere, the candidate will share at least
+	// rep.Size with each of those hosts too, so anticipate that floor now
+	// (otherwise an early replica could strand a later one).
+	maxShared := a.maxShared[s.ID()]
+	if a.cfg.Gamma > 1 && rep.Size > maxShared {
+		maxShared = rep.Size
+	}
+	for _, h := range earlier {
+		if v := s.SharedWith(h) + rep.Size; v > maxShared {
+			maxShared = v
+		}
+	}
+	if s.Level()+rep.Size+maxShared > 1+eps {
+		return false
+	}
+	// Earlier hosts: their shared load with s grows by their own replica
+	// size of this tenant (equal to rep.Size).
+	for _, h := range earlier {
+		hs := a.p.Server(h)
+		maxH := a.maxShared[h]
+		if v := hs.SharedWith(s.ID()) + rep.Size; v > maxH {
+			maxH = v
+		}
+		if hs.Level()+maxH > 1+eps {
+			return false
+		}
+	}
+	return true
+}

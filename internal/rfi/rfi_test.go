@@ -1,0 +1,266 @@
+package rfi
+
+import (
+	"testing"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+	"cubefit/internal/workload"
+)
+
+func mustRFI(t *testing.T, cfg Config) *RFI {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		give   Config
+		wantOK bool
+	}{
+		{name: "defaults", give: Config{Gamma: 2}.withDefaults(), wantOK: true},
+		{name: "explicit mu", give: Config{Gamma: 2, Mu: 0.9}, wantOK: true},
+		{name: "mu 1", give: Config{Gamma: 2, Mu: 1}, wantOK: true},
+		{name: "gamma 0", give: Config{Gamma: 0, Mu: 0.85}},
+		{name: "mu negative", give: Config{Gamma: 2, Mu: -0.5}},
+		{name: "mu above 1", give: Config{Gamma: 2, Mu: 1.1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", tt.give, err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestDefaultMuApplied(t *testing.T) {
+	a := mustRFI(t, Config{Gamma: 2})
+	if a.Config().Mu != DefaultMu {
+		t.Fatalf("mu = %v, want %v", a.Config().Mu, DefaultMu)
+	}
+	if a.Name() != "rfi(γ=2,μ=0.85)" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestReplicasOnDistinctServers(t *testing.T) {
+	a := mustRFI(t, Config{Gamma: 2})
+	if err := a.Place(packing.Tenant{ID: 1, Load: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := a.Placement().TenantHosts(1)
+	if len(hosts) != 2 || hosts[0] == hosts[1] || hosts[0] < 0 || hosts[1] < 0 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+// TestSingleFailureSafety is RFI's core guarantee: after any single server
+// failure, no surviving server exceeds capacity.
+func TestSingleFailureSafety(t *testing.T) {
+	dists := []workload.Distribution{}
+	u, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := workload.NewZipf(3, workload.MaxClientsPerServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists = append(dists, u, z)
+
+	for _, dist := range dists {
+		src, err := workload.NewClientSource(workload.DefaultLoadModel(), dist, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := mustRFI(t, Config{Gamma: 2})
+		for i := 0; i < 500; i++ {
+			if err := a.Place(src.Next()); err != nil {
+				t.Fatalf("%s tenant %d: %v", dist.Name(), i, err)
+			}
+		}
+		p := a.Placement()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: γ=2 placement should satisfy the (γ−1=1)-failure invariant: %v", dist.Name(), err)
+		}
+		for f := 0; f < p.NumServers(); f++ {
+			if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+				t.Fatalf("%s: failing server %d overloads a survivor to %v", dist.Name(), f, got)
+			}
+		}
+	}
+}
+
+// TestMuCapRespected verifies that no server's direct load exceeds μ.
+func TestMuCapRespected(t *testing.T) {
+	src, err := workload.NewLoadSource(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustRFI(t, Config{Gamma: 2, Mu: 0.7})
+	for i := 0; i < 400; i++ {
+		if err := a.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range a.Placement().Servers() {
+		if s.Level() > 0.7+1e-9 {
+			t.Fatalf("server %d level %v exceeds μ=0.7", s.ID(), s.Level())
+		}
+	}
+}
+
+// TestCannotSurviveTwoFailures demonstrates the limitation the paper
+// highlights: RFI with γ=2 generally violates capacity under two
+// simultaneous failures (its reserve only covers one).
+func TestCannotSurviveTwoFailures(t *testing.T) {
+	src, err := workload.NewLoadSource(1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustRFI(t, Config{Gamma: 2})
+	for i := 0; i < 200; i++ {
+		if err := a.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := a.Placement()
+	n := p.NumServers()
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if p.MaxPostFailureLoad([]int{x, y}) > 1 {
+				return // found an overloading double failure, as expected
+			}
+		}
+	}
+	t.Fatal("expected some double failure to overload a server")
+}
+
+// TestBestFitChoosesFullest checks the Best Fit rule on a constructed case.
+func TestBestFitChoosesFullest(t *testing.T) {
+	a := mustRFI(t, Config{Gamma: 1, Mu: 0.7})
+	// No replication, μ=0.7: 0.5 and 0.3 cannot share a server, then 0.2
+	// should land on the 0.5 server (fullest feasible: 0.5+0.2 = 0.7 ≤ μ).
+	for i, load := range []float64{0.5, 0.3} {
+		if err := a.Place(packing.Tenant{ID: packing.TenantID(i), Load: load}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.Placement().NumUsedServers(); n != 2 {
+		t.Fatalf("setup used %d servers, want 2", n)
+	}
+	if err := a.Place(packing.Tenant{ID: 9, Load: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := a.Placement().TenantHosts(9)
+	s := a.Placement().Server(hosts[0])
+	if s.Level() < 0.69 {
+		t.Fatalf("best fit placed on level-%v server, want the 0.5 one", s.Level()-0.2)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	src, err := workload.NewLoadSource(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := workload.Take(src, 800)
+	counts := [2]int{}
+	for i := range counts {
+		a := mustRFI(t, Config{Gamma: 2})
+		if err := packing.PlaceAll(a, tenants); err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = a.Placement().NumUsedServers()
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("non-deterministic: %v", counts)
+	}
+}
+
+func TestInvalidTenantRejected(t *testing.T) {
+	a := mustRFI(t, Config{Gamma: 2})
+	if err := a.Place(packing.Tenant{ID: 1, Load: 0}); err == nil {
+		t.Fatal("zero-load tenant accepted")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{Gamma: 0}); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	if _, err := New(Config{Gamma: 2, Mu: 2}); err == nil {
+		t.Fatal("mu 2 accepted")
+	}
+}
+
+// TestLevelIndexConsistency stresses the sorted index with random
+// workloads and verifies it stays a permutation ordered by level.
+func TestLevelIndexConsistency(t *testing.T) {
+	r := rng.New(junkSeed)
+	src, err := workload.NewLoadSource(1, r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustRFI(t, Config{Gamma: 2})
+	for i := 0; i < 500; i++ {
+		if err := a.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool)
+	prevLevel := 2.0
+	prevID := -1
+	for i, sid := range a.byLevel {
+		if seen[sid] {
+			t.Fatalf("server %d appears twice in index", sid)
+		}
+		seen[sid] = true
+		if a.pos[sid] != i {
+			t.Fatalf("pos[%d] = %d, want %d", sid, a.pos[sid], i)
+		}
+		level := a.p.Server(sid).Level()
+		if level > prevLevel || (level == prevLevel && sid < prevID) {
+			t.Fatalf("index out of order at %d: (%v,%d) after (%v,%d)", i, level, sid, prevLevel, prevID)
+		}
+		prevLevel, prevID = level, sid
+	}
+	if len(seen) != a.p.NumServers() {
+		t.Fatalf("index covers %d of %d servers", len(seen), a.p.NumServers())
+	}
+}
+
+const junkSeed = 987654321
+
+// TestMaxSharedCacheAccurate cross-checks the monotone max-shared cache
+// against a fresh computation.
+func TestMaxSharedCacheAccurate(t *testing.T) {
+	src, err := workload.NewLoadSource(1, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustRFI(t, Config{Gamma: 2})
+	for i := 0; i < 400; i++ {
+		if err := a.Place(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range a.Placement().Servers() {
+		want := 0.0
+		s.EachShared(func(_ int, v float64) {
+			if v > want {
+				want = v
+			}
+		})
+		if got := a.maxShared[s.ID()]; got < want-1e-12 || got > want+1e-12 {
+			t.Fatalf("maxShared[%d] = %v, want %v", s.ID(), got, want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/rebalance"
+	"cubefit/internal/rng"
+	"cubefit/internal/stats"
+	"cubefit/internal/workload"
+)
+
+// ChurnSpec simulates a long-running deployment with tenant churn (the
+// dynamic extension of DESIGN.md §7): a stream of arrival/departure events
+// is applied to an online CubeFit instance, tracking how fragmentation
+// develops and how much a maintenance repack would reclaim.
+type ChurnSpec struct {
+	// Steps is the number of events to simulate.
+	Steps int
+	// DepartFraction is the probability that an event is a departure of a
+	// uniformly random live tenant (when any exists); the rest are
+	// arrivals. 0.5 holds the population roughly steady.
+	DepartFraction float64
+	// Seed drives the event stream.
+	Seed uint64
+	// Model and Dist generate arriving tenants.
+	Model workload.LoadModel
+	Dist  workload.Distribution
+	// Config is the CubeFit configuration under test.
+	Config core.Config
+}
+
+// Validate reports whether the spec is usable.
+func (s ChurnSpec) Validate() error {
+	if s.Steps <= 0 {
+		return errors.New("sim: Steps must be positive")
+	}
+	if s.DepartFraction < 0 || s.DepartFraction >= 1 {
+		return errors.New("sim: DepartFraction outside [0,1)")
+	}
+	if s.Dist == nil {
+		return errors.New("sim: nil distribution")
+	}
+	if err := s.Model.Validate(); err != nil {
+		return err
+	}
+	return s.Config.Validate()
+}
+
+// ChurnResult summarizes a churn simulation.
+type ChurnResult struct {
+	Arrivals   int
+	Departures int
+	// LiveTenants at the end of the run.
+	LiveTenants int
+	// FinalServers and FinalUtilization describe the end state.
+	FinalServers     int
+	FinalUtilization float64
+	// MeanUtilization averages utilization sampled after every event.
+	MeanUtilization float64
+	// RepackPlan is the maintenance plan computed on the final state: how
+	// many servers an offline repack would reclaim and at what migration
+	// cost.
+	RepackPlan rebalance.Plan
+}
+
+// RunChurn executes the churn simulation.
+func RunChurn(spec ChurnSpec) (ChurnResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ChurnResult{}, err
+	}
+	cfg := spec.Config
+	cf, err := core.New(cfg)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	src, err := workload.NewClientSource(spec.Model, spec.Dist, spec.Seed)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	r := rng.New(spec.Seed + 0x9e3779b9)
+
+	var (
+		live  []packing.TenantID
+		res   ChurnResult
+		util  stats.Online
+		check = spec.Steps / 20
+	)
+	if check == 0 {
+		check = 1
+	}
+	for step := 0; step < spec.Steps; step++ {
+		if len(live) > 0 && r.Float64() < spec.DepartFraction {
+			i := r.Intn(len(live))
+			if err := cf.Remove(live[i]); err != nil {
+				return ChurnResult{}, fmt.Errorf("sim: churn departure: %w", err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			res.Departures++
+		} else {
+			t := src.Next()
+			if err := cf.Place(t); err != nil {
+				return ChurnResult{}, fmt.Errorf("sim: churn arrival: %w", err)
+			}
+			live = append(live, t.ID)
+			res.Arrivals++
+		}
+		util.Add(cf.Placement().Utilization())
+		// Periodic invariant audit: churn must never break robustness.
+		if step%check == 0 {
+			if err := cf.Placement().ValidateRobustness(); err != nil {
+				return ChurnResult{}, fmt.Errorf("sim: invariant broken at step %d: %w", step, err)
+			}
+		}
+	}
+	p := cf.Placement()
+	if err := p.Validate(); err != nil {
+		return ChurnResult{}, err
+	}
+	res.LiveTenants = len(live)
+	res.FinalServers = p.NumUsedServers()
+	res.FinalUtilization = p.Utilization()
+	res.MeanUtilization = util.Mean()
+	if _, plan, err := rebalance.Repack(p); err == nil {
+		res.RepackPlan = plan
+	} else {
+		return ChurnResult{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/workload"
+)
+
+func churnSpec(t *testing.T) ChurnSpec {
+	t.Helper()
+	return ChurnSpec{
+		Steps:          3000,
+		DepartFraction: 0.45,
+		Seed:           9,
+		Model:          workload.DefaultLoadModel(),
+		Dist:           uniformDist(t, 15),
+		Config:         core.Config{Gamma: 2, K: 10},
+	}
+}
+
+func TestChurnSpecValidation(t *testing.T) {
+	good := churnSpec(t)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Steps = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero steps accepted")
+	}
+	bad = good
+	bad.DepartFraction = 1
+	if bad.Validate() == nil {
+		t.Fatal("depart fraction 1 accepted")
+	}
+	bad = good
+	bad.Dist = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil dist accepted")
+	}
+	bad = good
+	bad.Config.Gamma = 0
+	if bad.Validate() == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestChurnBalancesAndStaysRobust(t *testing.T) {
+	res, err := RunChurn(churnSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals+res.Departures != 3000 {
+		t.Fatalf("event count wrong: %+v", res)
+	}
+	if res.LiveTenants != res.Arrivals-res.Departures {
+		t.Fatalf("live tenants inconsistent: %+v", res)
+	}
+	if res.FinalServers == 0 || res.FinalUtilization <= 0 {
+		t.Fatalf("degenerate end state: %+v", res)
+	}
+	if res.MeanUtilization <= 0 || res.MeanUtilization > 1 {
+		t.Fatalf("mean utilization %v out of range", res.MeanUtilization)
+	}
+}
+
+// TestChurnFragmentationRepackable: sustained churn leaves reclaimable
+// fragmentation, and the repack plan quantifies it.
+func TestChurnFragmentationRepackable(t *testing.T) {
+	res, err := RunChurn(churnSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepackPlan.BeforeServers != res.FinalServers {
+		t.Fatalf("repack plan disagrees with final state: %+v", res)
+	}
+	if res.RepackPlan.AfterServers > res.RepackPlan.BeforeServers {
+		t.Fatalf("repack would grow the cluster: %+v", res.RepackPlan)
+	}
+}
+
+// TestChurnUtilizationBeatsNoReuse: the departure extension actually reuses
+// freed capacity — final utilization under churn should be in the same
+// league as arrival-only placement.
+func TestChurnUtilizationReasonable(t *testing.T) {
+	res, err := RunChurn(churnSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtilization < 0.3 {
+		t.Fatalf("final utilization %v: freed capacity is not being reused", res.FinalUtilization)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, err := RunChurn(churnSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChurn(churnSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals != b.Arrivals || a.Departures != b.Departures ||
+		a.FinalServers != b.FinalServers ||
+		a.FinalUtilization != b.FinalUtilization ||
+		len(a.RepackPlan.Moves) != len(b.RepackPlan.Moves) {
+		t.Fatalf("non-deterministic churn:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChurnArrivalOnly(t *testing.T) {
+	spec := churnSpec(t)
+	spec.Steps = 500
+	spec.DepartFraction = 0
+	res, err := RunChurn(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures != 0 || res.Arrivals != 500 || res.LiveTenants != 500 {
+		t.Fatalf("arrival-only run wrong: %+v", res)
+	}
+}

@@ -1,0 +1,363 @@
+// Package sim orchestrates the paper's experiments: the large-scale
+// consolidation simulations behind Figure 6 and Table I, and the
+// fill-measure-fail cluster protocol behind Figure 5.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cubefit/internal/cluster"
+	"cubefit/internal/core"
+	"cubefit/internal/costs"
+	"cubefit/internal/failure"
+	"cubefit/internal/packing"
+	"cubefit/internal/rfi"
+	"cubefit/internal/rng"
+	"cubefit/internal/stats"
+	"cubefit/internal/workload"
+)
+
+// Factory names and constructs fresh algorithm instances, one per
+// simulation run.
+type Factory struct {
+	Name string
+	New  func() (packing.Algorithm, error)
+}
+
+// CubeFitFactory builds a CubeFit factory. When model is non-nil, the
+// minimum replica size it implies is used to prune retired mature bins
+// (placement-neutral, see core.Config.PruneSlack).
+func CubeFitFactory(cfg core.Config, model *workload.LoadModel) Factory {
+	if model != nil && cfg.PruneSlack == 0 {
+		cfg.PruneSlack = model.Load(1) / float64(cfg.Gamma) * 0.99
+	}
+	return Factory{
+		Name: fmt.Sprintf("cubefit(γ=%d,k=%d)", cfg.Gamma, cfg.K),
+		New: func() (packing.Algorithm, error) {
+			return core.New(cfg)
+		},
+	}
+}
+
+// RFIFactory builds an RFI factory.
+func RFIFactory(cfg rfi.Config) Factory {
+	cfgN, err := rfi.New(cfg)
+	name := "rfi"
+	if err == nil {
+		name = cfgN.Name()
+	}
+	return Factory{
+		Name: name,
+		New: func() (packing.Algorithm, error) {
+			return rfi.New(cfg)
+		},
+	}
+}
+
+// ConsolidationSpec parameterizes one Figure 6 cell: repeated independent
+// simulations comparing server counts of two algorithms on one tenant
+// distribution.
+type ConsolidationSpec struct {
+	// Tenants per run (the paper uses 50,000).
+	Tenants int
+	// Runs of independent sequences (the paper uses 10).
+	Runs int
+	// Seed derives each run's sequence.
+	Seed uint64
+	// Model maps client counts to loads.
+	Model workload.LoadModel
+	// Dist draws tenant client counts.
+	Dist workload.Distribution
+}
+
+// Validate reports whether the spec is usable.
+func (s ConsolidationSpec) Validate() error {
+	if s.Tenants <= 0 {
+		return errors.New("sim: Tenants must be positive")
+	}
+	if s.Runs <= 0 {
+		return errors.New("sim: Runs must be positive")
+	}
+	if s.Dist == nil {
+		return errors.New("sim: nil distribution")
+	}
+	return s.Model.Validate()
+}
+
+// AlgorithmOutcome aggregates one algorithm's server counts over the runs.
+type AlgorithmOutcome struct {
+	Name string
+	// Servers is the mean used-server count with a 95% CI over runs.
+	Servers stats.Interval
+	// MeanUtilization averages per-run placement utilization.
+	MeanUtilization float64
+	// PerRun holds the raw used-server counts.
+	PerRun []float64
+}
+
+// ConsolidationResult is one Figure 6 bar: the relative server savings of
+// algorithm A over baseline B with a 95% confidence interval.
+type ConsolidationResult struct {
+	Distribution string
+	A, B         AlgorithmOutcome
+	// SavingsPct is the paper's relative difference
+	// (B−A)/A × 100% per run, aggregated with a 95% CI.
+	SavingsPct stats.Interval
+}
+
+// RunConsolidation executes the repeated-run comparison of algorithm a
+// (CubeFit in the paper) against baseline b (RFI).
+func RunConsolidation(spec ConsolidationSpec, a, b Factory) (ConsolidationResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ConsolidationResult{}, err
+	}
+	seeds := rng.New(spec.Seed)
+	res := ConsolidationResult{
+		Distribution: spec.Dist.Name(),
+		A:            AlgorithmOutcome{Name: a.Name},
+		B:            AlgorithmOutcome{Name: b.Name},
+	}
+	savings := make([]float64, 0, spec.Runs)
+	var utilA, utilB float64
+	for run := 0; run < spec.Runs; run++ {
+		src, err := workload.NewClientSource(spec.Model, spec.Dist, seeds.Uint64())
+		if err != nil {
+			return ConsolidationResult{}, err
+		}
+		tenants := workload.Take(src, spec.Tenants)
+
+		servedA, uA, err := runOnce(a, tenants)
+		if err != nil {
+			return ConsolidationResult{}, fmt.Errorf("sim: %s run %d: %w", a.Name, run, err)
+		}
+		servedB, uB, err := runOnce(b, tenants)
+		if err != nil {
+			return ConsolidationResult{}, fmt.Errorf("sim: %s run %d: %w", b.Name, run, err)
+		}
+		res.A.PerRun = append(res.A.PerRun, float64(servedA))
+		res.B.PerRun = append(res.B.PerRun, float64(servedB))
+		savings = append(savings, stats.RelativeDifference(float64(servedB), float64(servedA)))
+		utilA += uA
+		utilB += uB
+	}
+	var err error
+	if res.A.Servers, err = stats.CI95(res.A.PerRun); err != nil {
+		return ConsolidationResult{}, err
+	}
+	if res.B.Servers, err = stats.CI95(res.B.PerRun); err != nil {
+		return ConsolidationResult{}, err
+	}
+	if res.SavingsPct, err = stats.CI95(savings); err != nil {
+		return ConsolidationResult{}, err
+	}
+	res.A.MeanUtilization = utilA / float64(spec.Runs)
+	res.B.MeanUtilization = utilB / float64(spec.Runs)
+	return res, nil
+}
+
+func runOnce(f Factory, tenants []packing.Tenant) (servers int, utilization float64, err error) {
+	alg, err := f.New()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := packing.PlaceAll(alg, tenants); err != nil {
+		return 0, 0, err
+	}
+	p := alg.Placement()
+	return p.NumUsedServers(), p.Utilization(), nil
+}
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	Distribution    string
+	BaselineServers int // RFI
+	ImprovedServers int // CubeFit
+	SavedServers    int
+	YearlySavings   float64
+}
+
+// TableI converts a consolidation result into the paper's yearly cost
+// saving row using mean server counts.
+func TableI(res ConsolidationResult, m costs.Model) (TableIRow, error) {
+	baseline := int(res.B.Servers.Mean + 0.5)
+	improved := int(res.A.Servers.Mean + 0.5)
+	if improved > baseline {
+		// CubeFit used more servers than the baseline: negative savings are
+		// reported as zero saved dollars rather than an error.
+		improved = baseline
+	}
+	dollars, err := m.Savings(baseline, improved)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	return TableIRow{
+		Distribution:    res.Distribution,
+		BaselineServers: baseline,
+		ImprovedServers: improved,
+		SavedServers:    baseline - improved,
+		YearlySavings:   dollars,
+	}, nil
+}
+
+// FillToCapacity feeds tenants from the source into a fresh instance of
+// the factory until admitting one more tenant would exceed maxServers
+// (the paper's "keep adding tenants until CubeFit fills up all 69
+// servers"). It returns the algorithm rebuilt on exactly the accepted
+// prefix along with that prefix.
+func FillToCapacity(f Factory, src workload.Source, maxServers int) (packing.Algorithm, []packing.Tenant, error) {
+	if maxServers <= 0 {
+		return nil, nil, errors.New("sim: maxServers must be positive")
+	}
+	alg, err := f.New()
+	if err != nil {
+		return nil, nil, err
+	}
+	var accepted []packing.Tenant
+	const hardCap = 1 << 22 // defensive bound against a source that never fills
+	for len(accepted) < hardCap {
+		t := src.Next()
+		if err := alg.Place(t); err != nil {
+			return nil, nil, fmt.Errorf("sim: fill: %w", err)
+		}
+		if alg.Placement().NumServers() > maxServers {
+			// The overshooting tenant is rejected; rebuild deterministically
+			// on the accepted prefix.
+			rebuilt, err := f.New()
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := packing.PlaceAll(rebuilt, accepted); err != nil {
+				return nil, nil, fmt.Errorf("sim: rebuild: %w", err)
+			}
+			return rebuilt, accepted, nil
+		}
+		accepted = append(accepted, t)
+	}
+	return nil, nil, errors.New("sim: fill never reached capacity")
+}
+
+// ClusterSpec parameterizes one Figure 5 series: fill a cluster, fail the
+// worst-case servers, measure tail latency.
+type ClusterSpec struct {
+	// Servers is the data-store cluster size (the paper uses 69).
+	Servers int
+	// Failures lists the failure counts to measure (the paper shows 1, 2).
+	Failures []int
+	// Model and Dist generate the tenant stream.
+	Model workload.LoadModel
+	Dist  workload.Distribution
+	// Seed derives the tenant stream.
+	Seed uint64
+	// Cluster configures the latency simulation.
+	Cluster cluster.Config
+	// Transient, when set, applies the worst-case failures DURING the run
+	// (at the start of the measurement window) instead of as a pre-failed
+	// steady state, capturing the reconnect-and-retry transient.
+	Transient bool
+}
+
+// Validate reports whether the spec is usable.
+func (s ClusterSpec) Validate() error {
+	if s.Servers <= 0 {
+		return errors.New("sim: Servers must be positive")
+	}
+	if len(s.Failures) == 0 {
+		return errors.New("sim: no failure counts")
+	}
+	for _, f := range s.Failures {
+		if f < 0 || f >= s.Servers {
+			return fmt.Errorf("sim: failure count %d out of range", f)
+		}
+	}
+	if s.Dist == nil {
+		return errors.New("sim: nil distribution")
+	}
+	return s.Model.Validate()
+}
+
+// ClusterPoint is one bar of Figure 5.
+type ClusterPoint struct {
+	Algorithm string
+	Failures  int
+	// Plan records which servers were failed and the predicted overload.
+	Plan failure.Plan
+	// Latency is the measured run.
+	Latency cluster.Result
+	// Tenants admitted during the fill.
+	Tenants int
+	// ServersUsed after the fill.
+	ServersUsed int
+}
+
+// RunCluster executes the Figure 5 protocol for one algorithm factory.
+func RunCluster(spec ClusterSpec, f Factory) ([]ClusterPoint, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := workload.NewClientSource(spec.Model, spec.Dist, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	alg, tenants, err := FillToCapacity(f, src, spec.Servers)
+	if err != nil {
+		return nil, err
+	}
+	p := alg.Placement()
+	points := make([]ClusterPoint, 0, len(spec.Failures))
+	for _, fails := range spec.Failures {
+		plan, err := failure.WorstCase(p, fails)
+		if err != nil {
+			return nil, err
+		}
+		assign := failure.NewAssignment(p)
+		ccfg := spec.Cluster
+		if spec.Transient {
+			for _, srv := range plan.Servers {
+				ccfg.TimedFailures = append(ccfg.TimedFailures,
+					cluster.TimedFailure{Time: ccfg.Warmup, Server: srv})
+			}
+		} else {
+			assign, err = failure.Apply(p, plan)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lat, err := cluster.Run(p, assign, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ClusterPoint{
+			Algorithm:   f.Name,
+			Failures:    fails,
+			Plan:        plan,
+			Latency:     lat,
+			Tenants:     len(tenants),
+			ServersUsed: p.NumUsedServers(),
+		})
+	}
+	return points, nil
+}
+
+// DefaultSweep returns the Figure 6 distribution sweep described in
+// DESIGN.md §3: uniform client counts 1..M for growing M, and zipfian
+// exponents over the full 1..52 range. It includes the two distributions
+// of the system experiments (uniform 1..15, zipf exponent 3).
+func DefaultSweep() ([]workload.Distribution, error) {
+	var out []workload.Distribution
+	for _, m := range []int{5, 15, 25, 35, 45, 52} {
+		u, err := workload.NewUniform(1, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	for _, s := range []float64{1.5, 2, 2.5, 3, 4} {
+		z, err := workload.NewZipf(s, workload.MaxClientsPerServer)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}

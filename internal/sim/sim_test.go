@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cubefit/internal/cluster"
+	"cubefit/internal/core"
+	"cubefit/internal/costs"
+	"cubefit/internal/rfi"
+	"cubefit/internal/workload"
+)
+
+func uniformDist(t *testing.T, hi int) workload.Uniform {
+	t.Helper()
+	u, err := workload.NewUniform(1, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func smallSpec(t *testing.T) ConsolidationSpec {
+	return ConsolidationSpec{
+		Tenants: 2000,
+		Runs:    3,
+		Seed:    1,
+		Model:   workload.DefaultLoadModel(),
+		Dist:    uniformDist(t, 15),
+	}
+}
+
+func factories(t *testing.T) (Factory, Factory) {
+	model := workload.DefaultLoadModel()
+	return CubeFitFactory(core.Config{Gamma: 2, K: 10}, &model),
+		RFIFactory(rfi.Config{Gamma: 2})
+}
+
+func TestSpecValidation(t *testing.T) {
+	good := smallSpec(t)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Tenants = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	bad = good
+	bad.Runs = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero runs accepted")
+	}
+	bad = good
+	bad.Dist = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil dist accepted")
+	}
+}
+
+// TestConsolidationCubeFitBeatsRFI is the Figure 6 headline at reduced
+// scale: CubeFit uses noticeably fewer servers than RFI.
+func TestConsolidationCubeFitBeatsRFI(t *testing.T) {
+	cf, rf := factories(t)
+	res, err := RunConsolidation(smallSpec(t), cf, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.A.PerRun) != 3 || len(res.B.PerRun) != 3 {
+		t.Fatalf("per-run data missing: %+v", res)
+	}
+	if res.SavingsPct.Mean < 10 {
+		t.Fatalf("savings = %v%%, expected well above 10%%", res.SavingsPct.Mean)
+	}
+	if res.A.Servers.Mean >= res.B.Servers.Mean {
+		t.Fatalf("CubeFit mean %v not below RFI mean %v", res.A.Servers.Mean, res.B.Servers.Mean)
+	}
+	if res.A.MeanUtilization <= res.B.MeanUtilization {
+		t.Fatalf("CubeFit utilization %v not above RFI %v",
+			res.A.MeanUtilization, res.B.MeanUtilization)
+	}
+	if !strings.Contains(res.Distribution, "uniform") {
+		t.Fatalf("distribution label %q", res.Distribution)
+	}
+}
+
+func TestConsolidationDeterministic(t *testing.T) {
+	cf, rf := factories(t)
+	a, err := RunConsolidation(smallSpec(t), cf, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConsolidation(smallSpec(t), cf, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SavingsPct != b.SavingsPct {
+		t.Fatalf("non-deterministic savings: %+v vs %+v", a.SavingsPct, b.SavingsPct)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	cf, rf := factories(t)
+	res, err := RunConsolidation(smallSpec(t), cf, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := TableI(res, costs.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SavedServers <= 0 || row.YearlySavings <= 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.BaselineServers-row.ImprovedServers != row.SavedServers {
+		t.Fatalf("row inconsistent: %+v", row)
+	}
+	wantDollars := float64(row.SavedServers) * costs.DefaultPricePerHour * costs.HoursPerYear
+	if row.YearlySavings != wantDollars {
+		t.Fatalf("dollars = %v, want %v", row.YearlySavings, wantDollars)
+	}
+}
+
+func TestFillToCapacity(t *testing.T) {
+	cf, _ := factories(t)
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), uniformDist(t, 15), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, tenants, err := FillToCapacity(cf, src, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alg.Placement().NumServers(); got > 20 {
+		t.Fatalf("filled to %d servers, cap 20", got)
+	}
+	if len(tenants) == 0 {
+		t.Fatal("no tenants accepted")
+	}
+	if alg.Placement().NumTenants() != len(tenants) {
+		t.Fatalf("placement holds %d tenants, prefix has %d",
+			alg.Placement().NumTenants(), len(tenants))
+	}
+	// The next tenant in the ORIGINAL stream would have pushed past the
+	// cap; verify the fill actually approached it.
+	if alg.Placement().NumServers() < 15 {
+		t.Fatalf("fill stopped early at %d servers", alg.Placement().NumServers())
+	}
+	if _, _, err := FillToCapacity(cf, src, 0); err == nil {
+		t.Fatal("cap 0 accepted")
+	}
+}
+
+func TestRunClusterFigure5Shape(t *testing.T) {
+	model := workload.DefaultLoadModel()
+	spec := ClusterSpec{
+		Servers:  12,
+		Failures: []int{0, 1},
+		Model:    model,
+		Dist:     uniformDist(t, 15),
+		Seed:     7,
+		Cluster:  cluster.Config{SLA: 5, Warmup: 10, Measure: 30, Seed: 7},
+	}
+	cf, _ := factories(t)
+	points, err := RunCluster(spec, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	if points[0].Failures != 0 || points[1].Failures != 1 {
+		t.Fatalf("failure labels wrong: %+v", points)
+	}
+	// One failure redirects load: latency must rise but CubeFit γ=2 stays
+	// within SLA.
+	if points[1].Latency.P99 <= points[0].Latency.P99 {
+		t.Fatalf("failure did not raise P99: %v vs %v",
+			points[1].Latency.P99, points[0].Latency.P99)
+	}
+	if points[1].Latency.ViolatesSLA {
+		t.Fatalf("CubeFit γ=2 violated SLA under one failure: P99 = %v", points[1].Latency.P99)
+	}
+	if points[1].Plan.MaxClientLoad > workload.MaxClientsPerServer+1e-9 {
+		t.Fatalf("worst-case single failure pushed %v client load onto one server (capacity %d)",
+			points[1].Plan.MaxClientLoad, workload.MaxClientsPerServer)
+	}
+}
+
+func TestRunClusterSpecValidation(t *testing.T) {
+	cf, _ := factories(t)
+	bad := ClusterSpec{}
+	if _, err := RunCluster(bad, cf); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	spec := ClusterSpec{
+		Servers:  5,
+		Failures: []int{7},
+		Model:    workload.DefaultLoadModel(),
+		Dist:     uniformDist(t, 15),
+		Cluster:  cluster.DefaultConfig(),
+	}
+	if _, err := RunCluster(spec, cf); err == nil {
+		t.Fatal("failure count beyond cluster accepted")
+	}
+}
+
+func TestDefaultSweep(t *testing.T) {
+	sweep, err := DefaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 11 {
+		t.Fatalf("sweep has %d distributions, want 11", len(sweep))
+	}
+	names := make(map[string]bool)
+	for _, d := range sweep {
+		names[d.Name()] = true
+	}
+	// Must include the two system-experiment distributions.
+	if !names["uniform(1..15)"] {
+		t.Fatal("sweep missing uniform(1..15)")
+	}
+	if !names["zipf(s=3, 1..52)"] {
+		t.Fatal("sweep missing zipf(s=3)")
+	}
+}
+
+// TestFigure5FullShape reproduces the paper's Figure 5 verdicts end to end
+// at full cluster scale with shortened measurement windows: with one
+// worst-case failure every configuration meets the 5 s SLA; with two
+// simultaneous failures only CubeFit γ=3 stays within it while CubeFit γ=2
+// and RFI violate.
+func TestFigure5FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 69-server cluster simulation")
+	}
+	model := workload.DefaultLoadModel()
+	mkSpec := func(dist workload.Distribution) ClusterSpec {
+		return ClusterSpec{
+			Servers:  69,
+			Failures: []int{1, 2},
+			Model:    model,
+			Dist:     dist,
+			Seed:     1,
+			Cluster:  cluster.Config{SLA: 5, Warmup: 20, Measure: 60, Seed: 1},
+		}
+	}
+	cube2 := CubeFitFactory(core.Config{Gamma: 2, K: 5}, &model)
+	cube3 := CubeFitFactory(core.Config{Gamma: 3, K: 5}, &model)
+	rfi2 := RFIFactory(rfi.Config{Gamma: 2})
+
+	z, err := workload.NewZipf(3, workload.MaxClientsPerServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []workload.Distribution{uniformDist(t, 15), z} {
+		spec := mkSpec(dist)
+
+		for _, f := range []Factory{cube2, cube3, rfi2} {
+			points, err := RunCluster(spec, f)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", f.Name, dist.Name(), err)
+			}
+			oneFail, twoFail := points[0], points[1]
+			if oneFail.Latency.ViolatesSLA {
+				t.Errorf("%s on %s: violated SLA under ONE failure (worst P99 %.2f s)",
+					f.Name, dist.Name(), oneFail.Latency.WorstServerP99)
+			}
+			isCube3 := f.Name == cube3.Name
+			if isCube3 && twoFail.Latency.ViolatesSLA {
+				t.Errorf("cubefit γ=3 on %s: violated SLA under two failures (worst P99 %.2f s)",
+					dist.Name(), twoFail.Latency.WorstServerP99)
+			}
+			if !isCube3 && !twoFail.Latency.ViolatesSLA {
+				t.Errorf("%s on %s: expected an SLA violation under two failures (worst P99 %.2f s)",
+					f.Name, dist.Name(), twoFail.Latency.WorstServerP99)
+			}
+		}
+	}
+}
+
+func TestRunClusterTransientMode(t *testing.T) {
+	model := workload.DefaultLoadModel()
+	spec := ClusterSpec{
+		Servers:   12,
+		Failures:  []int{1},
+		Model:     model,
+		Dist:      uniformDist(t, 15),
+		Seed:      7,
+		Cluster:   cluster.Config{SLA: 5, Warmup: 10, Measure: 40, Seed: 7},
+		Transient: true,
+	}
+	cf, _ := factories(t)
+	points, err := RunCluster(spec, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("%d points", len(points))
+	}
+	// The transient mode must still reflect the failure in latency: the
+	// same spec without failures would sit lower.
+	base := spec
+	base.Failures = []int{0}
+	basePoints, err := RunCluster(base, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Latency.WorstServerP99 <= basePoints[0].Latency.WorstServerP99 {
+		t.Fatalf("transient failure did not raise latency: %v vs %v",
+			points[0].Latency.WorstServerP99, basePoints[0].Latency.WorstServerP99)
+	}
+}

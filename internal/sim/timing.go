@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"cubefit/internal/packing"
+)
+
+// TimingResult reports how long an algorithm takes to consolidate a tenant
+// sequence — one of the statistics the paper's simulator captures ("the
+// amount of time each placement algorithm needs to consolidate tenants
+// onto servers", §V-C).
+type TimingResult struct {
+	Algorithm string
+	Tenants   int
+	Servers   int
+	// Total is the wall-clock time to place the whole sequence.
+	Total time.Duration
+	// PerTenant is Total divided by the number of tenants.
+	PerTenant time.Duration
+}
+
+// MeasureTiming places the tenants on a fresh instance from the factory
+// and measures wall-clock placement time.
+func MeasureTiming(f Factory, tenants []packing.Tenant) (TimingResult, error) {
+	if len(tenants) == 0 {
+		return TimingResult{}, errors.New("sim: no tenants to time")
+	}
+	alg, err := f.New()
+	if err != nil {
+		return TimingResult{}, err
+	}
+	start := time.Now()
+	if err := packing.PlaceAll(alg, tenants); err != nil {
+		return TimingResult{}, err
+	}
+	total := time.Since(start)
+	return TimingResult{
+		Algorithm: f.Name,
+		Tenants:   len(tenants),
+		Servers:   alg.Placement().NumUsedServers(),
+		Total:     total,
+		PerTenant: total / time.Duration(len(tenants)),
+	}, nil
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"cubefit/internal/workload"
+)
+
+func TestMeasureTiming(t *testing.T) {
+	cf, rf := factories(t)
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), uniformDist(t, 15), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := workload.Take(src, 2000)
+
+	for _, f := range []Factory{cf, rf} {
+		res, err := MeasureTiming(f, tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tenants != 2000 || res.Servers == 0 {
+			t.Fatalf("%s timing result degenerate: %+v", f.Name, res)
+		}
+		if res.Total <= 0 || res.PerTenant <= 0 {
+			t.Fatalf("%s measured non-positive time: %+v", f.Name, res)
+		}
+		if res.PerTenant > res.Total {
+			t.Fatalf("%s per-tenant exceeds total: %+v", f.Name, res)
+		}
+	}
+}
+
+func TestMeasureTimingEmpty(t *testing.T) {
+	cf, _ := factories(t)
+	if _, err := MeasureTiming(cf, nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}

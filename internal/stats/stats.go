@@ -1,0 +1,308 @@
+// Package stats implements the descriptive statistics used by the
+// experiment harnesses: means, variances, percentiles (notably the 99th
+// percentile SLA metric), and Student-t 95% confidence intervals for the
+// whiskers of Figure 6.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// P99 returns the 99th percentile of xs, the SLA metric used throughout the
+// paper's evaluation.
+func P99(xs []float64) (float64, error) {
+	return Percentile(xs, 99)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
+		P99:    percentileSorted(sorted, 99),
+	}, nil
+}
+
+// Interval is a symmetric confidence interval around a mean.
+type Interval struct {
+	Mean float64
+	// Half is the half-width of the interval: the true mean lies in
+	// [Mean-Half, Mean+Half] at the stated confidence level.
+	Half float64
+}
+
+// Lo returns the lower bound of the interval.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.Half }
+
+// Hi returns the upper bound of the interval.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.Half }
+
+// CI95 returns the 95% Student-t confidence interval for the mean of xs.
+// For a single sample the half-width is zero.
+func CI95(xs []float64) (Interval, error) {
+	n := len(xs)
+	if n == 0 {
+		return Interval{}, ErrEmpty
+	}
+	m := Mean(xs)
+	if n == 1 {
+		return Interval{Mean: m}, nil
+	}
+	se := StdDev(xs) / math.Sqrt(float64(n))
+	return Interval{Mean: m, Half: tQuantile975(n-1) * se}, nil
+}
+
+// tQuantile975 returns the 0.975 quantile of the Student-t distribution with
+// df degrees of freedom (two-sided 95%).
+func tQuantile975(df int) float64 {
+	// Exact-enough table for small df; the normal quantile beyond.
+	// Index df: entry 0 is unused, entry 1 is df=1 (12.706), then df=2..30.
+	table := []float64{
+		0,
+		12.706,
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return math.NaN()
+	case df < len(table):
+		return table[df]
+	case df <= 60:
+		return 2.000
+	default:
+		return 1.96
+	}
+}
+
+// RelativeDifference returns (a-b)/b * 100, the percentage by which a
+// exceeds b. This is the paper's savings metric with a = RFI servers and
+// b = CubeFit servers.
+func RelativeDifference(a, b float64) float64 {
+	return (a - b) / b * 100
+}
+
+// Online accumulates mean and variance in one pass (Welford's algorithm)
+// without retaining samples. The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased running variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the unbiased running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 if none).
+func (o *Online) Max() float64 { return o.max }
+
+// Histogram counts observations in equal-width buckets over [lo, hi).
+// Observations outside the range land in the under/overflow counters.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram range is empty")
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		width:   (hi - lo) / float64(n),
+		buckets: make([]int, n),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard against float rounding at hi
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// Overflow returns the number of observations at or above the upper bound.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// Underflow returns the number of observations below the lower bound.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Quantile returns an approximation of the q-th quantile (0..1) from the
+// bucket boundaries. Underflow mass is attributed to lo and overflow mass
+// to hi.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if cum >= target {
+		return h.lo, nil
+	}
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width, nil
+		}
+		cum = next
+	}
+	return h.hi, nil
+}

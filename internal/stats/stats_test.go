@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubefit/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{7}, want: 7},
+		{name: "pair", give: []float64{2, 4}, want: 3},
+		{name: "negatives", give: []float64{-1, 1, -3, 3}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 = 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Fatalf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{25, 20},
+		{50, 35},
+		{100, 50},
+		{40, 29}, // interpolated: rank 1.6 -> 20 + 0.6*(35-20)
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("empty percentile error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("negative percentile did not error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("percentile > 100 did not error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestP99(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	got, err := P99(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 99.01, 1e-9) {
+		t.Fatalf("P99 = %v, want 99.01", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almostEqual(s.Mean, 3, 1e-12) || !almostEqual(s.P50, 3, 1e-12) {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("empty summarize error = %v", err)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// 10 identical values: zero-width interval.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = 4.2
+	}
+	iv, err := CI95(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(iv.Mean, 4.2, 1e-12) || iv.Half > 1e-12 {
+		t.Fatalf("CI of constants = %+v", iv)
+	}
+
+	// Known small-sample case: {1,2,3,4,5}, mean 3, sd sqrt(2.5),
+	// half-width = 2.776 * sd/sqrt(5).
+	xs = []float64{1, 2, 3, 4, 5}
+	iv, err = CI95(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalf := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if !almostEqual(iv.Half, wantHalf, 1e-9) {
+		t.Fatalf("CI half-width = %v, want %v", iv.Half, wantHalf)
+	}
+	if !almostEqual(iv.Lo(), 3-wantHalf, 1e-9) || !almostEqual(iv.Hi(), 3+wantHalf, 1e-9) {
+		t.Fatalf("CI bounds wrong: [%v, %v]", iv.Lo(), iv.Hi())
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical check: the 95% CI of n=10 normal samples should cover the
+	// true mean roughly 95% of the time.
+	r := rng.New(99)
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = r.NormFloat64(10, 3)
+		}
+		iv, err := CI95(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo() <= 10 && 10 <= iv.Hi() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Fatalf("CI95 coverage = %v, want about 0.95", rate)
+	}
+}
+
+func TestCI95Errors(t *testing.T) {
+	if _, err := CI95(nil); err != ErrEmpty {
+		t.Fatalf("empty CI error = %v", err)
+	}
+	iv, err := CI95([]float64{3})
+	if err != nil || iv.Mean != 3 || iv.Half != 0 {
+		t.Fatalf("singleton CI = %+v, %v", iv, err)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile975(df)
+		if q > prev+1e-9 {
+			t.Fatalf("t quantile not non-increasing at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+	if !math.IsNaN(tQuantile975(0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	if got := RelativeDifference(130, 100); !almostEqual(got, 30, 1e-12) {
+		t.Fatalf("RelativeDifference = %v, want 30", got)
+	}
+	if got := RelativeDifference(100, 100); got != 0 {
+		t.Fatalf("RelativeDifference of equal = %v", got)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		n := int(rawN)%50 + 2
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = r.NormFloat64(0, 5)
+			o.Add(xs[i])
+		}
+		return o.N() == n &&
+			almostEqual(o.Mean(), Mean(xs), 1e-9) &&
+			almostEqual(o.Variance(), Variance(xs), 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMinMax(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3, -1, 7, 2} {
+		o.Add(x)
+	}
+	if o.Min() != -1 || o.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(42)
+	if h.Total() != 12 || h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("counts wrong: total=%d under=%d over=%d", h.Total(), h.Underflow(), h.Overflow())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.Float64() * 100)
+	}
+	q, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-50) > 1.5 {
+		t.Fatalf("median of uniform = %v, want about 50", q)
+	}
+	q99, err := h.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q99-99) > 1.5 {
+		t.Fatalf("p99 of uniform = %v, want about 99", q99)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero buckets did not error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range did not error")
+	}
+	h, err := NewHistogram(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("empty quantile error = %v", err)
+	}
+	h.Add(0.5)
+	if _, err := h.Quantile(1.5); err == nil {
+		t.Fatal("out-of-range quantile did not error")
+	}
+}
+
+func TestOnlineStdDevAndEdges(t *testing.T) {
+	var o Online
+	if o.Variance() != 0 || o.StdDev() != 0 {
+		t.Fatal("empty online variance not 0")
+	}
+	o.Add(2)
+	if o.Variance() != 0 {
+		t.Fatal("singleton variance not 0")
+	}
+	o.Add(4)
+	if got := o.StdDev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("StdDev = %v, want sqrt(2)", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package tpch models the paper's analytics workload: the 22 TPC-H query
+// templates plus update statements, scaled so the paper's experimental
+// setup holds — 95% reads / 5% updates (§V-A), and a server saturated with
+// MaxClientsPerServer concurrent clients exhibits a 99th-percentile
+// response time equal to the 5-second SLA.
+//
+// The authors ran real TPC-H against PostgreSQL; this package substitutes
+// a synthetic service-demand distribution with the same role (see
+// DESIGN.md §3): per-template base demands spanning roughly 20×, a
+// log-normal per-execution jitter, and a self-calibrating scale factor
+// anchored to the SLA.
+package tpch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cubefit/internal/rng"
+)
+
+// NumTemplates is the number of TPC-H read query templates.
+const NumTemplates = 22
+
+// DefaultReadFraction is the paper's read share of the workload.
+const DefaultReadFraction = 0.95
+
+// UpdateTemplate is the template index reported for update statements.
+const UpdateTemplate = 0
+
+// Query is one sampled statement.
+type Query struct {
+	// Template is the TPC-H query number 1..22, or UpdateTemplate for an
+	// update statement.
+	Template int
+	// Demand is the server work the statement requires, in seconds of an
+	// otherwise idle server.
+	Demand float64
+	// Update marks write statements, which execute against every replica
+	// of the tenant to preserve consistency.
+	Update bool
+}
+
+// baseDemands holds relative per-template service demands for Q1..Q22.
+// The values reflect the familiar ordering of TPC-H query weights (Q1, Q9,
+// Q18, Q21 heavy; Q2, Q6, Q14 light); only their relative spread matters
+// because Calibrate rescales the whole mix against the SLA.
+var baseDemands = [NumTemplates]float64{
+	1.00, // Q1  pricing summary (heavy scan+aggregate)
+	0.12, // Q2  minimum cost supplier
+	0.45, // Q3  shipping priority
+	0.38, // Q4  order priority
+	0.52, // Q5  local supplier volume
+	0.10, // Q6  forecast revenue (light scan)
+	0.48, // Q7  volume shipping
+	0.55, // Q8  national market share
+	0.95, // Q9  product type profit (heavy join)
+	0.42, // Q10 returned items
+	0.18, // Q11 important stock
+	0.35, // Q12 shipping modes
+	0.60, // Q13 customer distribution
+	0.14, // Q14 promotion effect
+	0.25, // Q15 top supplier
+	0.30, // Q16 parts/supplier relationship
+	0.40, // Q17 small-quantity-order revenue
+	0.85, // Q18 large volume customer (heavy)
+	0.28, // Q19 discounted revenue
+	0.46, // Q20 potential part promotion
+	0.90, // Q21 suppliers who kept orders waiting (heavy)
+	0.22, // Q22 global sales opportunity
+}
+
+// updateBaseDemand is the relative demand of one update statement; updates
+// are short row operations compared to analytic scans.
+const updateBaseDemand = 0.05
+
+// jitterSigma is the standard deviation of the log-normal per-execution
+// demand multiplier.
+const jitterSigma = 0.20
+
+// calibrationSamples is the sample count used to anchor the demand P99.
+const calibrationSamples = 200_000
+
+// Mix is a sampleable statement workload. Construct with NewMix; a Mix is
+// immutable and safe for concurrent Sample calls with distinct RNGs.
+type Mix struct {
+	readFraction float64
+	scale        float64
+	cdf          [NumTemplates]float64 // uniform across templates, kept for clarity
+}
+
+// Option configures NewMix.
+type Option interface {
+	apply(*mixOptions)
+}
+
+type mixOptions struct {
+	readFraction float64
+	targetP99    float64
+}
+
+type readFractionOption float64
+
+func (o readFractionOption) apply(m *mixOptions) { m.readFraction = float64(o) }
+
+// WithReadFraction overrides the read share (default 0.95).
+func WithReadFraction(f float64) Option { return readFractionOption(f) }
+
+type targetP99Option float64
+
+func (o targetP99Option) apply(m *mixOptions) { m.targetP99 = float64(o) }
+
+// WithTargetP99 calibrates the mix so the 99th percentile of sampled
+// demands equals the given value in seconds. The default anchors a
+// 52-client saturated server at a 5-second P99, i.e. 5/52.
+func WithTargetP99(p99 float64) Option { return targetP99Option(p99) }
+
+// DefaultTargetP99 is the default demand P99: the 5 s SLA divided by the
+// 52-client server capacity.
+const DefaultTargetP99 = 5.0 / 52
+
+// NewMix builds a calibrated statement mix.
+func NewMix(opts ...Option) (*Mix, error) {
+	o := mixOptions{readFraction: DefaultReadFraction, targetP99: DefaultTargetP99}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.readFraction < 0 || o.readFraction > 1 {
+		return nil, fmt.Errorf("tpch: read fraction %v outside [0,1]", o.readFraction)
+	}
+	if o.targetP99 <= 0 {
+		return nil, errors.New("tpch: target P99 must be positive")
+	}
+	m := &Mix{readFraction: o.readFraction, scale: 1}
+	for i := range m.cdf {
+		m.cdf[i] = float64(i+1) / NumTemplates
+	}
+	m.scale = o.targetP99 / m.demandP99()
+	return m, nil
+}
+
+// demandP99 estimates the mix's unscaled demand P99 with a fixed internal
+// random stream, making calibration deterministic.
+func (m *Mix) demandP99() float64 {
+	r := rng.New(0x7c9c0221)
+	demands := make([]float64, calibrationSamples)
+	for i := range demands {
+		demands[i] = m.Sample(r).Demand
+	}
+	sort.Float64s(demands)
+	idx := int(0.99 * float64(len(demands)-1))
+	return demands[idx]
+}
+
+// ReadFraction returns the read share of the mix.
+func (m *Mix) ReadFraction() float64 { return m.readFraction }
+
+// Scale returns the calibrated demand scale factor.
+func (m *Mix) Scale() float64 { return m.scale }
+
+// Sample draws one statement.
+func (m *Mix) Sample(r *rng.RNG) Query {
+	jitter := r.LogNormFloat64(0, jitterSigma)
+	if r.Float64() >= m.readFraction {
+		return Query{
+			Template: UpdateTemplate,
+			Demand:   updateBaseDemand * jitter * m.scale,
+			Update:   true,
+		}
+	}
+	t := r.Intn(NumTemplates)
+	return Query{
+		Template: t + 1,
+		Demand:   baseDemands[t] * jitter * m.scale,
+	}
+}
+
+// MeanDemand estimates the average statement demand via sampling with a
+// fixed stream (deterministic).
+func (m *Mix) MeanDemand() float64 {
+	r := rng.New(0x51a7e)
+	sum := 0.0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		sum += m.Sample(r).Demand
+	}
+	return sum / n
+}

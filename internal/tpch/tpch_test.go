@@ -1,0 +1,176 @@
+package tpch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cubefit/internal/rng"
+)
+
+func TestNewMixDefaults(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadFraction() != DefaultReadFraction {
+		t.Fatalf("read fraction = %v", m.ReadFraction())
+	}
+	if m.Scale() <= 0 {
+		t.Fatalf("scale = %v", m.Scale())
+	}
+}
+
+func TestNewMixErrors(t *testing.T) {
+	if _, err := NewMix(WithReadFraction(-0.1)); err == nil {
+		t.Fatal("negative read fraction accepted")
+	}
+	if _, err := NewMix(WithReadFraction(1.1)); err == nil {
+		t.Fatal("read fraction > 1 accepted")
+	}
+	if _, err := NewMix(WithTargetP99(0)); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+// TestCalibration is the anchor of the whole cluster substitution: the
+// sampled demand P99 must equal SLA/52 so a saturated 52-client server
+// sits exactly at the SLA.
+func TestCalibration(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	var n = 100_000
+	demands := make([]float64, n)
+	for i := range demands {
+		q := m.Sample(r)
+		if q.Demand <= 0 {
+			t.Fatalf("non-positive demand %v", q.Demand)
+		}
+		demands[i] = q.Demand
+	}
+	sort.Float64s(demands)
+	p99 := demands[int(0.99*float64(n-1))]
+	if math.Abs(p99-DefaultTargetP99)/DefaultTargetP99 > 0.03 {
+		t.Fatalf("demand P99 = %v, want about %v", p99, DefaultTargetP99)
+	}
+	// Implied saturated-server P99 = 52 × demand P99 ≈ 5 s.
+	if sat := p99 * 52; sat < 4.7 || sat > 5.3 {
+		t.Fatalf("implied saturated P99 = %v s, want about 5", sat)
+	}
+}
+
+func TestReadWriteMix(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	updates := 0
+	var n = 100_000
+	for i := 0; i < n; i++ {
+		q := m.Sample(r)
+		if q.Update {
+			updates++
+			if q.Template != UpdateTemplate {
+				t.Fatalf("update with template %d", q.Template)
+			}
+		} else if q.Template < 1 || q.Template > NumTemplates {
+			t.Fatalf("read template %d out of range", q.Template)
+		}
+	}
+	frac := float64(updates) / float64(n)
+	if math.Abs(frac-0.05) > 0.005 {
+		t.Fatalf("update fraction = %v, want 0.05", frac)
+	}
+}
+
+func TestAllTemplatesAppear(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	seen := make(map[int]bool)
+	for i := 0; i < 10_000; i++ {
+		q := m.Sample(r)
+		if !q.Update {
+			seen[q.Template] = true
+		}
+	}
+	if len(seen) != NumTemplates {
+		t.Fatalf("only %d of %d templates sampled", len(seen), NumTemplates)
+	}
+}
+
+func TestUpdatesAreCheap(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	var readSum, updSum float64
+	var reads, upds int
+	for i := 0; i < 50_000; i++ {
+		q := m.Sample(r)
+		if q.Update {
+			updSum += q.Demand
+			upds++
+		} else {
+			readSum += q.Demand
+			reads++
+		}
+	}
+	if upds == 0 || reads == 0 {
+		t.Fatal("mix degenerate")
+	}
+	if updSum/float64(upds) >= readSum/float64(reads) {
+		t.Fatal("updates are not cheaper than reads on average")
+	}
+}
+
+func TestCustomTarget(t *testing.T) {
+	m, err := NewMix(WithTargetP99(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	var n = 100_000
+	demands := make([]float64, n)
+	for i := range demands {
+		demands[i] = m.Sample(r).Demand
+	}
+	sort.Float64s(demands)
+	p99 := demands[int(0.99*float64(n-1))]
+	if math.Abs(p99-0.5)/0.5 > 0.03 {
+		t.Fatalf("custom target P99 = %v, want 0.5", p99)
+	}
+}
+
+func TestReadOnlyMix(t *testing.T) {
+	m, err := NewMix(WithReadFraction(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	for i := 0; i < 10_000; i++ {
+		if m.Sample(r).Update {
+			t.Fatal("update sampled from read-only mix")
+		}
+	}
+}
+
+func TestMeanDemandDeterministic(t *testing.T) {
+	m, err := NewMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := m.MeanDemand(), m.MeanDemand(); a != b {
+		t.Fatalf("MeanDemand not deterministic: %v vs %v", a, b)
+	}
+	if m.MeanDemand() <= 0 {
+		t.Fatal("mean demand not positive")
+	}
+}

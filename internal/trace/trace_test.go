@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/packing"
+	"cubefit/internal/workload"
+)
+
+func buildPlacement(t *testing.T) *packing.Placement {
+	t.Helper()
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), mustUniform(t), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packing.PlaceAll(cf, workload.Take(src, 100)); err != nil {
+		t.Fatal(err)
+	}
+	return cf.Placement()
+}
+
+func mustUniform(t *testing.T) workload.Uniform {
+	t.Helper()
+	u, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := buildPlacement(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Gamma() != p.Gamma() {
+		t.Fatalf("gamma %d != %d", restored.Gamma(), p.Gamma())
+	}
+	if restored.NumServers() != p.NumServers() {
+		t.Fatalf("servers %d != %d", restored.NumServers(), p.NumServers())
+	}
+	if restored.NumTenants() != p.NumTenants() {
+		t.Fatalf("tenants %d != %d", restored.NumTenants(), p.NumTenants())
+	}
+	if math.Abs(restored.TotalLoad()-p.TotalLoad()) > 1e-9 {
+		t.Fatalf("load %v != %v", restored.TotalLoad(), p.TotalLoad())
+	}
+	// Per-server levels and shared loads must match exactly.
+	for _, s := range p.Servers() {
+		rs := restored.Server(s.ID())
+		if math.Abs(rs.Level()-s.Level()) > 1e-12 {
+			t.Fatalf("server %d level %v != %v", s.ID(), rs.Level(), s.Level())
+		}
+		s.EachShared(func(j int, v float64) {
+			if math.Abs(rs.SharedWith(j)-v) > 1e-12 {
+				t.Fatalf("server %d shared with %d: %v != %v", s.ID(), j, rs.SharedWith(j), v)
+			}
+		})
+	}
+	// Robustness must survive the round trip.
+	if err := restored.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	p := buildPlacement(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"gamma": 2`, `"servers"`, `"tenants"`, `"replicas"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%.400s", want, out)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	// Bad gamma.
+	if _, err := Restore(Snapshot{Gamma: 0}); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	// Replica referencing an unknown tenant.
+	snap := Snapshot{
+		Gamma: 2,
+		Servers: []ServerSnapshot{
+			{ID: 0, Replicas: []ReplicaSnapshot{{Tenant: 7, Index: 0, Size: 0.2}}},
+		},
+	}
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+}
+
+func TestEmptyPlacementRoundTrip(t *testing.T) {
+	p, err := packing.NewPlacement(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Gamma() != 3 || restored.NumServers() != 0 {
+		t.Fatalf("restored %+v", restored)
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cubefit/internal/rng"
+)
+
+// This file extends the distribution suite beyond the two used in the
+// paper's system experiments — the paper's simulator "has a suite of
+// distributions generate tenant load sequences" (§V-C), and these cover
+// the remaining shapes one meets in practice.
+
+// Constant always returns the same client count: the degenerate case that
+// stresses the cube construction of a single class.
+type Constant struct {
+	C int
+}
+
+var _ Distribution = Constant{}
+
+// NewConstant returns a distribution fixed at c clients.
+func NewConstant(c int) (Constant, error) {
+	if c < 1 {
+		return Constant{}, fmt.Errorf("workload: constant client count %d < 1", c)
+	}
+	return Constant{C: c}, nil
+}
+
+// Name implements Distribution.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%d)", c.C) }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*rng.RNG) int { return c.C }
+
+// Bimodal mixes two uniform populations: mostly small interactive tenants
+// with an occasional heavy analytics tenant — the "elephants and mice"
+// shape of shared analytic clusters.
+type Bimodal struct {
+	Small     Uniform
+	Big       Uniform
+	BigWeight float64
+}
+
+var _ Distribution = Bimodal{}
+
+// NewBimodal builds a mixture drawing from big with probability bigWeight
+// and from small otherwise.
+func NewBimodal(small, big Uniform, bigWeight float64) (Bimodal, error) {
+	if bigWeight < 0 || bigWeight > 1 {
+		return Bimodal{}, fmt.Errorf("workload: big weight %v outside [0,1]", bigWeight)
+	}
+	if small.Lo < 1 || small.Hi < small.Lo || big.Lo < 1 || big.Hi < big.Lo {
+		return Bimodal{}, fmt.Errorf("workload: invalid mixture components %+v / %+v", small, big)
+	}
+	return Bimodal{Small: small, Big: big, BigWeight: bigWeight}, nil
+}
+
+// Name implements Distribution.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%d..%d | %d..%d @%.0f%%)",
+		b.Small.Lo, b.Small.Hi, b.Big.Lo, b.Big.Hi, b.BigWeight*100)
+}
+
+// Sample implements Distribution.
+func (b Bimodal) Sample(r *rng.RNG) int {
+	if r.Float64() < b.BigWeight {
+		return b.Big.Sample(r)
+	}
+	return b.Small.Sample(r)
+}
+
+// Geometric models client counts with a memoryless tail: P(c) ∝ (1−p)^(c−1),
+// truncated at Max.
+type Geometric struct {
+	P   float64
+	Max int
+}
+
+var _ Distribution = Geometric{}
+
+// NewGeometric builds a truncated geometric distribution with success
+// probability p over [1, max].
+func NewGeometric(p float64, max int) (Geometric, error) {
+	if p <= 0 || p >= 1 {
+		return Geometric{}, fmt.Errorf("workload: geometric p %v outside (0,1)", p)
+	}
+	if max < 1 {
+		return Geometric{}, fmt.Errorf("workload: geometric max %d < 1", max)
+	}
+	return Geometric{P: p, Max: max}, nil
+}
+
+// Name implements Distribution.
+func (g Geometric) Name() string { return fmt.Sprintf("geometric(p=%g, 1..%d)", g.P, g.Max) }
+
+// Sample implements Distribution.
+func (g Geometric) Sample(r *rng.RNG) int {
+	// Inverse transform on the truncated support.
+	u := r.Float64()
+	// CDF at c: 1-(1-p)^c, normalized by CDF at Max.
+	norm := 1 - math.Pow(1-g.P, float64(g.Max))
+	c := int(math.Ceil(math.Log(1-u*norm) / math.Log(1-g.P)))
+	if c < 1 {
+		c = 1
+	}
+	if c > g.Max {
+		c = g.Max
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/rng"
+)
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "constant(7)" {
+		t.Fatalf("name %q", c.Name())
+	}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := c.Sample(r); got != 7 {
+			t.Fatalf("sample %d", got)
+		}
+	}
+	if _, err := NewConstant(0); err == nil {
+		t.Fatal("constant 0 accepted")
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	small, err := NewUniform(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewUniform(40, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBimodal(small, big, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	bigCount := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c := b.Sample(r)
+		switch {
+		case c >= 1 && c <= 5:
+		case c >= 40 && c <= 52:
+			bigCount++
+		default:
+			t.Fatalf("sample %d outside both modes", c)
+		}
+	}
+	frac := float64(bigCount) / n
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Fatalf("big fraction %v, want 0.1", frac)
+	}
+}
+
+func TestBimodalErrors(t *testing.T) {
+	small, _ := NewUniform(1, 5)
+	big, _ := NewUniform(40, 52)
+	if _, err := NewBimodal(small, big, -0.1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewBimodal(small, big, 1.5); err == nil {
+		t.Fatal("weight > 1 accepted")
+	}
+	if _, err := NewBimodal(Uniform{Lo: 0, Hi: 5}, big, 0.5); err == nil {
+		t.Fatal("invalid component accepted")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g, err := NewGeometric(0.5, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	counts := make(map[int]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		c := g.Sample(r)
+		if c < 1 || c > 52 {
+			t.Fatalf("sample %d out of range", c)
+		}
+		counts[c]++
+	}
+	// P(1) ≈ 0.5, P(2) ≈ 0.25 for p=0.5.
+	p1 := float64(counts[1]) / n
+	p2 := float64(counts[2]) / n
+	if math.Abs(p1-0.5) > 0.01 {
+		t.Fatalf("P(1) = %v, want 0.5", p1)
+	}
+	if math.Abs(p1/p2-2) > 0.1 {
+		t.Fatalf("P(1)/P(2) = %v, want 2", p1/p2)
+	}
+}
+
+func TestGeometricTruncation(t *testing.T) {
+	g, err := NewGeometric(0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	sawMax := false
+	for i := 0; i < 10000; i++ {
+		c := g.Sample(r)
+		if c < 1 || c > 10 {
+			t.Fatalf("sample %d out of truncated range", c)
+		}
+		if c == 10 {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Fatal("truncated mass never reached the maximum")
+	}
+}
+
+func TestGeometricErrors(t *testing.T) {
+	if _, err := NewGeometric(0, 10); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewGeometric(1, 10); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+	if _, err := NewGeometric(0.5, 0); err == nil {
+		t.Fatal("max=0 accepted")
+	}
+}
+
+// TestNewDistributionsDriveValidPlacements plugs the extended suite into a
+// client source and checks tenants are well formed.
+func TestNewDistributionsDriveValidPlacements(t *testing.T) {
+	small, _ := NewUniform(1, 5)
+	big, _ := NewUniform(40, 52)
+	bm, err := NewBimodal(small, big, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := NewGeometric(0.3, MaxClientsPerServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := NewConstant(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []Distribution{bm, geo, cst} {
+		src, err := NewClientSource(DefaultLoadModel(), dist, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tn := range Take(src, 500) {
+			if err := tn.Validate(); err != nil {
+				t.Fatalf("%s produced invalid tenant: %v", dist.Name(), err)
+			}
+		}
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	small, _ := NewUniform(1, 5)
+	big, _ := NewUniform(40, 52)
+	bm, _ := NewBimodal(small, big, 0.25)
+	if bm.Name() != "bimodal(1..5 | 40..52 @25%)" {
+		t.Fatalf("bimodal name %q", bm.Name())
+	}
+	geo, _ := NewGeometric(0.5, 52)
+	if geo.Name() != "geometric(p=0.5, 1..52)" {
+		t.Fatalf("geometric name %q", geo.Name())
+	}
+	z, _ := NewZipf(3, 52)
+	if z.Name() != "zipf(s=3, 1..52)" {
+		t.Fatalf("zipf name %q", z.Name())
+	}
+}

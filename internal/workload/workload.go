@@ -1,0 +1,222 @@
+// Package workload generates tenant arrival sequences for the consolidation
+// experiments: client-count distributions (discrete uniform and zipfian, as
+// in the paper's §V) and the linear load model load = δ·c + β from §IV.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+)
+
+// MaxClientsPerServer is the paper's empirically derived server capacity:
+// at most 52 concurrent clients can be supported per host machine within
+// the 5-second 99th-percentile SLA (§V-A).
+const MaxClientsPerServer = 52
+
+// LoadModel is the paper's linear tenant utilization model: a tenant with c
+// concurrent clients places load Delta·c + Beta on its server, where Delta
+// is the per-client capacity fraction and Beta the per-tenant overhead.
+type LoadModel struct {
+	Delta float64
+	Beta  float64
+}
+
+// DefaultLoadModel calibrates the model so that a single tenant with
+// MaxClientsPerServer clients exactly saturates a server
+// (Delta·52 + Beta = 1), with a small per-tenant overhead.
+func DefaultLoadModel() LoadModel {
+	const beta = 0.02
+	return LoadModel{Delta: (1 - beta) / MaxClientsPerServer, Beta: beta}
+}
+
+// Validate reports whether the model produces loads in (0, 1] for client
+// counts in [1, MaxClientsPerServer].
+func (m LoadModel) Validate() error {
+	if m.Delta <= 0 {
+		return errors.New("workload: Delta must be positive")
+	}
+	if m.Beta < 0 {
+		return errors.New("workload: Beta must be non-negative")
+	}
+	if m.Load(MaxClientsPerServer) > 1+1e-9 {
+		return fmt.Errorf("workload: %d clients produce load %v > 1",
+			MaxClientsPerServer, m.Load(MaxClientsPerServer))
+	}
+	return nil
+}
+
+// Load returns the normalized load of a tenant with the given number of
+// concurrent clients. Values above 1.0 indicate an over-utilized server.
+func (m LoadModel) Load(clients int) float64 {
+	return m.Delta*float64(clients) + m.Beta
+}
+
+// Clients inverts the model, returning the largest client count whose load
+// does not exceed the given value (at least 0).
+func (m LoadModel) Clients(load float64) int {
+	c := int(math.Floor((load - m.Beta) / m.Delta))
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Distribution samples tenant client counts.
+type Distribution interface {
+	// Name identifies the distribution in reports, e.g. "uniform(1..15)".
+	Name() string
+	// Sample draws one client count (>= 1).
+	Sample(r *rng.RNG) int
+}
+
+// Uniform is the discrete uniform distribution over [Lo, Hi] used in the
+// paper's first system experiment (1 to 15 clients per tenant).
+type Uniform struct {
+	Lo, Hi int
+}
+
+var _ Distribution = Uniform{}
+
+// NewUniform returns the discrete uniform distribution over [lo, hi].
+func NewUniform(lo, hi int) (Uniform, error) {
+	if lo < 1 || hi < lo {
+		return Uniform{}, fmt.Errorf("workload: invalid uniform range [%d, %d]", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d..%d)", u.Lo, u.Hi) }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *rng.RNG) int { return r.IntRange(u.Lo, u.Hi) }
+
+// Zipf is the zipfian distribution over client counts 1..N with exponent S:
+// P(c) ∝ c^(−S). The paper's second system experiment uses S = 3, N = 52.
+type Zipf struct {
+	S   float64
+	N   int
+	cdf []float64
+}
+
+var _ Distribution = (*Zipf)(nil)
+
+// NewZipf precomputes the CDF for a zipfian distribution with exponent s
+// over the support [1, n].
+func NewZipf(s float64, n int) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf support %d < 1", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: zipf exponent %v <= 0", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for c := 1; c <= n; c++ {
+		sum += math.Pow(float64(c), -s)
+		cdf[c-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{S: s, N: n, cdf: cdf}, nil
+}
+
+// Name implements Distribution.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(s=%g, 1..%d)", z.S, z.N) }
+
+// Sample implements Distribution.
+func (z *Zipf) Sample(r *rng.RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// Mean returns the exact mean client count of the distribution.
+func (z *Zipf) Mean() float64 {
+	num, den := 0.0, 0.0
+	for c := 1; c <= z.N; c++ {
+		w := math.Pow(float64(c), -z.S)
+		num += float64(c) * w
+		den += w
+	}
+	return num / den
+}
+
+// Source produces an online sequence of tenants.
+type Source interface {
+	// Next returns the next arriving tenant.
+	Next() packing.Tenant
+}
+
+// ClientSource draws client counts from a Distribution and derives loads
+// via a LoadModel. Tenant IDs are assigned sequentially from 0.
+type ClientSource struct {
+	model LoadModel
+	dist  Distribution
+	r     *rng.RNG
+	next  packing.TenantID
+}
+
+var _ Source = (*ClientSource)(nil)
+
+// NewClientSource creates a tenant source with its own deterministic
+// random stream.
+func NewClientSource(model LoadModel, dist Distribution, seed uint64) (*ClientSource, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if dist == nil {
+		return nil, errors.New("workload: nil distribution")
+	}
+	return &ClientSource{model: model, dist: dist, r: rng.New(seed)}, nil
+}
+
+// Next implements Source.
+func (s *ClientSource) Next() packing.Tenant {
+	c := s.dist.Sample(s.r)
+	t := packing.Tenant{ID: s.next, Load: s.model.Load(c), Clients: c}
+	s.next++
+	return t
+}
+
+// LoadSource draws tenant loads directly from a continuous uniform
+// distribution over (0, Max]; used by the pure packing and competitive
+// ratio experiments where the client count is irrelevant.
+type LoadSource struct {
+	max  float64
+	r    *rng.RNG
+	next packing.TenantID
+}
+
+var _ Source = (*LoadSource)(nil)
+
+// NewLoadSource creates a source of loads uniform on (0, max], 0 < max <= 1.
+func NewLoadSource(max float64, seed uint64) (*LoadSource, error) {
+	if max <= 0 || max > 1 {
+		return nil, fmt.Errorf("workload: load bound %v outside (0,1]", max)
+	}
+	return &LoadSource{max: max, r: rng.New(seed)}, nil
+}
+
+// Next implements Source.
+func (s *LoadSource) Next() packing.Tenant {
+	load := s.max * (1 - s.r.Float64()) // in (0, max]
+	t := packing.Tenant{ID: s.next, Load: load}
+	s.next++
+	return t
+}
+
+// Take drains n tenants from a source into a slice.
+func Take(src Source, n int) []packing.Tenant {
+	out := make([]packing.Tenant, n)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cubefit/internal/rng"
+)
+
+func TestDefaultLoadModel(t *testing.T) {
+	m := DefaultLoadModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Load(MaxClientsPerServer); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("load at capacity = %v, want 1", got)
+	}
+	if got := m.Load(1); got <= 0 || got > 0.1 {
+		t.Fatalf("single-client load = %v, want small positive", got)
+	}
+	// Loads are additive in clients.
+	if got := m.Load(10) - m.Load(5); math.Abs(got-5*m.Delta) > 1e-12 {
+		t.Fatalf("load not linear: %v", got)
+	}
+}
+
+func TestLoadModelValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		give   LoadModel
+		wantOK bool
+	}{
+		{name: "default", give: DefaultLoadModel(), wantOK: true},
+		{name: "zero delta", give: LoadModel{Delta: 0, Beta: 0.1}},
+		{name: "negative beta", give: LoadModel{Delta: 0.01, Beta: -0.1}},
+		{name: "overloads at capacity", give: LoadModel{Delta: 0.05, Beta: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", tt.give, err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestLoadModelClientsInverts(t *testing.T) {
+	m := DefaultLoadModel()
+	for c := 0; c <= MaxClientsPerServer; c++ {
+		got := m.Clients(m.Load(c) + 1e-12)
+		if got != c {
+			t.Fatalf("Clients(Load(%d)) = %d", c, got)
+		}
+	}
+	if got := m.Clients(0); got != 0 {
+		t.Fatalf("Clients(0) = %d, want 0", got)
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	u, err := NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "uniform(1..15)" {
+		t.Fatalf("name = %q", u.Name())
+	}
+	r := rng.New(1)
+	counts := make(map[int]int)
+	const n = 150000
+	for i := 0; i < n; i++ {
+		c := u.Sample(r)
+		if c < 1 || c > 15 {
+			t.Fatalf("sample %d out of [1,15]", c)
+		}
+		counts[c]++
+	}
+	want := n / 15
+	for c := 1; c <= 15; c++ {
+		if math.Abs(float64(counts[c]-want)) > 0.1*float64(want) {
+			t.Fatalf("client count %d frequency %d deviates from %d", c, counts[c], want)
+		}
+	}
+}
+
+func TestNewUniformErrors(t *testing.T) {
+	if _, err := NewUniform(0, 5); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := NewUniform(5, 4); err == nil {
+		t.Fatal("hi<lo accepted")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z, err := NewZipf(3, MaxClientsPerServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	counts := make(map[int]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		c := z.Sample(r)
+		if c < 1 || c > MaxClientsPerServer {
+			t.Fatalf("sample %d out of range", c)
+		}
+		counts[c]++
+	}
+	// For s=3: P(1) = 1/ζ-ish; P(1)/P(2) = 8.
+	p1 := float64(counts[1]) / n
+	p2 := float64(counts[2]) / n
+	if p1 < 0.80 || p1 > 0.86 {
+		t.Fatalf("P(1) = %v, want about 0.832", p1)
+	}
+	if ratio := p1 / p2; math.Abs(ratio-8) > 0.8 {
+		t.Fatalf("P(1)/P(2) = %v, want about 8", ratio)
+	}
+	// Empirical mean close to the exact mean.
+	sum := 0
+	for c, k := range counts {
+		sum += c * k
+	}
+	if got, want := float64(sum)/n, z.Mean(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical mean %v vs exact %v", got, want)
+	}
+}
+
+func TestNewZipfErrors(t *testing.T) {
+	if _, err := NewZipf(3, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(0, 10); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+	if _, err := NewZipf(-1, 10); err == nil {
+		t.Fatal("negative s accepted")
+	}
+}
+
+func TestZipfDegenerateSupport(t *testing.T) {
+	z, err := NewZipf(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if c := z.Sample(r); c != 1 {
+			t.Fatalf("sample from support {1} = %d", c)
+		}
+	}
+}
+
+func TestClientSource(t *testing.T) {
+	u, err := NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewClientSource(DefaultLoadModel(), u, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultLoadModel()
+	prev := -1
+	for i := 0; i < 1000; i++ {
+		tn := src.Next()
+		if int(tn.ID) != prev+1 {
+			t.Fatalf("IDs not sequential: %d after %d", tn.ID, prev)
+		}
+		prev = int(tn.ID)
+		if tn.Clients < 1 || tn.Clients > 15 {
+			t.Fatalf("clients %d out of range", tn.Clients)
+		}
+		if math.Abs(tn.Load-m.Load(tn.Clients)) > 1e-12 {
+			t.Fatalf("load %v does not match model for %d clients", tn.Load, tn.Clients)
+		}
+		if err := tn.Validate(); err != nil {
+			t.Fatalf("generated invalid tenant: %v", err)
+		}
+	}
+}
+
+func TestClientSourceDeterministic(t *testing.T) {
+	u, _ := NewUniform(1, 15)
+	a, err := NewClientSource(DefaultLoadModel(), u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClientSource(DefaultLoadModel(), u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if got, want := a.Next(), b.Next(); got != want {
+			t.Fatalf("sources diverged at %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestClientSourceErrors(t *testing.T) {
+	u, _ := NewUniform(1, 15)
+	if _, err := NewClientSource(LoadModel{}, u, 1); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := NewClientSource(DefaultLoadModel(), nil, 1); err == nil {
+		t.Fatal("nil distribution accepted")
+	}
+}
+
+func TestLoadSource(t *testing.T) {
+	src, err := NewLoadSource(0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		tn := src.Next()
+		if tn.Load <= 0 || tn.Load > 0.5 {
+			t.Fatalf("load %v outside (0, 0.5]", tn.Load)
+		}
+	}
+}
+
+func TestNewLoadSourceErrors(t *testing.T) {
+	if _, err := NewLoadSource(0, 1); err == nil {
+		t.Fatal("max=0 accepted")
+	}
+	if _, err := NewLoadSource(1.5, 1); err == nil {
+		t.Fatal("max>1 accepted")
+	}
+}
+
+func TestTake(t *testing.T) {
+	src, err := NewLoadSource(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := Take(src, 100)
+	if len(ts) != 100 {
+		t.Fatalf("Take returned %d tenants", len(ts))
+	}
+	for i, tn := range ts {
+		if int(tn.ID) != i {
+			t.Fatalf("tenant %d has ID %d", i, tn.ID)
+		}
+	}
+}
