@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet test test-short race bench cover experiments figure5 figure6 table1 theorem2 fmt
 
 all: build vet test
 
@@ -18,6 +18,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector run; mirrors the CI gate and exercises the concurrent
+# controller paths (internal/api) and metrics hot paths.
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
@@ -14,15 +14,31 @@
 //	GET    /v1/stats
 //	GET    /v1/validate
 //	POST   /v1/drill         {"failures":2}
+//	POST   /v1/repack
 //	GET    /v1/healthz
+//	GET    /metrics          Prometheus text exposition
+//	/debug/pprof/*           with -pprof only
+//
+// Operations: the server applies Read/Write/Idle timeouts, logs every
+// request as a structured (slog) line, and exports per-route request
+// counts, status classes, latency histograms, and admission-outcome
+// counters at GET /metrics. On SIGINT/SIGTERM it stops accepting new
+// connections and drains in-flight requests for up to -drain before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cubefit/internal/api"
@@ -37,38 +53,124 @@ func main() {
 	}
 }
 
+// options carries the operational settings parsed from flags alongside
+// the algorithm configuration.
+type options struct {
+	cfg   core.Config
+	drain time.Duration
+	pprof bool
+}
+
 func run(args []string) error {
-	srv, cfg, err := newServer(args)
+	srv, opts, err := newServer(args)
 	if err != nil {
 		return err
 	}
-	log.Printf("cubefit-server listening on %s (γ=%d, K=%d)", srv.Addr, cfg.Gamma, cfg.K)
-	return srv.ListenAndServe()
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	slog.Info("cubefit-server listening",
+		"addr", ln.Addr().String(), "gamma", opts.cfg.Gamma, "k", opts.cfg.K,
+		"pprof", opts.pprof, "drain", opts.drain)
+	return serve(ctx, ln, srv, opts.drain)
+}
+
+// serve runs srv on ln until it fails or ctx is cancelled, then shuts
+// down gracefully: the listener closes immediately while in-flight
+// requests get up to drain to complete.
+func serve(ctx context.Context, ln net.Listener, srv *http.Server, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		slog.Info("shutting down", "drain", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		slog.Info("shutdown complete")
+		return nil
+	}
 }
 
 // newServer parses flags and builds the HTTP server without starting it.
-func newServer(args []string) (*http.Server, core.Config, error) {
+func newServer(args []string) (*http.Server, options, error) {
 	fs := flag.NewFlagSet("cubefit-server", flag.ContinueOnError)
 	var (
-		addr  = fs.String("addr", ":8080", "listen address")
-		gamma = fs.Int("gamma", 2, "replicas per tenant")
-		k     = fs.Int("k", 10, "CubeFit classes")
+		addr      = fs.String("addr", ":8080", "listen address")
+		gamma     = fs.Int("gamma", 2, "replicas per tenant")
+		k         = fs.Int("k", 10, "CubeFit classes")
+		withPprof = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, core.Config{}, err
+		return nil, options{}, err
 	}
-	cfg := core.Config{Gamma: *gamma, K: *k}
-	cf, err := core.New(cfg)
+	opts := options{cfg: core.Config{Gamma: *gamma, K: *k}, drain: *drain, pprof: *withPprof}
+	cf, err := core.New(opts.cfg)
 	if err != nil {
-		return nil, core.Config{}, err
+		return nil, options{}, err
 	}
 	ctrl, err := api.NewController(cf, workload.DefaultLoadModel())
 	if err != nil {
-		return nil, core.Config{}, err
+		return nil, options{}, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", ctrl.Handler())
+	if opts.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return &http.Server{
-		Addr:              *addr,
-		Handler:           ctrl.Handler(),
+		Addr:    *addr,
+		Handler: requestLogging(slog.Default(), mux),
+		// Placement operations are in-memory and fast; generous write and
+		// idle timeouts cover large /v1/placement snapshots and keep-alive
+		// reuse while still bounding stuck connections.
 		ReadHeaderTimeout: 5 * time.Second,
-	}, cfg, nil
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}, opts, nil
+}
+
+// requestLogging logs one structured line per request.
+func requestLogging(l *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		l.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr)
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }

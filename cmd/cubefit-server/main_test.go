@@ -1,18 +1,30 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestNewServerDefaults(t *testing.T) {
-	srv, cfg, err := newServer(nil)
+	srv, opts, err := newServer(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.Addr != ":8080" || cfg.Gamma != 2 || cfg.K != 10 {
-		t.Fatalf("defaults wrong: addr=%q cfg=%+v", srv.Addr, cfg)
+	if srv.Addr != ":8080" || opts.cfg.Gamma != 2 || opts.cfg.K != 10 {
+		t.Fatalf("defaults wrong: addr=%q opts=%+v", srv.Addr, opts)
+	}
+	if opts.pprof || opts.drain != 10*time.Second {
+		t.Fatalf("operational defaults wrong: %+v", opts)
+	}
+	if srv.ReadTimeout == 0 || srv.WriteTimeout == 0 || srv.IdleTimeout == 0 || srv.ReadHeaderTimeout == 0 {
+		t.Fatalf("timeouts not set: %+v", srv)
 	}
 	// The handler must serve the health endpoint.
 	ts := httptest.NewServer(srv.Handler)
@@ -24,6 +36,23 @@ func TestNewServerDefaults(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	// Metrics are exposed; pprof is off by default.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+	presp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode == 200 {
+		t.Fatal("pprof served without -pprof")
 	}
 }
 
@@ -40,14 +69,101 @@ func TestNewServerFlagErrors(t *testing.T) {
 }
 
 func TestNewServerCustomFlags(t *testing.T) {
-	srv, cfg, err := newServer([]string{"-addr", ":9999", "-gamma", "3", "-k", "5"})
+	srv, opts, err := newServer([]string{"-addr", ":9999", "-gamma", "3", "-k", "5", "-pprof", "-drain", "2s"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.Addr != ":9999" || cfg.Gamma != 3 || cfg.K != 5 {
-		t.Fatalf("flags not applied: addr=%q cfg=%+v", srv.Addr, cfg)
+	if srv.Addr != ":9999" || opts.cfg.Gamma != 3 || opts.cfg.K != 5 {
+		t.Fatalf("flags not applied: addr=%q opts=%+v", srv.Addr, opts)
+	}
+	if !opts.pprof || opts.drain != 2*time.Second {
+		t.Fatalf("operational flags not applied: %+v", opts)
 	}
 	if !strings.HasPrefix(srv.Addr, ":") {
 		t.Fatalf("addr %q", srv.Addr)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof status %d with -pprof", resp.StatusCode)
+	}
+}
+
+// TestServeGracefulShutdown verifies that cancelling the run context
+// drains an in-flight request to completion before serve returns.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+		w.Write([]byte("done"))
+	})
+	srv := &http.Server{Handler: mux}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	var serveErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = serve(ctx, ln, srv, 5*time.Second)
+	}()
+
+	url := fmt.Sprintf("http://%s/slow", ln.Addr())
+	var status int
+	var reqErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(url)
+		if err != nil {
+			reqErr = err
+			return
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+	}()
+
+	// Trigger shutdown while the request is in flight.
+	<-started
+	cancel()
+	wg.Wait()
+
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	if reqErr != nil {
+		t.Fatalf("in-flight request failed during drain: %v", reqErr)
+	}
+	if status != 200 {
+		t.Fatalf("in-flight status %d", status)
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeListenerError: serve surfaces a Serve failure that is not a
+// graceful close.
+func TestServeListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // force Serve to fail immediately
+	srv := &http.Server{Handler: http.NewServeMux()}
+	if err := serve(context.Background(), ln, srv, time.Second); err == nil {
+		t.Fatal("closed listener did not surface an error")
 	}
 }

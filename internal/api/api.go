@@ -3,6 +3,25 @@
 // drills, and invariant audits. It is the operational wrapper a cloud
 // provider would put in front of the placement algorithm (DESIGN.md §2
 // item 18).
+//
+// Concurrency: the controller guards the algorithm with a sync.RWMutex.
+// Read-only endpoints (stats, servers, placement, validate, tenant lookup,
+// drills, repack plans) take the read lock and run concurrently; only
+// admissions and departures take the write lock. The placement snapshot
+// served by GET /v1/placement is cached between mutations so hot readers
+// do not rebuild it per request.
+//
+// Observability: every route is instrumented with request counters (by
+// method and status class) and latency histograms, and admissions are
+// counted by outcome (first_stage / regular / tiny / rejected) when the
+// wrapped algorithm reports its admission path. GET /metrics serves the
+// Prometheus text exposition.
+//
+// Error contract: 400 for malformed or invalid requests (bad JSON, load
+// outside (0,1], negative clients/failures, missing load and clients),
+// 404 for unknown tenants, 405 for unsupported operations, 409 for
+// duplicate admissions and failed audits, 422 for well-formed admissions
+// the algorithm cannot place, 500 for internal failures.
 package api
 
 import (
@@ -15,6 +34,7 @@ import (
 
 	"cubefit/internal/core"
 	"cubefit/internal/failure"
+	"cubefit/internal/metrics"
 	"cubefit/internal/packing"
 	"cubefit/internal/rebalance"
 	"cubefit/internal/trace"
@@ -26,11 +46,24 @@ type Remover interface {
 	Remove(packing.TenantID) error
 }
 
+// admissionObservable is implemented by algorithms (CubeFit) that report
+// which path admitted each tenant.
+type admissionObservable interface {
+	SetAdmissionHook(func(core.AdmissionPath))
+}
+
 // Controller serves the placement API around one algorithm instance.
 type Controller struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	alg   packing.Algorithm
 	model workload.LoadModel
+	// snap caches the trace.Capture of the current placement; nil after
+	// any mutation (including failed admissions, which may open servers).
+	snap *trace.Snapshot
+
+	registry   *metrics.Registry
+	httpM      *metrics.HTTPMetrics
+	admissions *metrics.CounterVec
 }
 
 // NewController wraps an algorithm. The load model translates
@@ -42,7 +75,18 @@ func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{alg: alg, model: model}, nil
+	c := &Controller{alg: alg, model: model, registry: metrics.NewRegistry()}
+	c.httpM = metrics.NewHTTPMetrics(c.registry)
+	c.admissions = c.registry.NewCounterVec("cubefit_admissions_total",
+		"Tenant admissions by outcome path.", "outcome")
+	if obs, ok := alg.(admissionObservable); ok {
+		// The hook runs inside Place, i.e. under the controller write
+		// lock; the counter itself is atomic.
+		obs.SetAdmissionHook(func(p core.AdmissionPath) {
+			c.admissions.With(p.String()).Inc()
+		})
+	}
+	return c, nil
 }
 
 // NewDefaultController wraps a fresh CubeFit instance with the default
@@ -55,21 +99,30 @@ func NewDefaultController() (*Controller, error) {
 	return NewController(cf, workload.DefaultLoadModel())
 }
 
-// Handler returns the HTTP routes.
+// Metrics returns the controller's metric registry so embedding servers
+// can add their own series.
+func (c *Controller) Metrics() *metrics.Registry { return c.registry }
+
+// Handler returns the HTTP routes, each instrumented with request and
+// latency metrics under a stable route name.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/tenants", c.handlePlace)
-	mux.HandleFunc("GET /v1/tenants/{id}", c.handleGetTenant)
-	mux.HandleFunc("DELETE /v1/tenants/{id}", c.handleRemoveTenant)
-	mux.HandleFunc("GET /v1/placement", c.handlePlacement)
-	mux.HandleFunc("GET /v1/servers", c.handleServers)
-	mux.HandleFunc("GET /v1/stats", c.handleStats)
-	mux.HandleFunc("GET /v1/validate", c.handleValidate)
-	mux.HandleFunc("POST /v1/drill", c.handleDrill)
-	mux.HandleFunc("POST /v1/repack", c.handleRepack)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, c.httpM.Instrument(name, h))
+	}
+	route("POST /v1/tenants", "place", c.handlePlace)
+	route("GET /v1/tenants/{id}", "get_tenant", c.handleGetTenant)
+	route("DELETE /v1/tenants/{id}", "remove_tenant", c.handleRemoveTenant)
+	route("GET /v1/placement", "placement", c.handlePlacement)
+	route("GET /v1/servers", "servers", c.handleServers)
+	route("GET /v1/stats", "stats", c.handleStats)
+	route("GET /v1/validate", "validate", c.handleValidate)
+	route("POST /v1/drill", "drill", c.handleDrill)
+	route("POST /v1/repack", "repack", c.handleRepack)
+	route("GET /v1/healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /metrics", c.registry.Handler())
 	return mux
 }
 
@@ -79,6 +132,24 @@ type placeRequest struct {
 	ID      int     `json:"id"`
 	Load    float64 `json:"load,omitempty"`
 	Clients int     `json:"clients,omitempty"`
+}
+
+// validate rejects malformed admission requests before they reach the
+// algorithm, so invalid input never perturbs placement state.
+func (r placeRequest) validate() error {
+	if r.ID < 0 {
+		return fmt.Errorf("tenant id %d must be non-negative", r.ID)
+	}
+	if r.Clients < 0 {
+		return fmt.Errorf("clients %d must be non-negative", r.Clients)
+	}
+	if r.Load < 0 || r.Load > 1 {
+		return fmt.Errorf("load %v outside (0,1]", r.Load)
+	}
+	if r.Load == 0 && r.Clients == 0 {
+		return errors.New("either load in (0,1] or clients > 0 required")
+	}
+	return nil
 }
 
 // placeResponse reports where the tenant's replicas went.
@@ -99,8 +170,12 @@ func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	t := packing.Tenant{ID: packing.TenantID(req.ID), Load: req.Load, Clients: req.Clients}
-	if req.Load == 0 && req.Clients > 0 {
+	if req.Load == 0 {
 		t.Load = c.model.Load(req.Clients)
 	}
 	c.mu.Lock()
@@ -109,6 +184,7 @@ func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %d already placed", t.ID)})
 		return
 	}
+	c.snap = nil // even a failed admission may open servers
 	if err := c.alg.Place(t); err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
@@ -126,9 +202,13 @@ func (c *Controller) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	t, exists := c.alg.Placement().Tenant(id)
+	var hosts []int
+	if exists {
+		hosts = c.alg.Placement().TenantHosts(id)
+	}
+	c.mu.RUnlock()
 	if !exists {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("tenant %d not found", id)})
 		return
@@ -137,7 +217,7 @@ func (c *Controller) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 		ID:      int(t.ID),
 		Load:    t.Load,
 		Clients: t.Clients,
-		Servers: c.alg.Placement().TenantHosts(id),
+		Servers: hosts,
 	})
 }
 
@@ -162,13 +242,25 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
+	c.snap = nil
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Controller) handlePlacement(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
-	snap := trace.Capture(c.alg.Placement())
-	c.mu.Unlock()
+	c.mu.RLock()
+	snap := c.snap
+	c.mu.RUnlock()
+	if snap == nil {
+		c.mu.Lock()
+		if c.snap == nil {
+			s := trace.Capture(c.alg.Placement())
+			c.snap = &s
+		}
+		snap = c.snap
+		c.mu.Unlock()
+	}
+	// The snapshot is immutable once cached; encoding it outside the lock
+	// is safe and keeps the critical section short.
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -182,7 +274,7 @@ type serverSummary struct {
 }
 
 func (c *Controller) handleServers(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
+	c.mu.RLock()
 	p := c.alg.Placement()
 	out := make([]serverSummary, 0, p.NumServers())
 	k := p.Gamma() - 1
@@ -199,7 +291,7 @@ func (c *Controller) handleServers(w http.ResponseWriter, _ *http.Request) {
 			Clients:  clients,
 		})
 	}
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -215,7 +307,7 @@ type statsResponse struct {
 }
 
 func (c *Controller) handleStats(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
+	c.mu.RLock()
 	p := c.alg.Placement()
 	resp := statsResponse{
 		Algorithm:   c.alg.Name(),
@@ -226,14 +318,14 @@ func (c *Controller) handleStats(w http.ResponseWriter, _ *http.Request) {
 		TotalLoad:   p.TotalLoad(),
 		Utilization: p.Utilization(),
 	}
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Controller) handleValidate(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
+	c.mu.RLock()
 	err := c.alg.Placement().Validate()
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if err != nil {
 		writeJSON(w, http.StatusConflict, map[string]any{"robust": false, "error": err.Error()})
 		return
@@ -263,8 +355,13 @@ func (c *Controller) handleDrill(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if req.Failures < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("failures %d must be non-negative", req.Failures)})
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	p := c.alg.Placement()
 	plan, err := failure.WorstCase(p, req.Failures)
 	if err != nil {
@@ -294,9 +391,9 @@ type repackResponse struct {
 }
 
 func (c *Controller) handleRepack(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
+	c.mu.RLock()
 	_, plan, err := rebalance.Repack(c.alg.Placement())
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return

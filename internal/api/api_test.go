@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"cubefit/internal/rfi"
@@ -108,7 +110,9 @@ func TestPlaceConflictAndErrors(t *testing.T) {
 	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "load": 0.3}, nil); code != http.StatusConflict {
 		t.Fatalf("duplicate status %d", code)
 	}
-	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 3, "load": 7.0}, nil); code != http.StatusUnprocessableEntity {
+	// Invalid requests are rejected up front with 400, before touching
+	// algorithm state.
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 3, "load": 7.0}, nil); code != http.StatusBadRequest {
 		t.Fatalf("bad load status %d", code)
 	}
 	// Raw garbage body.
@@ -119,6 +123,41 @@ func TestPlaceConflictAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage status %d", resp.StatusCode)
+	}
+}
+
+func TestPlaceRequestValidation(t *testing.T) {
+	srv := newServer(t)
+	cases := []map[string]any{
+		{"id": 1},                             // neither load nor clients
+		{"id": 2, "load": -0.5},               // negative load
+		{"id": 3, "clients": -4},              // negative clients
+		{"id": 4, "load": 1.5},                // load > 1
+		{"id": -1, "load": 0.3},               // negative id
+		{"id": 5, "load": 0.3, "clients": -1}, // load fine, clients negative
+	}
+	for _, body := range cases {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("body %v: status %d, want 400", body, code)
+		}
+	}
+	// Invalid requests must not have perturbed the placement.
+	var st struct {
+		Tenants int `json:"tenants"`
+		Servers int `json:"servers"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Tenants != 0 || st.Servers != 0 {
+		t.Fatalf("rejected requests touched state: %+v", st)
+	}
+}
+
+func TestDrillRejectsNegativeFailures(t *testing.T) {
+	srv := newServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/drill", map[string]any{"failures": -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative failures status %d, want 400", code)
 	}
 }
 
@@ -272,6 +311,83 @@ func TestPlacementSnapshot(t *testing.T) {
 	}
 	if replicas != 2 {
 		t.Fatalf("%d replicas in snapshot", replicas)
+	}
+}
+
+func TestPlacementSnapshotCacheInvalidation(t *testing.T) {
+	srv := newServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "load": 0.4}, nil); code != http.StatusCreated {
+		t.Fatal("place failed")
+	}
+	var snap struct {
+		Tenants []struct {
+			ID int `json:"id"`
+		} `json:"tenants"`
+	}
+	// Two reads in a row exercise the cached path.
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, "GET", srv.URL+"/v1/placement", nil, &snap); code != 200 {
+			t.Fatalf("placement status %d", code)
+		}
+		if len(snap.Tenants) != 1 {
+			t.Fatalf("snapshot tenants %v", snap.Tenants)
+		}
+	}
+	// A mutation must invalidate the cache.
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 2, "load": 0.4}, nil); code != http.StatusCreated {
+		t.Fatal("place failed")
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/placement", nil, &snap); code != 200 {
+		t.Fatal("placement read failed")
+	}
+	if len(snap.Tenants) != 2 {
+		t.Fatalf("stale snapshot after admission: %v", snap.Tenants)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/v1/tenants/1", nil, nil); code != http.StatusNoContent {
+		t.Fatal("delete failed")
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/placement", nil, &snap); code != 200 {
+		t.Fatal("placement read failed")
+	}
+	if len(snap.Tenants) != 1 || snap.Tenants[0].ID != 2 {
+		t.Fatalf("stale snapshot after departure: %v", snap.Tenants)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "load": 0.4}, nil); code != http.StatusCreated {
+		t.Fatal("place failed")
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "load": 0.4}, nil); code != http.StatusConflict {
+		t.Fatal("duplicate accepted")
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", nil, nil); code != 200 {
+		t.Fatal("stats failed")
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`cubefit_http_requests_total{route="place",method="POST",code="2xx"} 1`,
+		`cubefit_http_requests_total{route="place",method="POST",code="4xx"} 1`,
+		`cubefit_http_requests_total{route="stats",method="GET",code="2xx"} 1`,
+		`cubefit_http_request_duration_seconds_bucket{route="place",le="+Inf"} 2`,
+		`cubefit_admissions_total{outcome="regular"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,130 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedTraffic hammers the controller with parallel
+// admissions, departures, and every read endpoint at once. Its value is
+// under `go test -race`: it exercises the RWMutex read paths and the
+// placement snapshot cache concurrently with mutations. Functionally it
+// asserts that every admission eventually lands and the final placement
+// is robust.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c, err := NewDefaultController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const (
+		writers       = 4
+		perWriter     = 15
+		readers       = 6
+		readsPerIter  = 4
+		removedEveryN = 5
+	)
+
+	get := func(path string) (int, error) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+
+	// Writers admit disjoint tenant ranges and churn every Nth tenant.
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := wr*perWriter + i + 1
+				body, _ := json.Marshal(map[string]any{"id": id, "clients": 3 + id%9})
+				resp, err := http.Post(srv.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					errc <- fmt.Errorf("place %d: status %d", id, resp.StatusCode)
+					return
+				}
+				if id%removedEveryN == 0 {
+					req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/tenants/%d", srv.URL, id), nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						errc <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusNoContent {
+						errc <- fmt.Errorf("delete %d: status %d", id, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(wr)
+	}
+
+	// Readers hit every read endpoint (including the cached snapshot and
+	// the metrics exposition) while the writers churn.
+	readPaths := []string{"/v1/stats", "/v1/servers", "/v1/placement", "/v1/validate", "/metrics"}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for i := 0; i < perWriter*readsPerIter; i++ {
+				path := readPaths[(rd+i)%len(readPaths)]
+				code, err := get(path)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("GET %s: status %d", path, code)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Every surviving tenant is placed and the invariant holds.
+	var st struct {
+		Tenants int `json:"tenants"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	total := writers * perWriter
+	removed := total / removedEveryN
+	if st.Tenants != total-removed {
+		t.Fatalf("tenants = %d, want %d", st.Tenants, total-removed)
+	}
+	var out struct {
+		Robust bool `json:"robust"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/validate", nil, &out); code != 200 || !out.Robust {
+		t.Fatalf("post-churn validate: %d %+v", code, out)
+	}
+}

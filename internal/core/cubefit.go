@@ -28,6 +28,57 @@ type CubeFit struct {
 	refs map[packing.TenantID][]slotRef
 
 	stats Stats
+
+	// admissionHook, when non-nil, is called after every Place attempt
+	// with the path taken (see SetAdmissionHook).
+	admissionHook func(AdmissionPath)
+	// placeFault, when non-nil, is consulted before each physical replica
+	// placement of the second stage; a non-nil return aborts the admission
+	// mid-loop. Test seam for the admission-rollback path.
+	placeFault func(server int, rep packing.Replica) error
+}
+
+// AdmissionPath identifies how Place handled an admission attempt.
+type AdmissionPath int
+
+const (
+	// AdmitFirstStage: all replicas went into mature bins via Best Fit.
+	AdmitFirstStage AdmissionPath = iota
+	// AdmitRegular: the cube construction of the tenant's class.
+	AdmitRegular
+	// AdmitTiny: the class-K tiny policy.
+	AdmitTiny
+	// AdmitRejected: the admission failed and was rolled back.
+	AdmitRejected
+)
+
+// String returns the snake_case path name (used as a metric label).
+func (p AdmissionPath) String() string {
+	switch p {
+	case AdmitFirstStage:
+		return "first_stage"
+	case AdmitRegular:
+		return "regular"
+	case AdmitTiny:
+		return "tiny"
+	case AdmitRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// SetAdmissionHook registers fn to run synchronously after every Place
+// call with the path taken (AdmitRejected on failure). The API layer uses
+// it to export admission-outcome metrics without polling Stats. fn runs
+// under whatever synchronization guards Place and must not call back into
+// the instance.
+func (cf *CubeFit) SetAdmissionHook(fn func(AdmissionPath)) { cf.admissionHook = fn }
+
+func (cf *CubeFit) observe(p AdmissionPath) {
+	if cf.admissionHook != nil {
+		cf.admissionHook(p)
+	}
 }
 
 // Stats counts which placement path each admitted tenant took.
@@ -122,24 +173,47 @@ func (cf *CubeFit) Config() Config { return cf.cfg }
 
 // Place admits one tenant, placing its γ replicas on γ distinct servers.
 // The resulting placement always satisfies the robustness invariant.
+//
+// Place is atomic: on failure the tenant is fully rolled back — replicas
+// already placed are removed, slot bookkeeping is restored, and the tenant
+// is deregistered — so the placement still validates and the same tenant
+// can be re-admitted later.
 func (cf *CubeFit) Place(t packing.Tenant) error {
+	if _, exists := cf.p.Tenant(t.ID); exists {
+		cf.observe(AdmitRejected)
+		return fmt.Errorf("core: %w: tenant %d already admitted", packing.ErrDuplicateTenant, t.ID)
+	}
 	if err := cf.p.AddTenant(t); err != nil {
+		cf.observe(AdmitRejected)
 		return err
 	}
 	reps := cf.p.Replicas(t)
 
 	if !cf.cfg.DisableFirstStage && cf.tryFirstStage(t, reps) {
 		cf.stats.FirstStageTenants++
+		cf.observe(AdmitFirstStage)
 		return nil
 	}
 
 	tau := cf.cfg.ClassOf(reps[0].Size)
 	if tau == cf.cfg.K {
+		if err := cf.placeTiny(reps); err != nil {
+			cf.unwind(t.ID)
+			cf.observe(AdmitRejected)
+			return err
+		}
 		cf.stats.TinyTenants++
-		return cf.placeTiny(reps)
+		cf.observe(AdmitTiny)
+		return nil
+	}
+	if err := cf.placeRegular(tau, reps); err != nil {
+		cf.unwind(t.ID)
+		cf.observe(AdmitRejected)
+		return err
 	}
 	cf.stats.RegularTenants++
-	return cf.placeRegular(tau, reps)
+	cf.observe(AdmitRegular)
+	return nil
 }
 
 // Stats returns counters describing which placement paths tenants took.
@@ -150,15 +224,28 @@ func (cf *CubeFit) Stats() Stats { return cf.stats }
 // reused both by the tiny accumulation within its slot and by the first
 // stage once the bin is mature.
 func (cf *CubeFit) Remove(id packing.TenantID) error {
+	if _, ok := cf.p.Tenant(id); !ok {
+		return fmt.Errorf("%w: %d", packing.ErrUnknownTenant, id)
+	}
+	cf.unwind(id)
+	return nil
+}
+
+// unwind evicts a registered tenant, whether fully or partially placed:
+// every placed replica is unplaced, the slot bookkeeping of its bins is
+// restored, the tenant is deregistered, and the reserve caches of the
+// affected servers are refreshed. It serves both tenant departure (Remove)
+// and the rollback of failed admissions (Place).
+func (cf *CubeFit) unwind(id packing.TenantID) {
 	t, ok := cf.p.Tenant(id)
 	if !ok {
-		return fmt.Errorf("%w: %d", packing.ErrUnknownTenant, id)
+		return
 	}
 	size := cf.p.ReplicaSize(t)
 	hosts := cf.p.TenantHosts(id)
-	if err := cf.p.RemoveTenant(id); err != nil {
-		return err
-	}
+	// RemoveTenant cannot fail for a registered tenant; every placed
+	// replica recorded in tenantHosts is unplaceable by construction.
+	_ = cf.p.RemoveTenant(id)
 	for _, ref := range cf.refs[id] {
 		b := cf.bins[ref.server]
 		if ref.slot >= 0 {
@@ -175,7 +262,6 @@ func (cf *CubeFit) Remove(id packing.TenantID) error {
 			cf.refreshBin(cf.bins[h])
 		}
 	}
-	return nil
 }
 
 // placeRegular runs the second stage for a class-τ tenant (τ < K).
@@ -232,6 +318,11 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 		if rep.Size > cb.slotSize+eps {
 			return fmt.Errorf("core: internal: replica size %v exceeds slot size %v of class %d",
 				rep.Size, cb.slotSize, cb.tau)
+		}
+		if cf.placeFault != nil {
+			if err := cf.placeFault(b.server, rep); err != nil {
+				return err
+			}
 		}
 		if err := cf.p.Place(b.server, rep); err != nil {
 			return fmt.Errorf("core: internal: cube placement rejected: %w", err)

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentRecordsRequests(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	ok := m.Instrument("ok", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("hi")) // no explicit WriteHeader: must count as 200
+	}))
+	missing := m.Instrument("missing", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	missing.ServeHTTP(rec, httptest.NewRequest("POST", "/missing", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cubefit_http_requests_total{route="ok",method="GET",code="2xx"} 3`,
+		`cubefit_http_requests_total{route="missing",method="POST",code="4xx"} 1`,
+		`cubefit_http_request_duration_seconds_bucket{route="ok",le="+Inf"} 3`,
+		`cubefit_http_request_duration_seconds_count{route="missing"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 99: "other", 700: "other"}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Fatalf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("up_total", "Up.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "up_total 1") {
+		t.Fatalf("body %q", buf[:n])
+	}
+}

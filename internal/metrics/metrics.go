@@ -1,0 +1,372 @@
+// Package metrics is a dependency-free metrics library for the placement
+// service: lock-free (atomic) counters, fixed-bucket histograms, labelled
+// variants of both, and a registry that renders everything in the
+// Prometheus text exposition format. It exists so the operational layer
+// (internal/api, cmd/cubefit-server) can export request and admission
+// telemetry without pulling an external client library into the module.
+//
+// All value updates are wait-free on the hot path: counters and histogram
+// buckets are atomic integers, and labelled children are resolved through
+// a read-locked map with a double-checked write path on first use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// atomicFloat is a float64 updated through CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus `le` (cumulative
+// upper bound) semantics. Observations are wait-free except for the CAS
+// loop maintaining the sum.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %v", b[i]))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. the le bucket
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// labelSep joins label values into map keys; it cannot appear in values
+// that originate from route names, methods, or status classes.
+const labelSep = "\x1f"
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns (creating on first use) the counter for the label values.
+// It panics if the number of values does not match the declared labels.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.key(values)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[key]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	return c
+}
+
+func (v *CounterVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.children[key]; h != nil {
+		return h
+	}
+	h = newHistogram(v.bounds)
+	v.children[key] = h
+	return h
+}
+
+// family is one registered metric name with its help text and children.
+type family struct {
+	name string
+	help string
+
+	counter    *Counter      // exactly one of the four is non-nil
+	counterVec *CounterVec
+	hist       *Histogram
+	histVec    *HistogramVec
+}
+
+// Registry holds registered metrics and renders them. Registration takes
+// the registry lock; value updates never do.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("metrics: duplicate metric name " + f.name)
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// NewCounter registers and returns a plain counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, counter: c})
+	return c
+}
+
+// NewCounterVec registers and returns a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, counterVec: v})
+	return v
+}
+
+// NewHistogram registers and returns a plain histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds ...float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, hist: h})
+	return h
+}
+
+// NewHistogramVec registers and returns a labelled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, labels []string, bounds ...float64) *HistogramVec {
+	v := &HistogramVec{labels: labels, bounds: append([]float64(nil), bounds...), children: make(map[string]*Histogram)}
+	if len(bounds) == 0 {
+		panic("metrics: histogram vec needs at least one bucket bound")
+	}
+	r.register(&family{name: name, help: help, histVec: v})
+	return v
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families in
+// registration order, children sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET /metrics in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Rendering errors mean the client went away; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) error {
+	kind := "counter"
+	if f.hist != nil || f.histVec != nil {
+		kind = "histogram"
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind); err != nil {
+		return err
+	}
+	switch {
+	case f.counter != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		return err
+	case f.counterVec != nil:
+		return f.writeCounterVec(w)
+	case f.hist != nil:
+		return writeHistogram(w, f.name, "", f.hist)
+	case f.histVec != nil:
+		return f.writeHistogramVec(w)
+	}
+	return nil
+}
+
+func (f *family) writeCounterVec(w io.Writer) error {
+	v := f.counterVec
+	v.mu.RLock()
+	keys := sortedKeys(v.children)
+	for _, key := range keys {
+		val := v.children[key].Value()
+		labels := renderLabels(v.labels, strings.Split(key, labelSep))
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", f.name, labels, val); err != nil {
+			v.mu.RUnlock()
+			return err
+		}
+	}
+	v.mu.RUnlock()
+	return nil
+}
+
+func (f *family) writeHistogramVec(w io.Writer) error {
+	v := f.histVec
+	v.mu.RLock()
+	keys := sortedKeys(v.children)
+	children := make([]*Histogram, len(keys))
+	for i, key := range keys {
+		children[i] = v.children[key]
+	}
+	v.mu.RUnlock()
+	for i, key := range keys {
+		labels := renderLabels(v.labels, strings.Split(key, labelSep))
+		if err := writeHistogram(w, f.name, labels, children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram child; labels is the pre-rendered
+// `k="v",...` prefix (empty for an unlabelled histogram).
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+		return err
+	}
+	curly := "{" + labels + "}"
+	if labels == "" {
+		curly = ""
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, curly, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, curly, h.Count())
+	return err
+}
+
+func renderLabels(names, values []string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("seen_total", "Things seen.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter value %d, want 5", c.Value())
+	}
+	v := r.NewCounterVec("admissions_total", "Admissions by outcome.", "outcome")
+	v.With("regular").Add(3)
+	v.With("tiny").Inc()
+	v.With("regular").Inc()
+	if got := v.With("regular").Value(); got != 4 {
+		t.Fatalf("regular = %d, want 4", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE seen_total counter",
+		"seen_total 5",
+		`admissions_total{outcome="regular"} 4`,
+		`admissions_total{outcome="tiny"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", 0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative le semantics: 0.01 catches 0.005 and the exact 0.01.
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 2`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("req_seconds", "Request latency.", []string{"route"}, 0.1, 1)
+	v.With("place").Observe(0.05)
+	v.With("place").Observe(0.5)
+	v.With("stats").Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`req_seconds_bucket{route="place",le="0.1"} 1`,
+		`req_seconds_bucket{route="place",le="+Inf"} 2`,
+		`req_seconds_count{route="place"} 2`,
+		`req_seconds_bucket{route="stats",le="1"} 0`,
+		`req_seconds_count{route="stats"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("x_total", "X again.")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("odd_total", "Odd labels.", "what")
+	v.With(`a"b\c` + "\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `odd_total{what="a\"b\\c\n"} 1`; !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+	}
+}
+
+// TestConcurrentUpdates is primarily a -race exercise: counters and
+// histograms must tolerate concurrent observation and rendering.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("hits_total", "Hits.")
+	v := r.NewCounterVec("routes_total", "Routes.", "route")
+	h := r.NewHistogramVec("lat_seconds", "Lat.", []string{"route"}, 0.001, 0.01, 0.1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			route := []string{"a", "b", "c"}[g%3]
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				v.With(route).Inc()
+				h.With(route).Observe(float64(i) / 10000)
+			}
+		}(g)
+	}
+	// Render concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("hits %d, want 8000", c.Value())
+	}
+	total := uint64(0)
+	for _, route := range []string{"a", "b", "c"} {
+		total += v.With(route).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("route sum %d, want 8000", total)
+	}
+}
