@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet lint test test-short race bench cover experiments figure5 figure6 table1 theorem2 fmt
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see README.md "Static analysis"):
+# cubefit-vet enforces the numeric, determinism, and locking invariants;
+# the gofmt check keeps the tree formatting-clean. Both are blocking CI
+# gates.
+lint:
+	$(GO) build -o /dev/null ./cmd/cubefit-vet
+	$(GO) run ./cmd/cubefit-vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -72,7 +72,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	// Most loaded servers with their failover reserves.
 	servers := append([]*packing.Server(nil), p.Servers()...)
 	sort.Slice(servers, func(i, j int) bool {
-		if servers[i].Level() != servers[j].Level() {
+		if servers[i].Level() != servers[j].Level() { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
 			return servers[i].Level() > servers[j].Level()
 		}
 		return servers[i].ID() < servers[j].ID()

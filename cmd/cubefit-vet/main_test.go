@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+// The fixture packages of the analyzers' own golden tests double as
+// end-to-end inputs for the CLI: a flagged fixture must drive exit code
+// 1, a clean one exit code 0.
+const fixtures = "../../internal/analysis/analyzers/testdata"
+
+func TestRunList(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	if got := run([]string{"-only", "nosuch"}); got != 2 {
+		t.Errorf("run(-only nosuch) = %d, want 2", got)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	if got := run([]string{"./does-not-exist"}); got != 2 {
+		t.Errorf("run(./does-not-exist) = %d, want 2", got)
+	}
+}
+
+func TestRunFlaggedFixture(t *testing.T) {
+	if got := run([]string{"-only", "wallclock", fixtures + "/wallclock/flagged"}); got != 1 {
+		t.Errorf("run on flagged fixture = %d, want 1", got)
+	}
+}
+
+func TestRunCleanFixture(t *testing.T) {
+	if got := run([]string{"-only", "wallclock", fixtures + "/wallclock/clean"}); got != 0 {
+		t.Errorf("run on clean fixture = %d, want 0", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package analysis is a small static-analysis framework built purely on
+// the standard library's go/parser, go/ast, and go/types (no
+// golang.org/x/tools dependency, keeping the module zero-dep). It provides
+//
+//   - a module-aware package loader with full type-checker integration
+//     (Loader), resolving in-module imports itself and standard-library
+//     imports through the gc source importer;
+//   - a pluggable Analyzer interface with position-accurate diagnostics;
+//   - a multichecker runner (Run) with //cubefit:vet-allow suppression
+//     directives;
+//   - a golden-file test harness (sub-package analysistest) driven by
+//     `// want "regexp"` comments.
+//
+// The project-specific analyzers enforcing CubeFit's numeric, determinism,
+// and locking invariants live in the analyzers sub-package; the
+// cmd/cubefit-vet CLI wires everything into `make lint` and CI. See
+// README.md "Static analysis" for the catalogue and DESIGN.md for the
+// architecture.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static-analysis check. Run inspects a single
+// type-checked package through the Pass and reports findings; it must not
+// retain the Pass after returning.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //cubefit:vet-allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced,
+	// shown by `cubefit-vet -help`.
+	Doc string
+	// Run performs the check. A non-nil error aborts the whole run and
+	// means the analyzer itself failed, not that findings exist.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run
+// invocation.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the run.
+	Fset *token.FileSet
+	// Path is the package's import path. Test-file augmented packages keep
+	// their base path; external test packages (package foo_test) carry the
+	// "_test" suffix on the path.
+	Path string
+	// Files is the package's syntax, including in-package _test.go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, bound to a resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the canonical "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer
+// name, for stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

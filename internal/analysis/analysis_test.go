@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestNewLoaderFindsModuleRoot(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ModulePath(); got != "cubefit" {
+		t.Errorf("ModulePath() = %q, want %q", got, "cubefit")
+	}
+	if _, err := os.Stat(filepath.Join(l.ModuleDir(), "go.mod")); err != nil {
+		t.Errorf("ModuleDir() %s has no go.mod: %v", l.ModuleDir(), err)
+	}
+}
+
+// TestLoadRealPackage type-checks a real in-module package (with its
+// stdlib imports resolved through the source importer) and verifies the
+// derived import path and exported scope.
+func TestLoadRealPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../packing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load(../packing) returned no packages")
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "cubefit/internal/packing" {
+		t.Errorf("Path = %q, want cubefit/internal/packing", pkg.Path)
+	}
+	if pkg.Pkg.Scope().Lookup("CapacityEps") == nil {
+		t.Error("type-checked packing scope is missing CapacityEps")
+	}
+	if pkg.Info == nil || len(pkg.Info.Defs) == 0 {
+		t.Error("type info was not populated")
+	}
+}
+
+// TestRunSuppressionDirectives drives a dummy analyzer over the suppress
+// fixture: same-line and previous-line directives naming the analyzer
+// remove findings, a directive naming a different analyzer does not.
+func TestRunSuppressionDirectives(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir("testdata/suppress", "cubefit/fixture/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dummy := &Analyzer{
+		Name: "dummy",
+		Doc:  "reports every return statement",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						p.Reportf(r.Pos(), "return statement")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := Run([]*Analyzer{dummy}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// The fixture's plain() and wrongName() returns survive; the
+	// directive-covered returns in sameLine() and lineAbove() do not.
+	want := []int{8, 21}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("surviving diagnostic lines = %v, want %v\n%v", lines, want, diags)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//cubefit:vet-allow floatcmp -- reason", []string{"floatcmp"}, true},
+		{"// cubefit:vet-allow a,b\tc -- why", []string{"a", "b", "c"}, true},
+		{"//cubefit:vet-allow lockpair", []string{"lockpair"}, true},
+		{"//cubefit:vet-allow", nil, false},
+		{"//cubefit:vet-allow -- reason without names", nil, false},
+		{"// an ordinary comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(&ast.Comment{Text: c.text})
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "floatcmp",
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Message:  "raw == on floats",
+	}
+	if got, want := d.String(), "a.go:3:7: floatcmp: raw == on floats"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+// Package analysistest is the golden-file harness for analyzers built on
+// internal/analysis. A fixture is a directory of Go files annotated with
+// expectation comments:
+//
+//	s.Level() == x // want "on two computed floats"
+//
+// Each `// want "re"` comment declares that the analyzer under test must
+// report a diagnostic on that line whose message matches the regular
+// expression; lines without a want comment must stay silent. A fixture
+// with no want comments is a negative fixture and must produce zero
+// findings.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cubefit/internal/analysis"
+)
+
+// wantRe matches `// want "regexp"` with a Go-quoted expectation.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+// Run loads the fixture directory under the pretend import path asPath
+// (so analyzers keyed on package paths can be exercised), applies the
+// analyzer, and compares its diagnostics against the fixture's want
+// comments. It returns the diagnostics for any extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					raw, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("analysistest: bad want expectation %s: %v", m[1], err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("analysistest: bad want regexp %q: %v", raw, err)
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					key := posKey(pos)
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: %s: expected diagnostic matching %q, got none", a.Name, key, e.raw)
+			}
+		}
+	}
+	return diags
+}
+
+// RunClean asserts the fixture produces zero findings (a negative
+// fixture); any want comment in it is an error.
+func RunClean(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	diags := Run(t, a, dir, asPath)
+	if len(diags) != 0 {
+		var lines []string
+		for _, d := range diags {
+			lines = append(lines, d.String())
+		}
+		t.Errorf("%s: negative fixture %s produced findings:\n%s", a.Name, dir, strings.Join(lines, "\n"))
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

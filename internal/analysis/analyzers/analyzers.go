@@ -1,0 +1,66 @@
+// Package analyzers holds the project-specific checks enforcing CubeFit's
+// numeric, determinism, and locking invariants on top of the
+// internal/analysis framework:
+//
+//   - floatcmp: no raw float equality on computed values, and no raw
+//     ordered comparison of load/level expressions against the unit
+//     capacity (use packing.WithinCapacity / packing.FitsWithin /
+//     packing.AlmostEqual).
+//   - epsconst: no bare tolerance literals (0 < |x| <= 1e-6) outside the
+//     shared constants in internal/packing/tolerance.go.
+//   - randsource: math/rand must not be imported outside internal/rng, so
+//     experiment streams stay fixed across Go releases.
+//   - wallclock: time.Now / time.Since only inside the approved seams
+//     (internal/clock, internal/metrics, the server main); simulations
+//     take an injected clock.Clock.
+//   - lockpair: sync mutexes must not be copied by value, defer-ing Lock
+//     is rejected, and every Lock/RLock needs a flavor-matched
+//     Unlock/RUnlock on the same receiver in the same function.
+//
+// Every analyzer honors the //cubefit:vet-allow suppression directive of
+// the framework; see README.md "Static analysis" for how to add a new
+// check.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cubefit/internal/analysis"
+)
+
+// packingPath is the package owning the blessed tolerance definitions.
+const packingPath = "cubefit/internal/packing"
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Epsconst,
+		Floatcmp,
+		Lockpair,
+		Randsource,
+		Wallclock,
+	}
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Package).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstant reports whether the expression has a compile-time constant
+// value.
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

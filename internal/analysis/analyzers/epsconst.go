@@ -1,0 +1,62 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"cubefit/internal/analysis"
+)
+
+// Epsconst rejects bare tolerance literals — float literals with
+// magnitude in (0, 1e-6] — anywhere outside top-level const declarations
+// of internal/packing (the shared tolerance definitions in tolerance.go).
+// Scattered `1e-9`s are how the robustness check and the placement
+// feasibility tests drift apart; new tolerances must be introduced as
+// named packing constants and referenced from there. Test files are
+// exempt: assertions may pick ad-hoc tolerances for the numeric property
+// under test.
+var Epsconst = &analysis.Analyzer{
+	Name: "epsconst",
+	Doc:  "bare tolerance literals outside the shared definitions in internal/packing",
+	Run:  runEpsconst,
+}
+
+// epsMax is the largest magnitude treated as a tolerance literal.
+const epsMax = 1e-6 //cubefit:vet-allow epsconst -- the threshold definition itself
+
+func runEpsconst(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		// Ranges of top-level const blocks, exempt inside internal/packing.
+		var constRanges [][2]token.Pos
+		if pass.Path == packingPath {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+					constRanges = append(constRanges, [2]token.Pos{gd.Pos(), gd.End()})
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			v, err := strconv.ParseFloat(lit.Value, 64)
+			if err != nil || v <= 0 || v > epsMax {
+				return true
+			}
+			for _, r := range constRanges {
+				if lit.Pos() >= r[0] && lit.Pos() < r[1] {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(),
+				"bare tolerance literal %s; use packing.CapacityEps, packing.SharedEps, or a named packing constant", lit.Value)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"cubefit/internal/analysis"
+)
+
+// Floatcmp rejects raw floating-point comparisons that the robustness
+// invariant |Si| + Σ|Si∩Sj| ≤ 1 is sensitive to:
+//
+//  1. `==` / `!=` between two computed (non-constant) float expressions —
+//     exact equality of accumulated loads is a rounding-error lottery; use
+//     packing.AlmostEqual / packing.AlmostEqualTol, or compare against a
+//     constant sentinel.
+//  2. ordered comparisons of a load/level expression (a call to Level,
+//     Free, TopShared, SharedWith, TotalLoad, or MaxPostFailureLoad)
+//     against the exact constant 1 — the unit-capacity check must absorb
+//     CapacityEps; use packing.WithinCapacity or packing.FitsWithin.
+//
+// Test files are exempt (assertions legitimately pick ad-hoc tolerances),
+// as is the blessed helper file internal/packing/tolerance.go.
+var Floatcmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "raw float comparisons on load/level values outside the blessed epsilon helpers",
+	Run:  runFloatcmp,
+}
+
+// loadBearing are the float-returning methods whose results feed the
+// capacity invariant.
+var loadBearing = map[string]bool{
+	"Level":              true,
+	"Free":               true,
+	"TopShared":          true,
+	"SharedWith":         true,
+	"TotalLoad":          true,
+	"MaxPostFailureLoad": true,
+}
+
+func runFloatcmp(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		if pass.Path == packingPath && baseFilename(pass, f) == "tolerance.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isFloat(pass.Info.TypeOf(be.X)) && isFloat(pass.Info.TypeOf(be.Y)) &&
+					!isConstant(pass, be.X) && !isConstant(pass, be.Y) {
+					pass.Reportf(be.OpPos,
+						"%s on two computed floats; use packing.AlmostEqual or an explicit tolerance", be.Op)
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				var expr, bound ast.Expr
+				switch {
+				case isConstant(pass, be.Y) && !isConstant(pass, be.X):
+					expr, bound = be.X, be.Y
+				case isConstant(pass, be.X) && !isConstant(pass, be.Y):
+					expr, bound = be.Y, be.X
+				default:
+					return true
+				}
+				if isFloat(pass.Info.TypeOf(expr)) && isExactlyOne(pass, bound) && hasLoadBearingCall(pass, expr) {
+					pass.Reportf(be.OpPos,
+						"raw %s against unit capacity on a load/level expression; use packing.WithinCapacity or packing.FitsWithin", be.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isExactlyOne reports whether the expression is the compile-time
+// constant 1 (the bare unit capacity, as opposed to 1+CapacityEps).
+func isExactlyOne(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeFloat64(1))
+}
+
+// hasLoadBearingCall reports whether the expression contains a call to
+// one of the float-returning load/level accessors.
+func hasLoadBearingCall(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && loadBearing[sel.Sel.Name] && isFloat(pass.Info.TypeOf(call)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// baseFilename returns the file's base name.
+func baseFilename(pass *analysis.Pass, f *ast.File) string {
+	name := pass.Fset.Position(f.Package).Filename
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

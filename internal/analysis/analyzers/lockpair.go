@@ -1,0 +1,279 @@
+package analyzers
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"cubefit/internal/analysis"
+)
+
+// Lockpair guards the RWMutex discipline that PR 1 introduced in
+// internal/api (and that internal/metrics relies on):
+//
+//  1. sync.Mutex / sync.RWMutex values (or structs directly containing
+//     one) must not be copied: by-value parameters, results, receivers,
+//     and assignments that duplicate existing lock storage are rejected.
+//  2. `defer mu.Lock()` (locking at function exit) is rejected — the
+//     classic defer typo.
+//  3. every mu.Lock() / mu.RLock() must have a flavor-matched
+//     mu.Unlock() / mu.RUnlock() on the same receiver expression
+//     somewhere in the same function (deferred or direct); a
+//     wrong-flavor pairing (Lock→RUnlock, RLock→Unlock) is called out
+//     separately.
+//
+// The pairing check is intra-procedural and existence-based; helper
+// methods that intentionally lock for their caller can suppress it with
+// //cubefit:vet-allow lockpair -- <why>.
+var Lockpair = &analysis.Analyzer{
+	Name: "lockpair",
+	Doc:  "copied mutexes and Lock/RLock calls without a matching Unlock in the same function",
+	Run:  runLockpair,
+}
+
+// unlockFor maps each lock method to its required unlock flavor.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockpair(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCopyFields(pass, n.Recv)
+				checkCopyFields(pass, n.Type.Params)
+				checkCopyFields(pass, n.Type.Results)
+				if n.Body != nil {
+					checkPairing(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkCopyFields(pass, n.Type.Params)
+				checkCopyFields(pass, n.Type.Results)
+				checkPairing(pass, n.Body)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopyValue(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyValue(pass, v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCopyFields flags by-value lock-carrying parameters, results, and
+// receivers.
+func checkCopyFields(pass *analysis.Pass, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if name := lockIn(t, nil); name != "" {
+			pass.Reportf(field.Type.Pos(), "%s passed by value copies %s; use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+		}
+	}
+}
+
+// checkCopyValue flags expressions that duplicate existing lock storage:
+// reads of variables, fields, indexes, or dereferences whose type carries
+// a mutex. Fresh values (composite literals, function calls) are fine.
+func checkCopyValue(pass *analysis.Pass, e ast.Expr) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if tv, ok := pass.Info.Types[e]; ok && tv.IsType() {
+		return // a type conversion target, not a value read
+	}
+	if name := lockIn(t, nil); name != "" {
+		pass.Reportf(e.Pos(), "assignment copies %s (via %s); use a pointer", name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// lockIn returns the name of the sync lock type contained by value in t
+// ("" if none). Pointers break containment.
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockIn(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+// lockCall describes one (Un)lock-family call found in a function body.
+type lockCall struct {
+	recv     string // receiver expression, printed
+	method   string // Lock, RLock, Unlock, RUnlock
+	pos      token.Pos
+	deferred bool
+}
+
+// checkPairing runs the intra-procedural pairing analysis on one body.
+// Nested function literals are included when searching for unlocks (a
+// deferred closure may release the lock), but findings positioned inside
+// them are left to the literal's own analysis so nothing is reported
+// twice.
+func checkPairing(pass *analysis.Pass, body *ast.BlockStmt) {
+	var litRanges [][2]token.Pos
+	inLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var calls []lockCall
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litRanges = append(litRanges, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.DeferStmt:
+			if c := lockCallOf(pass, n.Call); c != nil {
+				deferredCalls[n.Call] = true
+				c.deferred = true
+				calls = append(calls, *c)
+				if _, isLock := unlockFor[c.method]; isLock && !inLit(n.Pos()) {
+					pass.Reportf(n.Pos(), "defer %s.%s() acquires the lock at function exit; did you mean defer %s.%s()?",
+						c.recv, c.method, c.recv, unlockFor[c.method])
+				}
+			}
+		case *ast.CallExpr:
+			if deferredCalls[n] {
+				return true
+			}
+			if c := lockCallOf(pass, n); c != nil {
+				calls = append(calls, *c)
+			}
+		}
+		return true
+	})
+	for _, c := range calls {
+		if inLit(c.pos) {
+			continue
+		}
+		want, isLock := unlockFor[c.method]
+		if !isLock || c.deferred {
+			continue // deferred locks already reported above
+		}
+		matched, wrongFlavor := false, false
+		for _, o := range calls {
+			if o.recv != c.recv {
+				continue
+			}
+			switch o.method {
+			case want:
+				matched = true
+			case otherUnlock(want):
+				wrongFlavor = true
+			}
+		}
+		switch {
+		case matched:
+		case wrongFlavor:
+			pass.Reportf(c.pos, "%s.%s() is released with %s instead of %s in this function",
+				c.recv, c.method, otherUnlock(want), want)
+		default:
+			pass.Reportf(c.pos, "%s.%s() has no matching %s.%s() in this function",
+				c.recv, c.method, c.recv, want)
+		}
+	}
+}
+
+// otherUnlock returns the opposite unlock flavor.
+func otherUnlock(u string) string {
+	if u == "Unlock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockCallOf recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync
+// mutexes (or sync.Locker values) and captures the printed receiver.
+func lockCallOf(pass *analysis.Pass, call *ast.CallExpr) *lockCall {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	m := sel.Sel.Name
+	switch m {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	if !isSyncLock(pass.Info.TypeOf(sel.X)) {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), sel.X); err != nil {
+		return nil
+	}
+	return &lockCall{recv: buf.String(), method: m, pos: sel.Pos()}
+}
+
+// isSyncLock reports whether t (or its pointee) is sync.Mutex,
+// sync.RWMutex, or sync.Locker.
+func isSyncLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"strconv"
+
+	"cubefit/internal/analysis"
+)
+
+// Randsource rejects math/rand (and math/rand/v2) imports outside
+// internal/rng. All experiment randomness must flow through the
+// repository's own xoshiro256** generator so that a seed fixes the stream
+// across Go releases; math/rand gives no such guarantee (and v2 reseeds
+// itself). Applies to test files too — a test that perturbs the global
+// rand state can destabilize golden experiment outputs.
+var Randsource = &analysis.Analyzer{
+	Name: "randsource",
+	Doc:  "math/rand imports outside internal/rng break experiment reproducibility",
+	Run:  runRandsource,
+}
+
+// rngPath is the only package allowed to touch math/rand (e.g. for
+// cross-validation of its own distributions).
+const rngPath = "cubefit/internal/rng"
+
+func runRandsource(pass *analysis.Pass) error {
+	if pass.Path == rngPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Path.Pos(),
+					"import of %s outside internal/rng; use cubefit/internal/rng for reproducible streams", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Negative fixture for epsconst: ordinary float literals above the
+// tolerance magnitude, integers, and directive-suppressed definitions
+// must stay silent.
+package a
+
+const (
+	half    = 0.5
+	small   = 1e-5 // just above the tolerance threshold
+	count   = 42
+	special = 1e-9 //cubefit:vet-allow epsconst -- fixture exercising the suppression directive
+)
+
+func scale(x float64) float64 {
+	return x*half + small + float64(count) + special
+}

@@ -1,0 +1,14 @@
+// Positive fixture for epsconst: bare tolerance-magnitude float literals
+// outside internal/packing must be reported wherever they appear.
+package a
+
+const eps = 1e-9 // want "bare tolerance literal 1e-9"
+
+var slack = 1e-12 // want "bare tolerance literal 1e-12"
+
+func compare(x, y float64) bool {
+	if x > y+1e-6 { // want "bare tolerance literal 1e-6"
+		return false
+	}
+	return x-y < 0.000000001 // want "bare tolerance literal 0.000000001"
+}

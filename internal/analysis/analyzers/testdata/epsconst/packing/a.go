@@ -1,0 +1,21 @@
+// Fixture loaded under the pretend path cubefit/internal/packing: the
+// blessed top-level const declarations may define tolerance literals, but
+// bare literals in function bodies are still reported even there.
+package packing
+
+const (
+	capacityEps = 1e-9  // blessed: top-level const in internal/packing
+	sharedEps   = 1e-12 // blessed likewise
+)
+
+func withinCapacity(load float64) bool {
+	return load <= 1+capacityEps
+}
+
+func sloppy(load float64) bool {
+	return load <= 1+1e-9 // want "bare tolerance literal 1e-9"
+}
+
+func negligible(x float64) bool {
+	return x <= sharedEps
+}

@@ -1,0 +1,34 @@
+// Negative fixture for floatcmp: comparisons against constants, epsilon
+// slack on the capacity bound, integer comparisons, and directive-
+// suppressed exact tie-breaks must all stay silent.
+package a
+
+import "sort"
+
+type server struct{ level float64 }
+
+func (s server) Level() float64 { return s.level }
+
+const slack = 2e-3
+
+func fine(a, b float64, s server, xs []server) bool {
+	if a == 0 { // constant sentinel comparison
+		return true
+	}
+	if s.Level() > 1+slack { // capacity with explicit tolerance
+		return false
+	}
+	if s.Level() > 0.5 { // ordered against a non-capacity constant
+		return true
+	}
+	if len(xs) == int(a) { // integers are not floats
+		return false
+	}
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Level() != xs[j].Level() { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
+			return xs[i].Level() > xs[j].Level()
+		}
+		return i < j
+	})
+	return a < b
+}

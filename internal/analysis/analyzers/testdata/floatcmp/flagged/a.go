@@ -1,0 +1,30 @@
+// Positive fixture for floatcmp: raw equality on computed floats and raw
+// ordered comparisons of load-bearing expressions against the unit
+// capacity must all be reported.
+package a
+
+type server struct{ level float64 }
+
+func (s server) Level() float64 { return s.level }
+
+func (s server) Free() float64 { return 1 - s.level }
+
+func equalities(a, b float64, s server) bool {
+	if a == b { // want "== on two computed floats"
+		return true
+	}
+	if s.Level() != b { // want "!= on two computed floats"
+		return false
+	}
+	return a+b == b*a // want "== on two computed floats"
+}
+
+func capacity(a float64, s server) bool {
+	if s.Level() > 1 { // want "raw > against unit capacity"
+		return false
+	}
+	if 1 < s.Level()+a { // want "raw < against unit capacity"
+		return false
+	}
+	return s.Level()+s.Free() <= 1 // want "raw <= against unit capacity"
+}

@@ -1,0 +1,47 @@
+// Negative fixture for lockpair: flavor-matched defer pairs, releases
+// from a deferred closure, pointer plumbing, fresh zero-value mutexes,
+// and a directive-suppressed lock-for-caller helper must stay silent.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func (g *guarded) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+func (g *guarded) closureRelease() int {
+	g.mu.Lock()
+	defer func() { g.mu.Unlock() }()
+	return g.n
+}
+
+func take(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func fresh() *guarded {
+	var g guarded
+	return &g
+}
+
+func (g *guarded) lockForCaller() {
+	g.mu.Lock() //cubefit:vet-allow lockpair -- released by unlockForCaller on the same receiver
+}
+
+func (g *guarded) unlockForCaller() {
+	g.mu.Unlock()
+}

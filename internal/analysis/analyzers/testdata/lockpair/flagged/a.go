@@ -1,0 +1,38 @@
+// Positive fixture for lockpair: unmatched locks, the defer-Lock typo,
+// wrong-flavor releases, and every form of mutex copying must be
+// reported.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func missing(mu *sync.Mutex) {
+	mu.Lock() // want "has no matching mu.Unlock"
+}
+
+func deferTypo(mu *sync.Mutex) {
+	defer mu.Lock() // want "acquires the lock at function exit"
+}
+
+func wrongFlavor(g *guarded) {
+	g.mu.RLock() // want "released with Unlock instead of RUnlock"
+	g.mu.Unlock()
+}
+
+func byValue(mu sync.Mutex) { // want "passed by value copies sync.Mutex"
+	mu.Lock()
+	mu.Unlock()
+}
+
+func (g guarded) size() int { // want "guarded passed by value copies sync.RWMutex"
+	return g.n
+}
+
+func snapshot(g *guarded) {
+	cp := *g // want "assignment copies sync.RWMutex"
+	_ = cp.n
+}

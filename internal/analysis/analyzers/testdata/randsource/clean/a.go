@@ -1,0 +1,16 @@
+// Negative fixture for randsource: crypto/rand is not the reproducibility
+// hazard the analyzer polices, and an unrelated import stays silent.
+package a
+
+import (
+	"crypto/rand"
+	"fmt"
+)
+
+func token() (string, error) {
+	b := make([]byte, 8)
+	if _, err := rand.Read(b); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", b), nil
+}

@@ -1,0 +1,13 @@
+// Positive fixture for randsource: math/rand in either version must be
+// reported outside internal/rng, even when renamed.
+package a
+
+import (
+	"math/rand" // want "import of math/rand outside internal/rng"
+
+	mrand "math/rand/v2" // want "import of math/rand/v2 outside internal/rng"
+)
+
+func roll() int64 {
+	return rand.Int63() + mrand.Int64()
+}

@@ -1,0 +1,10 @@
+// Fixture loaded under the pretend path cubefit/internal/rng: the one
+// package allowed to import math/rand (to cross-validate its own
+// distributions) must stay silent.
+package rng
+
+import "math/rand"
+
+func crossCheck(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,18 @@
+// Negative fixture for wallclock: duration arithmetic and explicit
+// time.Time plumbing are fine; only the wall-clock reads themselves are
+// policed, and those can be suppressed with a reasoned directive.
+package a
+
+import "time"
+
+func deadline(start time.Time, budget time.Duration) time.Time {
+	return start.Add(budget + 5*time.Millisecond)
+}
+
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+func stamp() time.Time {
+	return time.Now() //cubefit:vet-allow wallclock -- fixture exercising the suppression directive
+}

@@ -1,0 +1,11 @@
+// Positive fixture for wallclock: time.Now and time.Since reads outside
+// an approved seam must be reported.
+package a
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now() // want "time.Now outside an approved seam"
+	f()
+	return time.Since(start) // want "time.Since outside an approved seam"
+}

@@ -1,0 +1,11 @@
+// Fixture loaded under the pretend path cubefit/internal/metrics: an
+// approved seam may read the wall clock freely.
+package seam
+
+import "time"
+
+func observe(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path. The external test package
+	// (package foo_test) of a directory shares the directory's import path
+	// and is marked with ExternalTest.
+	Path string
+	// ExternalTest marks the `package foo_test` variant of a directory.
+	ExternalTest bool
+	// Fset resolves positions for Files (shared across one Loader).
+	Fset *token.FileSet
+	// Files is the parsed syntax: non-test files plus in-package _test.go
+	// files for the regular variant, the foo_test files for the external
+	// variant.
+	Files []*ast.File
+	// Pkg and Info are the type checker's output for Files.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// Loader loads and type-checks packages of one module. In-module import
+// paths are resolved against the module directory and type-checked from
+// source; standard-library imports go through the go/importer source
+// importer. Loader is not safe for concurrent use.
+type Loader struct {
+	// Fset resolves positions for all loaded files.
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	std        types.ImporterFrom
+	// exports caches the dependency-facing (non-test) type-checked variant
+	// of each in-module package, keyed by import path.
+	exports map[string]*types.Package
+	// loading guards against import cycles during export checking.
+	loading map[string]bool
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
+
+// NewLoader creates a loader for the module rooted at or above dir (the
+// nearest ancestor containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:       fset,
+		moduleDir:  root,
+		modulePath: string(m[1]),
+		std:        std,
+		exports:    make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// ModuleDir returns the module root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Load expands the go-style package patterns (directories relative to the
+// working directory, with `...` wildcards expanding recursively, `testdata`
+// and hidden directories excluded) and returns the matched packages,
+// type-checked with their test files, in deterministic order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.LoadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+// expand resolves one pattern to package directories.
+func (l *Loader) expand(pat string) ([]string, error) {
+	recursive := false
+	if pat == "..." {
+		pat, recursive = ".", true
+	} else if strings.HasSuffix(pat, "/...") {
+		pat, recursive = strings.TrimSuffix(pat, "/..."), true
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("analysis: pattern %q does not match a directory", pat)
+	}
+	if !recursive {
+		if !hasGoFiles(abs) {
+			return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+		}
+		return []string{abs}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor derives the in-module import path of a directory, or a
+// placeholder path for directories outside the module.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "command-line-arguments/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir loads the package in one directory under an explicit import
+// path (the test harness uses this to place fixtures at pretend paths,
+// e.g. to exercise per-package exemptions). It returns the regular
+// package (non-test plus in-package test files) and, when present, the
+// external test package.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	base, inTest, extTest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(extTest) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var pkgs []*Package
+	if len(base) > 0 {
+		pkg, err := l.check(importPath, append(append([]*ast.File{}, base...), inTest...))
+		if err != nil {
+			return nil, err
+		}
+		pkg.Path = importPath
+		pkgs = append(pkgs, pkg)
+	}
+	if len(extTest) > 0 {
+		pkg, err := l.check(importPath+"_test", extTest)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Path = importPath
+		pkg.ExternalTest = true
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parseDir parses every Go file of a directory and partitions the files
+// into non-test, in-package test, and external (package foo_test) test
+// files.
+func (l *Loader) parseDir(dir string) (base, inTest, extTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	baseName := ""
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case strings.HasSuffix(n, "_test.go") && strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		case strings.HasSuffix(n, "_test.go"):
+			inTest = append(inTest, f)
+		default:
+			if baseName != "" && f.Name.Name != baseName {
+				return nil, nil, nil, fmt.Errorf("analysis: %s: packages %s and %s in one directory", dir, baseName, f.Name.Name)
+			}
+			baseName = f.Name.Name
+			base = append(base, f)
+		}
+	}
+	return base, inTest, extTest, nil
+}
+
+// check type-checks one set of files as a package.
+func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: in-module paths are
+// type-checked from source (non-test files only) and cached; everything
+// else is delegated to the standard-library source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.exports[path]; ok {
+		return pkg, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		if l.loading[path] {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		pkgDir := filepath.Join(l.moduleDir, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath)))
+		base, _, _, err := l.parseDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		if len(base) == 0 {
+			return nil, fmt.Errorf("analysis: no Go files for import %q in %s", path, pkgDir)
+		}
+		pkg, err := l.check(path, base)
+		if err != nil {
+			return nil, err
+		}
+		l.exports[path] = pkg.Pkg
+		return pkg.Pkg, nil
+	}
+	pkg, err := l.std.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: importing %s: %w", path, err)
+	}
+	l.exports[path] = pkg
+	return pkg, nil
+}

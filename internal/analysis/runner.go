@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// AllowDirective is the comment prefix that suppresses diagnostics:
+//
+//	//cubefit:vet-allow analyzer1,analyzer2 -- reason
+//
+// placed on the same line as the finding or on the line directly above
+// it. The reason after "--" is mandatory-by-convention but not enforced.
+const AllowDirective = "cubefit:vet-allow"
+
+// Run applies every analyzer to every package, filters findings through
+// //cubefit:vet-allow directives, and returns the surviving diagnostics
+// sorted by position. A non-nil error reports an analyzer failure, not a
+// finding.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allows := make(map[allowKey]bool)
+	for _, pkg := range pkgs {
+		collectAllows(pkg, allows)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows records the package's //cubefit:vet-allow directives. A
+// directive suppresses the named analyzers on its own line and the line
+// below it (so it works both as a trailing and as a leading comment).
+func collectAllows(pkg *Package, out map[allowKey]bool) {
+	fset := pkg.Fset
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, n := range names {
+					out[allowKey{pos.Filename, pos.Line, n}] = true
+				}
+			}
+		}
+	}
+}
+
+// parseAllow extracts the analyzer names of one directive comment.
+func parseAllow(c *ast.Comment) ([]string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, AllowDirective) {
+		return nil, false
+	}
+	text = strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+	if i := strings.Index(text, "--"); i >= 0 {
+		text = strings.TrimSpace(text[:i])
+	}
+	if text == "" {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

@@ -1,0 +1,22 @@
+// Fixture for the runner's directive handling: the test's dummy analyzer
+// reports every return statement; a directive on the same line or the
+// line above suppresses the finding, a directive naming a different
+// analyzer does not.
+package suppress
+
+func plain() int {
+	return 1
+}
+
+func sameLine() int {
+	return 2 //cubefit:vet-allow dummy -- same-line suppression
+}
+
+func lineAbove() int {
+	//cubefit:vet-allow dummy -- previous-line suppression
+	return 3
+}
+
+func wrongName() int {
+	return 4 //cubefit:vet-allow other -- names a different analyzer
+}

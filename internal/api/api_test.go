@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"cubefit/internal/packing"
 	"cubefit/internal/rfi"
 	"cubefit/internal/workload"
 )
@@ -277,7 +278,7 @@ func TestDrill(t *testing.T) {
 	if out.MaxClientLoad > float64(out.ClientCapacity) {
 		t.Fatalf("CubeFit drill predicts overload: %+v", out)
 	}
-	if out.WorstLoad > 1+1e-9 {
+	if !packing.WithinCapacity(out.WorstLoad) {
 		t.Fatalf("worst load %v exceeds capacity", out.WorstLoad)
 	}
 	// Too many failures.

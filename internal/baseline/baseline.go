@@ -16,8 +16,6 @@ import (
 	"cubefit/internal/packing"
 )
 
-const eps = 1e-9
-
 // Strategy selects the packing heuristic.
 type Strategy int
 
@@ -110,7 +108,7 @@ func (b *Baseline) Place(t packing.Tenant) error {
 
 func (b *Baseline) fits(sid int, id packing.TenantID, rep packing.Replica) bool {
 	s := b.p.Server(sid)
-	return !s.Hosts(id) && s.Level()+rep.Size <= 1+eps
+	return !s.Hosts(id) && packing.WithinCapacity(s.Level()+rep.Size)
 }
 
 func (b *Baseline) firstFit(id packing.TenantID, rep packing.Replica) int {
@@ -123,7 +121,7 @@ func (b *Baseline) firstFit(id packing.TenantID, rep packing.Replica) int {
 }
 
 func (b *Baseline) bestFit(id packing.TenantID, rep packing.Replica) int {
-	limit := 1 - rep.Size + eps
+	limit := 1 - rep.Size + packing.CapacityEps
 	start := sort.Search(len(b.byLevel), func(k int) bool {
 		return b.p.Server(b.byLevel[k]).Level() <= limit
 	})
@@ -170,7 +168,7 @@ func (b *Baseline) reposition(sid int) {
 	j := sort.Search(i, func(k int) bool {
 		other := b.byLevel[k]
 		ol := b.p.Server(other).Level()
-		return ol < level || (ol == level && other > sid)
+		return ol < level || (ol == level && other > sid) //cubefit:vet-allow floatcmp -- exact equality keyed to the stored index order
 	})
 	if j == i {
 		return

@@ -53,7 +53,7 @@ func TestCapacityAndDistinctness(t *testing.T) {
 			}
 			p := b.Placement()
 			for _, srv := range p.Servers() {
-				if srv.Level() > 1+1e-9 {
+				if !packing.WithinCapacity(srv.Level()) {
 					t.Fatalf("%s γ=%d: server %d over capacity: %v", s, gamma, srv.ID(), srv.Level())
 				}
 			}
@@ -156,7 +156,7 @@ func TestTotalLoadLowerBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := b.Placement()
-	if float64(p.NumUsedServers()) < p.TotalLoad()-1e-9 {
+	if float64(p.NumUsedServers()) < p.TotalLoad()-packing.CapacityEps {
 		t.Fatalf("server count %d below total load %v — impossible", p.NumUsedServers(), p.TotalLoad())
 	}
 	if p.Utilization() < 0.8 {

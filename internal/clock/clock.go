@@ -1,0 +1,46 @@
+// Package clock is the repository's single approved seam to the wall
+// clock. Simulation and algorithm code must never call time.Now directly —
+// the `wallclock` analyzer in internal/analysis enforces this — so that
+// experiment results are a pure function of their inputs and seeds.
+// Components that need elapsed-time measurements accept a Clock and receive
+// Real() in production and a *Fake in tests.
+package clock
+
+import "time"
+
+// Clock supplies the current time and elapsed-time measurements.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real returns the wall clock backed by the time package.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Fake is a manually advanced Clock for deterministic tests. The zero
+// value starts at the zero time; it is not safe for concurrent use.
+type Fake struct {
+	now time.Time
+}
+
+// NewFake returns a fake clock starting at the given instant.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current instant.
+func (f *Fake) Now() time.Time { return f.now }
+
+// Since returns the fake time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.now.Sub(t) }
+
+// Advance moves the fake clock forward by d (backwards for negative d).
+func (f *Fake) Advance(d time.Duration) { f.now = f.now.Add(d) }
+
+// Set jumps the fake clock to the given instant.
+func (f *Fake) Set(t time.Time) { f.now = t }

@@ -1,0 +1,42 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceAndSince(t *testing.T) {
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), start)
+	}
+	f.Advance(90 * time.Second)
+	if got := f.Since(start); got != 90*time.Second {
+		t.Fatalf("Since(start) = %v, want 90s", got)
+	}
+	f.Advance(-30 * time.Second)
+	if got := f.Since(start); got != time.Minute {
+		t.Fatalf("Since(start) after rewind = %v, want 1m", got)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	target := time.Unix(1000, 0)
+	f.Set(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), target)
+	}
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("real clock ran backwards")
+	}
+	if c.Now().Before(t0) {
+		t.Fatal("real clock Now() went backwards")
+	}
+}

@@ -449,7 +449,7 @@ func (s *psServer) fire(ver int) {
 		return
 	}
 	s.sync()
-	for len(s.jobs) > 0 && s.jobs[0].target <= s.vt+1e-12 {
+	for len(s.jobs) > 0 && s.jobs[0].target <= s.vt+packing.SharedEps {
 		j := heap.Pop(&s.jobs).(job)
 		if s.sim.inWindow() {
 			s.sim.serverResp[s.id] = append(s.sim.serverResp[s.id], s.sim.eng.Now()-j.start)

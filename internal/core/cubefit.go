@@ -6,9 +6,6 @@ import (
 	"cubefit/internal/packing"
 )
 
-// eps absorbs floating-point accumulation error in capacity comparisons.
-const eps = 1e-9
-
 // maxCubeSize caps τ^γ so that cube group arrays stay reasonably sized.
 const maxCubeSize = 1 << 22
 
@@ -284,7 +281,7 @@ func (cf *CubeFit) placeTiny(reps []packing.Replica) error {
 	tau := cf.tinyClass()
 	cb := cf.cube(tau, true)
 	size := reps[0].Size
-	if cb.open && cb.fill+size > cb.slotSize+eps {
+	if cb.open && !packing.FitsWithin(cb.fill+size, cb.slotSize) {
 		cf.advance(cb)
 	}
 	if err := cf.placeAtCursor(cb, reps); err != nil {
@@ -315,7 +312,7 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 		if err != nil {
 			return err
 		}
-		if rep.Size > cb.slotSize+eps {
+		if !packing.FitsWithin(rep.Size, cb.slotSize) {
 			return fmt.Errorf("core: internal: replica size %v exceeds slot size %v of class %d",
 				rep.Size, cb.slotSize, cb.tau)
 		}
@@ -442,7 +439,7 @@ func (cf *CubeFit) refreshBin(b *bin) {
 	}
 	slack := 1 - srv.Level() - b.reserve
 	switch {
-	case slack <= cf.cfg.PruneSlack+eps:
+	case packing.FitsWithin(slack, cf.cfg.PruneSlack):
 		if b.activeIdx >= 0 {
 			cf.removeActive(b)
 		}

@@ -45,7 +45,7 @@ func TestFigure1Gamma2(t *testing.T) {
 	}
 	// Every single-server failure must keep all survivors within capacity.
 	for f := 0; f < p.NumServers(); f++ {
-		if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+		if got := p.MaxPostFailureLoad([]int{f}); !packing.WithinCapacity(got) {
 			t.Fatalf("failure of server %d overloads a survivor to %v", f, got)
 		}
 	}
@@ -62,7 +62,7 @@ func TestFigure1Gamma3(t *testing.T) {
 	n := p.NumServers()
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			if got := p.MaxPostFailureLoad([]int{a, b}); got > 1+1e-9 {
+			if got := p.MaxPostFailureLoad([]int{a, b}); !packing.WithinCapacity(got) {
 				t.Fatalf("failures {%d,%d} overload a survivor to %v", a, b, got)
 			}
 		}
@@ -315,7 +315,7 @@ func TestGamma1Degenerate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range cf.Placement().Servers() {
-		if s.Level() > 1+1e-9 {
+		if !packing.WithinCapacity(s.Level()) {
 			t.Fatalf("server %d over capacity: %v", s.ID(), s.Level())
 		}
 	}

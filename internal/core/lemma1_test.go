@@ -85,7 +85,7 @@ func TestLemma1MixedClassesSharedLoadBound(t *testing.T) {
 				if other > bound {
 					bound = other
 				}
-				if v > bound+1e-9 {
+				if !packing.FitsWithin(v, bound) {
 					t.Fatalf("γ=%d: servers %d,%d share load %v > slot bound %v",
 						gamma, s.ID(), j, v, bound)
 				}

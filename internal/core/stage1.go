@@ -71,7 +71,7 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) *bin {
 		b := cf.active[i]
 		srv := cf.p.Server(b.server)
 		slack := 1 - srv.Level() - b.reserve
-		if slack <= cf.cfg.PruneSlack+eps {
+		if packing.FitsWithin(slack, cf.cfg.PruneSlack) {
 			// Permanently retire bins with no usable slack; the scan index
 			// stays put because removeActive swaps the last element in.
 			cf.removeActive(b)
@@ -82,10 +82,11 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) *bin {
 		// Best Fit: maximize level; break ties on the lower server ID so
 		// the choice does not depend on active-list scan order.
 		if srv.Level() < bestLevel ||
+			//cubefit:vet-allow floatcmp -- exact tie-break on level keeps Best Fit deterministic
 			(srv.Level() == bestLevel && best != nil && b.server > best.server) {
 			continue
 		}
-		if slack+eps < rep.Size {
+		if !packing.FitsWithin(rep.Size, slack) {
 			continue // necessary condition: new reserve only grows
 		}
 		if srv.Hosts(t.ID) {
@@ -116,13 +117,13 @@ func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
 func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica) bool {
 	k := cf.cfg.Gamma - 1
 	level := srv.Level()
-	if level+rep.Size > 1+eps {
+	if !packing.WithinCapacity(level + rep.Size) {
 		return false
 	}
 	// Candidate server: its shared load with each earlier host grows by
 	// rep.Size once rep lands here.
 	after := topSharedAdjusted(srv, k, earlier, rep.Size)
-	if level+rep.Size+after > 1+eps {
+	if !packing.WithinCapacity(level + rep.Size + after) {
 		return false
 	}
 	// Earlier hosts: their shared load with the candidate grows by the size
@@ -130,7 +131,7 @@ func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica
 	for _, h := range earlier {
 		hs := cf.p.Server(h)
 		afterH := topSharedAdjusted(hs, k, []int{srv.ID()}, rep.Size)
-		if hs.Level()+afterH > 1+eps {
+		if !packing.WithinCapacity(hs.Level() + afterH) {
 			return false
 		}
 	}

@@ -104,14 +104,14 @@ func TestTheorem1WorstCaseFailures(t *testing.T) {
 		n := p.NumServers()
 		if gamma == 2 {
 			for f := 0; f < n; f++ {
-				if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+				if got := p.MaxPostFailureLoad([]int{f}); !packing.WithinCapacity(got) {
 					t.Fatalf("γ=2: failing server %d overloads survivors to %v", f, got)
 				}
 			}
 		} else {
 			for a := 0; a < n; a++ {
 				for b := a + 1; b < n; b++ {
-					if got := p.MaxPostFailureLoad([]int{a, b}); got > 1+1e-9 {
+					if got := p.MaxPostFailureLoad([]int{a, b}); !packing.WithinCapacity(got) {
 						t.Fatalf("γ=3: failing {%d,%d} overloads survivors to %v", a, b, got)
 					}
 				}

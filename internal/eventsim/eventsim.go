@@ -92,7 +92,7 @@ type eventHeap []event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	if h[i].at != h[j].at { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq

@@ -167,7 +167,7 @@ type family struct {
 	name string
 	help string
 
-	counter    *Counter      // exactly one of the four is non-nil
+	counter    *Counter // exactly one of the four is non-nil
 	counterVec *CounterVec
 	hist       *Histogram
 	histVec    *HistogramVec

@@ -18,8 +18,6 @@ import (
 	"cubefit/internal/packing"
 )
 
-const eps = 1e-9
-
 // PlaceAll places all tenants with full lookahead and returns the
 // placement. The input slice is not modified.
 func PlaceAll(gamma int, tenants []packing.Tenant) (*packing.Placement, error) {
@@ -30,7 +28,7 @@ func PlaceAll(gamma int, tenants []packing.Tenant) (*packing.Placement, error) {
 	sorted := make([]packing.Tenant, len(tenants))
 	copy(sorted, tenants)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Load != sorted[j].Load {
+		if sorted[i].Load != sorted[j].Load { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
 			return sorted[i].Load > sorted[j].Load
 		}
 		return sorted[i].ID < sorted[j].ID
@@ -74,7 +72,7 @@ func fits(p *packing.Placement, s *packing.Server, id packing.TenantID, rep pack
 	if s.Hosts(id) {
 		return false
 	}
-	if s.Level()+rep.Size > 1+eps {
+	if !packing.WithinCapacity(s.Level() + rep.Size) {
 		return false
 	}
 	k := p.Gamma() - 1
@@ -86,12 +84,12 @@ func fits(p *packing.Placement, s *packing.Server, id packing.TenantID, rep pack
 	}
 	// Candidate: reserve after placement, anticipating that the remaining
 	// replicas will each share rep.Size with this server.
-	if s.Level()+rep.Size+reserveAfter(p, s, earlier, rep.Size, k, p.Gamma()-1) > 1+eps {
+	if !packing.WithinCapacity(s.Level() + rep.Size + reserveAfter(p, s, earlier, rep.Size, k, p.Gamma()-1)) {
 		return false
 	}
 	for _, h := range earlier {
 		hs := p.Server(h)
-		if hs.Level()+reserveAfter(p, hs, []int{s.ID()}, rep.Size, k, 0) > 1+eps {
+		if !packing.WithinCapacity(hs.Level() + reserveAfter(p, hs, []int{s.ID()}, rep.Size, k, 0)) {
 			return false
 		}
 	}

@@ -87,7 +87,7 @@ func TestSingleFailureSafety(t *testing.T) {
 		t.Fatal(err)
 	}
 	for f := 0; f < p.NumServers(); f++ {
-		if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+		if got := p.MaxPostFailureLoad([]int{f}); !packing.WithinCapacity(got) {
 			t.Fatalf("failing server %d overloads survivors to %v", f, got)
 		}
 	}

@@ -62,7 +62,7 @@ func Solve(gamma int, tenants []packing.Tenant, nodeBudget int) (Result, error) 
 	order := make([]packing.Tenant, len(tenants))
 	copy(order, tenants)
 	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].Load != order[j].Load {
+		if order[i].Load != order[j].Load { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
 			return order[i].Load > order[j].Load
 		}
 		return order[i].ID < order[j].ID
@@ -72,7 +72,7 @@ func Solve(gamma int, tenants []packing.Tenant, nodeBudget int) (Result, error) 
 	for _, t := range order {
 		volume += t.Load
 	}
-	lowerBound := int(math.Ceil(volume - 1e-9))
+	lowerBound := int(math.Ceil(volume - packing.CapacityEps))
 	if lowerBound < 1 {
 		lowerBound = 1
 	}
@@ -202,12 +202,11 @@ func (s *solver) dfs(ti, used int) error {
 // (monotone) robustness constraint for the candidate or any server sharing
 // tenants with it.
 func (s *solver) feasible(sid int, rep packing.Replica) bool {
-	const eps = 1e-9
 	srv := s.p.Server(sid)
 	if srv.Hosts(rep.Tenant) {
 		return false
 	}
-	if srv.Level()+rep.Size > 1+eps {
+	if !packing.WithinCapacity(srv.Level() + rep.Size) {
 		return false
 	}
 	// Tentatively check the robustness constraint: the earlier replicas of
@@ -220,12 +219,12 @@ func (s *solver) feasible(sid int, rep packing.Replica) bool {
 		}
 	}
 	after := topSharedBumped(srv, k, earlier, rep.Size)
-	if srv.Level()+rep.Size+after > 1+eps {
+	if !packing.WithinCapacity(srv.Level() + rep.Size + after) {
 		return false
 	}
 	for _, h := range earlier {
 		hs := s.p.Server(h)
-		if hs.Level()+topSharedBumped(hs, k, []int{sid}, rep.Size) > 1+eps {
+		if !packing.WithinCapacity(hs.Level() + topSharedBumped(hs, k, []int{sid}, rep.Size)) {
 			return false
 		}
 	}

@@ -317,7 +317,7 @@ func (p *Placement) Place(sid int, r Replica) error {
 	if s.Hosts(r.Tenant) {
 		return fmt.Errorf("%w: tenant %d on server %d", ErrDuplicateTenant, r.Tenant, sid)
 	}
-	if s.level+r.Size > 1+capacityEps {
+	if !WithinCapacity(s.level + r.Size) {
 		return fmt.Errorf("%w: server %d level %v + %v", ErrOverflow, sid, s.level, r.Size)
 	}
 
@@ -357,11 +357,11 @@ func (p *Placement) Unplace(id TenantID, idx int) error {
 		}
 		o := p.servers[other]
 		s.shared[other] -= r.Size
-		if s.shared[other] <= sharedEps {
+		if Negligible(s.shared[other]) {
 			delete(s.shared, other)
 		}
 		o.shared[sid] -= o.replicas[id].Size
-		if o.shared[sid] <= sharedEps {
+		if Negligible(o.shared[sid]) {
 			delete(o.shared, sid)
 		}
 	}
@@ -412,9 +412,3 @@ func (p *Placement) Utilization() float64 {
 	}
 	return p.TotalLoad() / float64(used)
 }
-
-const (
-	// capacityEps absorbs accumulated floating-point error in level sums.
-	capacityEps = 1e-9
-	sharedEps   = 1e-12
-)

@@ -2,7 +2,6 @@ package packing
 
 import (
 	"errors"
-	"math"
 	"testing"
 
 	"cubefit/internal/rng"
@@ -75,7 +74,7 @@ func TestReplicasSplitLoadAndClients(t *testing.T) {
 	}
 	totalClients := 0
 	for i, r := range reps {
-		if math.Abs(r.Size-0.2) > 1e-12 {
+		if !AlmostEqualTol(r.Size, 0.2, SharedEps) {
 			t.Fatalf("replica %d size %v, want 0.2", i, r.Size)
 		}
 		if r.Tenant != 7 || r.Index != i {
@@ -102,7 +101,7 @@ func TestPlaceBasics(t *testing.T) {
 		t.Fatalf("counts wrong: %d servers, %d used, %d tenants",
 			p.NumServers(), p.NumUsedServers(), p.NumTenants())
 	}
-	if got := p.Server(s1).Level(); math.Abs(got-0.3) > 1e-12 {
+	if got := p.Server(s1).Level(); !AlmostEqualTol(got, 0.3, SharedEps) {
 		t.Fatalf("level = %v, want 0.3", got)
 	}
 	if !p.Server(s1).Hosts(1) || !p.Server(s2).Hosts(1) {
@@ -112,7 +111,7 @@ func TestPlaceBasics(t *testing.T) {
 	if len(hosts) != 2 || hosts[0] != s1 || hosts[1] != s2 {
 		t.Fatalf("hosts = %v", hosts)
 	}
-	if math.Abs(p.TotalLoad()-0.6) > 1e-12 {
+	if !AlmostEqualTol(p.TotalLoad(), 0.6, SharedEps) {
 		t.Fatalf("total load = %v", p.TotalLoad())
 	}
 	if err := p.Validate(); err != nil {
@@ -188,23 +187,23 @@ func TestSharedLoadsMaintained(t *testing.T) {
 	addAndPlace(t, p, Tenant{ID: 2, Load: 0.4}, s1, s2) // replicas 0.2
 	addAndPlace(t, p, Tenant{ID: 3, Load: 0.2}, s2, s3) // replicas 0.1
 
-	if got := p.Server(s1).SharedWith(s2); math.Abs(got-0.5) > 1e-12 {
+	if got := p.Server(s1).SharedWith(s2); !AlmostEqualTol(got, 0.5, SharedEps) {
 		t.Fatalf("shared(s1,s2) = %v, want 0.5", got)
 	}
-	if got := p.Server(s2).SharedWith(s1); math.Abs(got-0.5) > 1e-12 {
+	if got := p.Server(s2).SharedWith(s1); !AlmostEqualTol(got, 0.5, SharedEps) {
 		t.Fatalf("shared(s2,s1) = %v, want 0.5", got)
 	}
-	if got := p.Server(s2).SharedWith(s3); math.Abs(got-0.1) > 1e-12 {
+	if got := p.Server(s2).SharedWith(s3); !AlmostEqualTol(got, 0.1, SharedEps) {
 		t.Fatalf("shared(s2,s3) = %v, want 0.1", got)
 	}
 	if got := p.Server(s1).SharedWith(s3); got != 0 {
 		t.Fatalf("shared(s1,s3) = %v, want 0", got)
 	}
 	// Reserve for one failure on s2 is the largest shared value: 0.5.
-	if got := p.Server(s2).TopShared(1); math.Abs(got-0.5) > 1e-12 {
+	if got := p.Server(s2).TopShared(1); !AlmostEqualTol(got, 0.5, SharedEps) {
 		t.Fatalf("TopShared(1) = %v, want 0.5", got)
 	}
-	if got := p.Server(s2).TopShared(2); math.Abs(got-0.6) > 1e-12 {
+	if got := p.Server(s2).TopShared(2); !AlmostEqualTol(got, 0.6, SharedEps) {
 		t.Fatalf("TopShared(2) = %v, want 0.6", got)
 	}
 	if got := p.Server(s2).TopShared(0); got != 0 {
@@ -257,7 +256,7 @@ func TestUnplaceRestoresState(t *testing.T) {
 	if got := p.Server(s1).SharedWith(s2); got != 0 {
 		t.Fatalf("shared(s1,s2) after unplace = %v", got)
 	}
-	if got := p.Server(s2).SharedWith(s3); math.Abs(got-0.2) > 1e-12 {
+	if got := p.Server(s2).SharedWith(s3); !AlmostEqualTol(got, 0.2, SharedEps) {
 		t.Fatalf("unrelated shared load disturbed: %v", got)
 	}
 	if hosts := p.TenantHosts(1); hosts[1] != -1 || hosts[0] != s1 {
@@ -267,7 +266,7 @@ func TestUnplaceRestoresState(t *testing.T) {
 	if err := p.Place(s3, Replica{Tenant: 1, Index: 1, Size: 0.3}); err != nil {
 		t.Fatalf("re-place failed: %v", err)
 	}
-	if got := p.Server(s3).SharedWith(s1); math.Abs(got-0.3) > 1e-12 {
+	if got := p.Server(s3).SharedWith(s1); !AlmostEqualTol(got, 0.3, SharedEps) {
 		t.Fatalf("shared(s3,s1) = %v, want 0.3", got)
 	}
 }
@@ -296,10 +295,10 @@ func TestRemoveTenant(t *testing.T) {
 	if p.NumTenants() != 1 {
 		t.Fatalf("tenants = %d, want 1", p.NumTenants())
 	}
-	if math.Abs(p.TotalLoad()-0.2) > 1e-12 {
+	if !AlmostEqualTol(p.TotalLoad(), 0.2, SharedEps) {
 		t.Fatalf("total load = %v, want 0.2", p.TotalLoad())
 	}
-	if got := p.Server(s1).SharedWith(s2); math.Abs(got-0.1) > 1e-12 {
+	if got := p.Server(s1).SharedWith(s2); !AlmostEqualTol(got, 0.1, SharedEps) {
 		t.Fatalf("shared after removal = %v, want 0.1", got)
 	}
 	if err := p.Validate(); err != nil {
@@ -325,14 +324,14 @@ func TestFailureImpact(t *testing.T) {
 	}
 	// Server 2 shares tenant 1 with both failed servers (0.2 each) and
 	// tenant 2 with failed server 1 (0.1).
-	if got := impact[ids[2]]; math.Abs(got-0.5) > 1e-12 {
+	if got := impact[ids[2]]; !AlmostEqualTol(got, 0.5, SharedEps) {
 		t.Fatalf("impact on server 2 = %v, want 0.5", got)
 	}
-	if got := impact[ids[3]]; math.Abs(got-0.1) > 1e-12 {
+	if got := impact[ids[3]]; !AlmostEqualTol(got, 0.1, SharedEps) {
 		t.Fatalf("impact on server 3 = %v, want 0.1", got)
 	}
 	want := p.Server(ids[2]).Level() + 0.5
-	if got := p.MaxPostFailureLoad([]int{ids[0], ids[1]}); math.Abs(got-want) > 1e-12 {
+	if got := p.MaxPostFailureLoad([]int{ids[0], ids[1]}); !AlmostEqualTol(got, want, SharedEps) {
 		t.Fatalf("MaxPostFailureLoad = %v, want %v", got, want)
 	}
 }
@@ -377,7 +376,7 @@ func TestUtilization(t *testing.T) {
 	s1, s2 := p.OpenServer(), p.OpenServer()
 	p.OpenServer() // opened but unused
 	addAndPlace(t, p, Tenant{ID: 1, Load: 0.8}, s1, s2)
-	if got := p.Utilization(); math.Abs(got-0.4) > 1e-12 {
+	if got := p.Utilization(); !AlmostEqualTol(got, 0.4, SharedEps) {
 		t.Fatalf("utilization = %v, want 0.4", got)
 	}
 	if p.NumUsedServers() != 2 {
@@ -456,7 +455,7 @@ func TestTopSharedMatchesNaive(t *testing.T) {
 		}
 		for _, s := range p.Servers() {
 			for k := 0; k <= 6; k++ {
-				if got, want := s.TopShared(k), naiveTopK(s, k); math.Abs(got-want) > 1e-9 {
+				if got, want := s.TopShared(k), naiveTopK(s, k); !AlmostEqual(got, want) {
 					t.Fatalf("TopShared(%d) on server %d = %v, want %v", k, s.ID(), got, want)
 				}
 			}
@@ -515,7 +514,7 @@ func TestAccessors(t *testing.T) {
 	if srv.NumReplicas() != 1 {
 		t.Fatalf("NumReplicas = %d", srv.NumReplicas())
 	}
-	if got := srv.Free(); math.Abs(got-0.7) > 1e-12 {
+	if got := srv.Free(); !AlmostEqualTol(got, 0.7, SharedEps) {
 		t.Fatalf("Free = %v", got)
 	}
 	if srv.NumShared() != 1 {
@@ -588,7 +587,7 @@ func TestSharedLoadsMatchRecomputation(t *testing.T) {
 						want += rep.Size
 					}
 				}
-				if got := si.SharedWith(sj.ID()); math.Abs(got-want) > 1e-9 {
+				if got := si.SharedWith(sj.ID()); !AlmostEqual(got, want) {
 					t.Fatalf("trial %d: shared(%d,%d) = %v, recomputed %v",
 						trial, si.ID(), sj.ID(), got, want)
 				}
@@ -600,7 +599,7 @@ func TestSharedLoadsMatchRecomputation(t *testing.T) {
 			for _, rep := range s.Replicas() {
 				want += rep.Size
 			}
-			if math.Abs(s.Level()-want) > 1e-9 {
+			if !AlmostEqual(s.Level(), want) {
 				t.Fatalf("trial %d: level(%d) = %v, recomputed %v", trial, s.ID(), s.Level(), want)
 			}
 		}

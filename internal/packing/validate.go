@@ -5,10 +5,6 @@ import (
 	"fmt"
 )
 
-// robustEps is the tolerance used when checking the unit-capacity
-// robustness constraint, absorbing floating-point accumulation error.
-const robustEps = 1e-9
-
 // ErrNotRobust indicates a violated robustness constraint.
 var ErrNotRobust = errors.New("packing: placement is not robust")
 
@@ -46,11 +42,11 @@ func (p *Placement) Validate() error {
 // requiring all replicas to be placed (useful mid-stream).
 func (p *Placement) ValidateRobustness() error {
 	for _, s := range p.servers {
-		if s.level > 1+robustEps {
+		if !WithinCapacity(s.level) {
 			return fmt.Errorf("%w: server %d level %v > 1", ErrOverflow, s.id, s.level)
 		}
 		reserve := s.TopShared(p.gamma - 1)
-		if s.level+reserve > 1+robustEps {
+		if !WithinCapacity(s.level + reserve) {
 			return fmt.Errorf("%w: server %d level %v + worst-case redirected %v > 1",
 				ErrNotRobust, s.id, s.level, reserve)
 		}
@@ -66,7 +62,7 @@ func (p *Placement) ValidateExhaustive() error {
 	k := p.gamma - 1
 	n := len(p.servers)
 	for _, s := range p.servers {
-		if s.level > 1+robustEps {
+		if !WithinCapacity(s.level) {
 			return fmt.Errorf("%w: server %d level %v > 1", ErrOverflow, s.id, s.level)
 		}
 		others := make([]int, 0, n-1)
@@ -89,7 +85,7 @@ func (p *Placement) checkSubsets(s *Server, others []int, k int) error {
 	idx := make([]int, k)
 	var rec func(start, depth int, extra float64) error
 	rec = func(start, depth int, extra float64) error {
-		if s.level+extra > 1+robustEps {
+		if !WithinCapacity(s.level + extra) {
 			chosen := make([]int, depth)
 			for i := 0; i < depth; i++ {
 				chosen[i] = others[idx[i]]

@@ -33,8 +33,9 @@ type Bound struct {
 }
 
 // defaultEps is the symbolic "just above the class boundary" slack of the
-// paper's program.
-const defaultEps = 1e-9
+// paper's program. It reuses the repository-wide capacity tolerance so the
+// symbolic slack and the validators' rounding slack cannot drift apart.
+const defaultEps = packing.CapacityEps
 
 // UpperBound solves the Theorem 2 integer program for the given
 // replication factor and class count.
@@ -233,7 +234,7 @@ func LowerBoundServers(tenants []packing.Tenant, gamma int) int {
 			bigReplicas += gamma
 		}
 	}
-	lb := int(math.Ceil(volume - 1e-9))
+	lb := int(math.Ceil(volume - packing.CapacityEps))
 	if counting := (bigReplicas + gamma - 1) / gamma; counting > lb {
 		lb = counting
 	}

@@ -22,8 +22,6 @@ import (
 	"cubefit/internal/packing"
 )
 
-const eps = 1e-9
-
 // DefaultMu is the interleaving parameter recommended by [12] and used in
 // the paper's experiments.
 const DefaultMu = 0.85
@@ -162,7 +160,7 @@ func (a *RFI) reposition(sid int) {
 	j := sort.Search(i, func(k int) bool {
 		other := a.byLevel[k]
 		ol := a.p.Server(other).Level()
-		return ol < level || (ol == level && other > sid)
+		return ol < level || (ol == level && other > sid) //cubefit:vet-allow floatcmp -- exact equality keyed to the stored index order
 	})
 	if j == i {
 		return
@@ -178,7 +176,7 @@ func (a *RFI) reposition(sid int) {
 // leftover capacity after placement), or -1. The level index makes the
 // first feasible entry at or after the μ-cap boundary the Best Fit answer.
 func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
-	limit := a.cfg.Mu - rep.Size + eps
+	limit := a.cfg.Mu - rep.Size + packing.CapacityEps
 	start := sort.Search(len(a.byLevel), func(k int) bool {
 		return a.p.Server(a.byLevel[k]).Level() <= limit
 	})
@@ -187,7 +185,7 @@ func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
 		s := a.p.Server(sid)
 		// Cheap necessary condition: the cached max shared load only grows
 		// once the replica lands, so failing it means infeasible.
-		if s.Level()+rep.Size+a.maxShared[sid] > 1+eps {
+		if !packing.WithinCapacity(s.Level() + rep.Size + a.maxShared[sid]) {
 			continue
 		}
 		if s.Hosts(id) {
@@ -205,7 +203,7 @@ func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
 // server already hosting one of the tenant's replicas (their shared load
 // with s grows by the replica size).
 func (a *RFI) feasible(s *packing.Server, id packing.TenantID, rep packing.Replica) bool {
-	if s.Level()+rep.Size > a.cfg.Mu+eps {
+	if !packing.FitsWithin(s.Level()+rep.Size, a.cfg.Mu) {
 		return false
 	}
 	earlier := make([]int, 0, a.cfg.Gamma-1)
@@ -228,7 +226,7 @@ func (a *RFI) feasible(s *packing.Server, id packing.TenantID, rep packing.Repli
 			maxShared = v
 		}
 	}
-	if s.Level()+rep.Size+maxShared > 1+eps {
+	if !packing.WithinCapacity(s.Level() + rep.Size + maxShared) {
 		return false
 	}
 	// Earlier hosts: their shared load with s grows by their own replica
@@ -239,7 +237,7 @@ func (a *RFI) feasible(s *packing.Server, id packing.TenantID, rep packing.Repli
 		if v := hs.SharedWith(s.ID()) + rep.Size; v > maxH {
 			maxH = v
 		}
-		if hs.Level()+maxH > 1+eps {
+		if !packing.WithinCapacity(hs.Level() + maxH) {
 			return false
 		}
 	}

@@ -91,7 +91,7 @@ func TestSingleFailureSafety(t *testing.T) {
 			t.Fatalf("%s: γ=2 placement should satisfy the (γ−1=1)-failure invariant: %v", dist.Name(), err)
 		}
 		for f := 0; f < p.NumServers(); f++ {
-			if got := p.MaxPostFailureLoad([]int{f}); got > 1+1e-9 {
+			if got := p.MaxPostFailureLoad([]int{f}); !packing.WithinCapacity(got) {
 				t.Fatalf("%s: failing server %d overloads a survivor to %v", dist.Name(), f, got)
 			}
 		}
@@ -111,7 +111,7 @@ func TestMuCapRespected(t *testing.T) {
 		}
 	}
 	for _, s := range a.Placement().Servers() {
-		if s.Level() > 0.7+1e-9 {
+		if !packing.FitsWithin(s.Level(), 0.7) {
 			t.Fatalf("server %d level %v exceeds μ=0.7", s.ID(), s.Level())
 		}
 	}

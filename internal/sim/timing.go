@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"cubefit/internal/clock"
 	"cubefit/internal/packing"
 )
 
@@ -22,8 +23,15 @@ type TimingResult struct {
 }
 
 // MeasureTiming places the tenants on a fresh instance from the factory
-// and measures wall-clock placement time.
+// and measures wall-clock placement time against the real clock.
 func MeasureTiming(f Factory, tenants []packing.Tenant) (TimingResult, error) {
+	return MeasureTimingWith(clock.Real(), f, tenants)
+}
+
+// MeasureTimingWith is MeasureTiming against an injectable clock, the seam
+// that keeps simulation timing deterministic under test (pass a
+// *clock.Fake advanced by the placement hook or left still).
+func MeasureTimingWith(clk clock.Clock, f Factory, tenants []packing.Tenant) (TimingResult, error) {
 	if len(tenants) == 0 {
 		return TimingResult{}, errors.New("sim: no tenants to time")
 	}
@@ -31,11 +39,11 @@ func MeasureTiming(f Factory, tenants []packing.Tenant) (TimingResult, error) {
 	if err != nil {
 		return TimingResult{}, err
 	}
-	start := time.Now()
+	start := clk.Now()
 	if err := packing.PlaceAll(alg, tenants); err != nil {
 		return TimingResult{}, err
 	}
-	total := time.Since(start)
+	total := clk.Since(start)
 	return TimingResult{
 		Algorithm: f.Name,
 		Tenants:   len(tenants),

@@ -2,7 +2,10 @@ package sim
 
 import (
 	"testing"
+	"time"
 
+	"cubefit/internal/clock"
+	"cubefit/internal/packing"
 	"cubefit/internal/workload"
 )
 
@@ -35,5 +38,46 @@ func TestMeasureTimingEmpty(t *testing.T) {
 	cf, _ := factories(t)
 	if _, err := MeasureTiming(cf, nil); err == nil {
 		t.Fatal("empty sequence accepted")
+	}
+}
+
+// tickingAlg advances a fake clock by a fixed step on every admission,
+// making MeasureTimingWith fully deterministic.
+type tickingAlg struct {
+	packing.Algorithm
+	clk  *clock.Fake
+	step time.Duration
+}
+
+func (a tickingAlg) Place(tn packing.Tenant) error {
+	a.clk.Advance(a.step)
+	return a.Algorithm.Place(tn)
+}
+
+func TestMeasureTimingWithFakeClock(t *testing.T) {
+	cf, _ := factories(t)
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), uniformDist(t, 15), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := workload.Take(src, 100)
+
+	fake := clock.NewFake(time.Unix(0, 0))
+	f := Factory{Name: cf.Name, New: func() (packing.Algorithm, error) {
+		alg, err := cf.New()
+		if err != nil {
+			return nil, err
+		}
+		return tickingAlg{Algorithm: alg, clk: fake, step: time.Millisecond}, nil
+	}}
+	res, err := MeasureTimingWith(fake, f, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 100*time.Millisecond {
+		t.Fatalf("Total = %v, want exactly 100ms", res.Total)
+	}
+	if res.PerTenant != time.Millisecond {
+		t.Fatalf("PerTenant = %v, want exactly 1ms", res.PerTenant)
 	}
 }

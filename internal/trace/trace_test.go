@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bytes"
-	"math"
 	"strings"
 	"testing"
 
@@ -59,17 +58,17 @@ func TestRoundTrip(t *testing.T) {
 	if restored.NumTenants() != p.NumTenants() {
 		t.Fatalf("tenants %d != %d", restored.NumTenants(), p.NumTenants())
 	}
-	if math.Abs(restored.TotalLoad()-p.TotalLoad()) > 1e-9 {
+	if !packing.AlmostEqual(restored.TotalLoad(), p.TotalLoad()) {
 		t.Fatalf("load %v != %v", restored.TotalLoad(), p.TotalLoad())
 	}
 	// Per-server levels and shared loads must match exactly.
 	for _, s := range p.Servers() {
 		rs := restored.Server(s.ID())
-		if math.Abs(rs.Level()-s.Level()) > 1e-12 {
+		if !packing.AlmostEqualTol(rs.Level(), s.Level(), packing.SharedEps) {
 			t.Fatalf("server %d level %v != %v", s.ID(), rs.Level(), s.Level())
 		}
 		s.EachShared(func(j int, v float64) {
-			if math.Abs(rs.SharedWith(j)-v) > 1e-12 {
+			if !packing.AlmostEqualTol(rs.SharedWith(j), v, packing.SharedEps) {
 				t.Fatalf("server %d shared with %d: %v != %v", s.ID(), j, rs.SharedWith(j), v)
 			}
 		})

@@ -43,7 +43,7 @@ func (m LoadModel) Validate() error {
 	if m.Beta < 0 {
 		return errors.New("workload: Beta must be non-negative")
 	}
-	if m.Load(MaxClientsPerServer) > 1+1e-9 {
+	if !packing.WithinCapacity(m.Load(MaxClientsPerServer)) {
 		return fmt.Errorf("workload: %d clients produce load %v > 1",
 			MaxClientsPerServer, m.Load(MaxClientsPerServer))
 	}
