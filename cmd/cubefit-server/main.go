@@ -17,12 +17,17 @@
 //	POST   /v1/repack
 //	GET    /v1/healthz
 //	GET    /metrics          Prometheus text exposition
+//	GET    /debug/events     last decision events [?n=200]
+//	GET    /explain/tenants/{id}  reconstructed decision path + failover
 //	/debug/pprof/*           with -pprof only
 //
 // Operations: the server applies Read/Write/Idle timeouts, logs every
 // request as a structured (slog) line, and exports per-route request
 // counts, status classes, latency histograms, and admission-outcome
-// counters at GET /metrics. On SIGINT/SIGTERM it stops accepting new
+// counters at GET /metrics. The engine's decision flight recorder
+// (internal/obs) feeds GET /debug/events and GET /explain/tenants/{id}
+// as well as the engine gauges and per-path admission latency
+// histograms on /metrics. On SIGINT/SIGTERM it stops accepting new
 // connections and drains in-flight requests for up to -drain before
 // exiting.
 package main
@@ -43,6 +48,7 @@ import (
 
 	"cubefit/internal/api"
 	"cubefit/internal/core"
+	"cubefit/internal/metrics"
 	"cubefit/internal/workload"
 )
 
@@ -149,28 +155,19 @@ func newServer(args []string) (*http.Server, options, error) {
 	}, opts, nil
 }
 
-// requestLogging logs one structured line per request.
+// requestLogging logs one structured line per request. The wrapper
+// preserves http.Flusher/io.ReaderFrom so pprof streaming and sendfile
+// keep working through it.
 func requestLogging(l *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		ww, rec := metrics.WrapResponseWriter(w)
+		next.ServeHTTP(ww, r)
 		l.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
-			"status", rec.code,
+			"status", rec.Code,
 			"duration", time.Since(start),
 			"remote", r.RemoteAddr)
 	})
-}
-
-// statusWriter captures the response status for the request log.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
 }

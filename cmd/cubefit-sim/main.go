@@ -7,24 +7,35 @@
 //
 //	cubefit-sim [-tenants 50000] [-runs 10] [-k 10] [-gamma 2] [-mu 0.85]
 //	            [-seed 1] [-table1] [-quick]
+//	cubefit-sim -events out.jsonl [-trace out.json] [-tenants N] [-seed S]
 //
 // Without flags it runs the full paper configuration (10 runs × 50,000
 // tenants × 11 distributions), which takes a few minutes; -quick reduces
 // the scale for a fast smoke run.
+//
+// With -events (and/or -trace) it instead performs one deterministic
+// uniform(1..15) CubeFit run with the decision flight recorder attached,
+// writing every placement event as JSON lines to the -events file and the
+// final placement snapshot to the -trace file. Replay the log with
+// `cubefit-inspect explain -events out.jsonl [out.json]`.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"cubefit/internal/clock"
 	"cubefit/internal/core"
 	"cubefit/internal/costs"
+	"cubefit/internal/obs"
 	"cubefit/internal/report"
 	"cubefit/internal/rfi"
 	"cubefit/internal/sim"
+	"cubefit/internal/trace"
 	"cubefit/internal/workload"
 )
 
@@ -47,12 +58,20 @@ func run(args []string, out io.Writer) error {
 		table1  = fs.Bool("table1", false, "print only Table I (uniform 1..15 and zipf(3))")
 		quick   = fs.Bool("quick", false, "reduced scale (2000 tenants, 3 runs)")
 		timing  = fs.Bool("timing", false, "also measure placement wall-clock time per algorithm")
+		events  = fs.String("events", "", "traced run: write decision events as JSONL to this file")
+		trc     = fs.String("trace", "", "traced run: write the final placement snapshot to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *quick {
 		*tenants, *runs = 2000, 3
+	}
+	if *events != "" || *trc != "" {
+		if *quick {
+			*tenants = 2000
+		}
+		return runTraced(out, *events, *trc, *tenants, *gamma, *k, *seed)
 	}
 
 	model := workload.DefaultLoadModel()
@@ -160,6 +179,84 @@ func run(args []string, out io.Writer) error {
 				res.Algorithm, res.Total.Round(time.Millisecond),
 				res.PerTenant.Round(time.Microsecond), res.Servers)
 		}
+	}
+	return nil
+}
+
+// tracedConfig is the CubeFit configuration of a traced run: the same
+// prune slack the consolidation sweep derives from the load model, so a
+// traced run places tenants exactly like the Figure 6 experiments (and a
+// fresh core.New(tracedConfig(...)) run on the same tenant sequence
+// reproduces the traced decisions, which the round-trip test exploits).
+func tracedConfig(gamma, k int, model workload.LoadModel) core.Config {
+	return core.Config{
+		Gamma:      gamma,
+		K:          k,
+		PruneSlack: model.Load(1) / float64(gamma) * 0.99,
+	}
+}
+
+// runTraced performs one deterministic uniform(1..15) CubeFit run with
+// the flight recorder attached. eventsPath receives the decision event
+// stream as JSON lines; tracePath (optional) receives the final placement
+// snapshot. Either may be empty.
+func runTraced(out io.Writer, eventsPath, tracePath string, tenants, gamma, k int, seed uint64) error {
+	model := workload.DefaultLoadModel()
+	cf, err := core.New(tracedConfig(gamma, k, model))
+	if err != nil {
+		return err
+	}
+
+	var sink *obs.JSONL
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		sink = obs.NewJSONL(bw)
+		cf.SetRecorder(obs.Stamp(clock.Real(), sink))
+	}
+
+	u, err := workload.NewUniform(1, 15)
+	if err != nil {
+		return err
+	}
+	src, err := workload.NewClientSource(model, u, seed)
+	if err != nil {
+		return err
+	}
+	rejected := 0
+	for _, t := range workload.Take(src, tenants) {
+		if err := cf.Place(t); err != nil {
+			rejected++
+		}
+	}
+
+	st := cf.Stats()
+	fmt.Fprintf(out, "Traced run: %d uniform(1..15) tenants, seed %d\n", tenants, seed)
+	fmt.Fprintf(out, "  first-stage=%d regular=%d tiny=%d rejected=%d servers=%d\n",
+		st.FirstStageTenants, st.RegularTenants, st.TinyTenants, rejected,
+		cf.Placement().NumServers())
+
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("writing %s: %w", eventsPath, err)
+		}
+		fmt.Fprintf(out, "  %d events -> %s\n", sink.Count(), eventsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, cf.Placement()); err != nil {
+			return fmt.Errorf("writing %s: %w", tracePath, err)
+		}
+		fmt.Fprintf(out, "  snapshot -> %s\n", tracePath)
 	}
 	return nil
 }

@@ -13,9 +13,14 @@
 //
 // Observability: every route is instrumented with request counters (by
 // method and status class) and latency histograms, and admissions are
-// counted by outcome (first_stage / regular / tiny / rejected) when the
-// wrapped algorithm reports its admission path. GET /metrics serves the
-// Prometheus text exposition.
+// counted by outcome (first_stage / regular / tiny / placed / rejected)
+// when the wrapped algorithm reports its admission path. GET /metrics
+// serves the Prometheus text exposition. When the algorithm supports a
+// decision flight recorder (internal/obs), the controller attaches one
+// automatically: the last events stay inspectable at GET /debug/events,
+// GET /explain/tenants/{id} reconstructs a tenant's decision path with
+// its failover attribution, and the same stream feeds the engine gauges
+// and per-path admission latency histograms on /metrics.
 //
 // Error contract: 400 for malformed or invalid requests (bad JSON, load
 // outside (0,1], negative clients/failures, missing load and clients),
@@ -32,9 +37,11 @@ import (
 	"strconv"
 	"sync"
 
+	"cubefit/internal/clock"
 	"cubefit/internal/core"
 	"cubefit/internal/failure"
 	"cubefit/internal/metrics"
+	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 	"cubefit/internal/rebalance"
 	"cubefit/internal/trace"
@@ -46,11 +53,22 @@ type Remover interface {
 	Remove(packing.TenantID) error
 }
 
-// admissionObservable is implemented by algorithms (CubeFit) that report
-// which path admitted each tenant.
+// admissionObservable is implemented by algorithms (CubeFit, RFI, the
+// naive baselines) that report the outcome of each admission attempt.
 type admissionObservable interface {
 	SetAdmissionHook(func(core.AdmissionPath))
 }
+
+// recordable is implemented by algorithms that emit their decision trail
+// to a flight recorder (internal/obs).
+type recordable interface {
+	SetRecorder(obs.Recorder)
+}
+
+// eventRingCapacity bounds the in-memory flight recorder served by
+// GET /debug/events. At roughly 15 events per admission it retains the
+// decision trails of the last few hundred tenants.
+const eventRingCapacity = 8192
 
 // Controller serves the placement API around one algorithm instance.
 type Controller struct {
@@ -64,6 +82,10 @@ type Controller struct {
 	registry   *metrics.Registry
 	httpM      *metrics.HTTPMetrics
 	admissions *metrics.CounterVec
+	// ring retains the most recent decision events (nil when the wrapped
+	// algorithm is not recordable). It has its own lock, so the event
+	// endpoints never contend with placement mutations.
+	ring *obs.Ring
 }
 
 // NewController wraps an algorithm. The load model translates
@@ -79,12 +101,20 @@ func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller
 	c.httpM = metrics.NewHTTPMetrics(c.registry)
 	c.admissions = c.registry.NewCounterVec("cubefit_admissions_total",
 		"Tenant admissions by outcome path.", "outcome")
-	if obs, ok := alg.(admissionObservable); ok {
+	if ao, ok := alg.(admissionObservable); ok {
 		// The hook runs inside Place, i.e. under the controller write
 		// lock; the counter itself is atomic.
-		obs.SetAdmissionHook(func(p core.AdmissionPath) {
+		ao.SetAdmissionHook(func(p core.AdmissionPath) {
 			c.admissions.With(p.String()).Inc()
 		})
+	}
+	if rec, ok := alg.(recordable); ok {
+		// Flight recorder: one stamped stream tees into the in-memory
+		// ring (for /debug/events and /explain) and the engine metric
+		// sink (gauges + per-path latency histograms on /metrics).
+		c.ring = obs.NewRing(eventRingCapacity)
+		rec.SetRecorder(obs.Stamp(clock.Real(),
+			obs.Tee(c.ring, metrics.NewEngineSink(c.registry))))
 	}
 	return c, nil
 }
@@ -122,8 +152,107 @@ func (c *Controller) Handler() http.Handler {
 	route("GET /v1/healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	route("GET /debug/events", "debug_events", c.handleDebugEvents)
+	route("GET /explain/tenants/{id}", "explain", c.handleExplain)
 	mux.Handle("GET /metrics", c.registry.Handler())
 	return mux
+}
+
+// eventsResponse is GET /debug/events: the last events retained by the
+// flight recorder ring, oldest first, plus the total recorded since start
+// (which exceeds len(events) once the ring has wrapped).
+type eventsResponse struct {
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"`
+}
+
+// defaultEventDump bounds GET /debug/events responses when no ?n= limit
+// is given.
+const defaultEventDump = 200
+
+func (c *Controller) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if c.ring == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("%s does not record decision events", c.alg.Name())})
+		return
+	}
+	n := defaultEventDump
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid n " + raw})
+			return
+		}
+		n = v
+	}
+	events := c.ring.Last(n)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Total: c.ring.Total(), Events: events})
+}
+
+// explainReplica is one replica row of GET /explain/tenants/{id}: where
+// the replica landed and which of the tenant's other servers absorb its
+// clients if that server fails (γ-replication failover attribution).
+type explainReplica struct {
+	Replica    int   `json:"replica"`
+	Server     int   `json:"server"`
+	FailoverTo []int `json:"failoverTo"`
+}
+
+// explainResponse is GET /explain/tenants/{id}.
+type explainResponse struct {
+	Tenant   int              `json:"tenant"`
+	Load     float64          `json:"load"`
+	Servers  []int            `json:"servers"`
+	Traced   bool             `json:"traced"`
+	Decision *obs.Decision    `json:"decision,omitempty"`
+	Failover []explainReplica `json:"failover"`
+}
+
+func (c *Controller) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	c.mu.RLock()
+	t, exists := c.alg.Placement().Tenant(id)
+	var hosts []int
+	if exists {
+		hosts = c.alg.Placement().TenantHosts(id)
+	}
+	c.mu.RUnlock()
+	if !exists {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("tenant %d not found", id)})
+		return
+	}
+	resp := explainResponse{
+		Tenant:   int(t.ID),
+		Load:     t.Load,
+		Servers:  hosts,
+		Failover: make([]explainReplica, 0, len(hosts)),
+	}
+	// Failover attribution: under γ-replication a failed server's clients
+	// shift to the tenant's surviving replicas, i.e. its other hosts.
+	for i, sid := range hosts {
+		others := make([]int, 0, len(hosts)-1)
+		for _, other := range hosts {
+			if other != sid {
+				others = append(others, other)
+			}
+		}
+		resp.Failover = append(resp.Failover, explainReplica{
+			Replica: i, Server: sid, FailoverTo: others,
+		})
+	}
+	if c.ring != nil {
+		if d, ok := obs.DecisionFor(c.ring.Events(), int(id)); ok {
+			resp.Traced = true
+			resp.Decision = &d
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // placeRequest admits a tenant either by explicit load or by client count

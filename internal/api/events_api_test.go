@@ -1,0 +1,196 @@
+package api
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cubefit/internal/baseline"
+	"cubefit/internal/obs"
+	"cubefit/internal/workload"
+)
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	srv := newServer(t)
+
+	// Before any admission: an empty but well-formed dump.
+	var empty struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/events", nil, &empty); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if empty.Total != 0 || len(empty.Events) != 0 {
+		t.Errorf("empty ring dump = %+v", empty)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+			map[string]any{"id": i, "load": 0.3}, nil); code != http.StatusCreated {
+			t.Fatalf("place %d: status %d", i, code)
+		}
+	}
+
+	var dump struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/events", nil, &dump); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if dump.Total == 0 || len(dump.Events) == 0 {
+		t.Fatal("admissions recorded no events")
+	}
+	if uint64(len(dump.Events)) != dump.Total {
+		t.Errorf("events %d != total %d (ring should not have wrapped)", len(dump.Events), dump.Total)
+	}
+	// Events arrive stamped and ordered.
+	for i, e := range dump.Events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+
+	// ?n= limits the dump to the most recent events.
+	var limited struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/events?n=2", nil, &limited); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(limited.Events) != 2 || limited.Total != dump.Total {
+		t.Errorf("limited dump: %d events, total %d", len(limited.Events), limited.Total)
+	}
+	if limited.Events[1].Seq != dump.Events[len(dump.Events)-1].Seq {
+		t.Error("?n=2 did not return the most recent events")
+	}
+
+	if code := doJSON(t, "GET", srv.URL+"/debug/events?n=bogus", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("bogus n: status %d, want 400", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := newServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+		map[string]any{"id": 5, "load": 0.4}, nil); code != http.StatusCreated {
+		t.Fatalf("place: status %d", code)
+	}
+
+	var exp struct {
+		Tenant   int           `json:"tenant"`
+		Load     float64       `json:"load"`
+		Servers  []int         `json:"servers"`
+		Traced   bool          `json:"traced"`
+		Decision *obs.Decision `json:"decision"`
+		Failover []struct {
+			Replica    int   `json:"replica"`
+			Server     int   `json:"server"`
+			FailoverTo []int `json:"failoverTo"`
+		} `json:"failover"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/explain/tenants/5", nil, &exp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if exp.Tenant != 5 || len(exp.Servers) == 0 {
+		t.Fatalf("explain = %+v", exp)
+	}
+	if !exp.Traced || exp.Decision == nil {
+		t.Fatal("admitted tenant is not traced")
+	}
+	if exp.Decision.Path == obs.PathUnknown || exp.Decision.Path == "" {
+		t.Errorf("decision path = %q", exp.Decision.Path)
+	}
+	if len(exp.Decision.Replicas) != len(exp.Servers) {
+		t.Errorf("decision has %d replicas, placement has %d servers",
+			len(exp.Decision.Replicas), len(exp.Servers))
+	}
+	if len(exp.Failover) != len(exp.Servers) {
+		t.Fatalf("failover rows = %d, servers = %d", len(exp.Failover), len(exp.Servers))
+	}
+	for _, row := range exp.Failover {
+		if len(row.FailoverTo) != len(exp.Servers)-1 {
+			t.Errorf("replica %d fails over to %v, want the %d other hosts",
+				row.Replica, row.FailoverTo, len(exp.Servers)-1)
+		}
+		for _, to := range row.FailoverTo {
+			if to == row.Server {
+				t.Errorf("replica %d fails over to its own server %d", row.Replica, to)
+			}
+		}
+	}
+
+	if code := doJSON(t, "GET", srv.URL+"/explain/tenants/99", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/explain/tenants/abc", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("bad id: status %d, want 400", code)
+	}
+}
+
+// TestRecorderFeedsEngineMetrics checks the teed EngineSink surfaces the
+// flight-recorder stream on /metrics.
+func TestRecorderFeedsEngineMetrics(t *testing.T) {
+	srv := newServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+		map[string]any{"id": 1, "load": 0.3}, nil); code != http.StatusCreated {
+		t.Fatalf("place: status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`cubefit_engine_events_total{kind="attempt"} 1`,
+		`cubefit_engine_events_total{kind="admit"} 1`,
+		"cubefit_servers_opened",
+		"cubefit_place_duration_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestExplainOnBaselineEngine covers a recordable single-stage engine
+// behind the same endpoints.
+func TestExplainOnBaselineEngine(t *testing.T) {
+	alg, err := baseline.New(baseline.FirstFit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(alg, workload.DefaultLoadModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+		map[string]any{"id": 1, "load": 0.3}, nil); code != http.StatusCreated {
+		t.Fatalf("place: status %d", code)
+	}
+	var exp struct {
+		Traced   bool          `json:"traced"`
+		Decision *obs.Decision `json:"decision"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/explain/tenants/1", nil, &exp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !exp.Traced || exp.Decision == nil || exp.Decision.Engine != "first-fit" {
+		t.Errorf("baseline explain = %+v", exp)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 )
 
@@ -54,6 +56,36 @@ type Baseline struct {
 	pos     []int
 	// open holds NextFit's current servers (NextFit only).
 	open []int
+
+	// admissionHook, when non-nil, runs after every Place attempt with the
+	// outcome (AdmitPlaced or AdmitRejected); see SetAdmissionHook.
+	admissionHook func(core.AdmissionPath)
+	// rec, when non-nil, receives the decision event stream; every
+	// emission site is guarded by a nil check (see SetRecorder).
+	rec obs.Recorder
+}
+
+// SetAdmissionHook registers fn to run synchronously after every Place
+// call with the outcome: core.AdmitPlaced on success, core.AdmitRejected
+// on failure. The naive packers are single-stage, so there is no finer
+// path to attribute; the hook exists so the api/metrics layer counts all
+// engines through the same contract.
+func (b *Baseline) SetAdmissionHook(fn func(core.AdmissionPath)) { b.admissionHook = fn }
+
+// SetRecorder attaches a decision flight recorder (see internal/obs). A
+// nil r detaches it. r.Record runs synchronously inside Place.
+func (b *Baseline) SetRecorder(r obs.Recorder) { b.rec = r }
+
+func (b *Baseline) observe(p core.AdmissionPath) {
+	if b.admissionHook != nil {
+		b.admissionHook(p)
+	}
+}
+
+// emit labels and forwards one event; callers guard with `b.rec != nil`.
+func (b *Baseline) emit(e obs.Event) {
+	e.Engine = b.strategy.String()
+	b.rec.Record(e)
 }
 
 var _ packing.Algorithm = (*Baseline)(nil)
@@ -83,27 +115,72 @@ func (b *Baseline) Placement() *packing.Placement { return b.p }
 
 // Place implements packing.Algorithm.
 func (b *Baseline) Place(t packing.Tenant) error {
+	if b.rec != nil {
+		e := obs.NewEvent(obs.KindAttempt)
+		e.Tenant = int(t.ID)
+		e.Size = t.Load
+		b.emit(e)
+	}
 	if err := b.p.AddTenant(t); err != nil {
+		b.reject(t.ID, err)
 		return err
 	}
 	for _, rep := range b.p.Replicas(t) {
-		var sid int
+		var sid, probed int
 		switch b.strategy {
 		case FirstFit:
-			sid = b.firstFit(t.ID, rep)
+			sid, probed = b.firstFit(t.ID, rep)
 		case BestFit:
-			sid = b.bestFit(t.ID, rep)
+			sid, probed = b.bestFit(t.ID, rep)
 		default:
-			sid = b.nextFit(t.ID, rep)
+			sid, probed = b.nextFit(t.ID, rep)
+		}
+		if b.rec != nil {
+			e := obs.NewEvent(obs.KindProbe)
+			e.Tenant = int(t.ID)
+			e.Replica = rep.Index
+			e.Probes = probed
+			e.Server = sid
+			b.emit(e)
 		}
 		if err := b.p.Place(sid, rep); err != nil {
-			return fmt.Errorf("baseline: internal: %w", err)
+			err = fmt.Errorf("baseline: internal: %w", err)
+			b.reject(t.ID, err)
+			return err
 		}
 		if b.strategy == BestFit {
 			b.reposition(sid)
 		}
+		if b.rec != nil {
+			e := obs.NewEvent(obs.KindPlace)
+			e.Tenant = int(t.ID)
+			e.Replica = rep.Index
+			e.Server = sid
+			e.Size = rep.Size
+			e.Level = b.p.Server(sid).Level()
+			b.emit(e)
+		}
 	}
+	if b.rec != nil {
+		e := obs.NewEvent(obs.KindAdmit)
+		e.Tenant = int(t.ID)
+		e.Path = core.AdmitPlaced.String()
+		b.emit(e)
+	}
+	b.observe(core.AdmitPlaced)
 	return nil
+}
+
+// reject closes a failed admission attempt.
+func (b *Baseline) reject(id packing.TenantID, err error) {
+	if b.rec != nil {
+		e := obs.NewEvent(obs.KindReject)
+		e.Tenant = int(id)
+		e.Path = core.AdmitRejected.String()
+		e.Reason = err.Error()
+		b.emit(e)
+	}
+	b.observe(core.AdmitRejected)
 }
 
 func (b *Baseline) fits(sid int, id packing.TenantID, rep packing.Replica) bool {
@@ -111,44 +188,48 @@ func (b *Baseline) fits(sid int, id packing.TenantID, rep packing.Replica) bool 
 	return !s.Hosts(id) && packing.WithinCapacity(s.Level()+rep.Size)
 }
 
-func (b *Baseline) firstFit(id packing.TenantID, rep packing.Replica) int {
+func (b *Baseline) firstFit(id packing.TenantID, rep packing.Replica) (best, probed int) {
 	for sid := 0; sid < b.p.NumServers(); sid++ {
+		probed++
 		if b.fits(sid, id, rep) {
-			return sid
+			return sid, probed
 		}
 	}
-	return b.openServer()
+	return b.openServer(), probed
 }
 
-func (b *Baseline) bestFit(id packing.TenantID, rep packing.Replica) int {
+func (b *Baseline) bestFit(id packing.TenantID, rep packing.Replica) (best, probed int) {
 	limit := 1 - rep.Size + packing.CapacityEps
 	start := sort.Search(len(b.byLevel), func(k int) bool {
 		return b.p.Server(b.byLevel[k]).Level() <= limit
 	})
 	for i := start; i < len(b.byLevel); i++ {
 		sid := b.byLevel[i]
+		probed++
 		if b.fits(sid, id, rep) {
-			return sid
+			return sid, probed
 		}
 	}
-	return b.openServer()
+	return b.openServer(), probed
 }
 
-func (b *Baseline) nextFit(id packing.TenantID, rep packing.Replica) int {
+func (b *Baseline) nextFit(id packing.TenantID, rep packing.Replica) (best, probed int) {
 	for _, sid := range b.open {
+		probed++
 		if b.fits(sid, id, rep) {
-			return sid
+			return sid, probed
 		}
 	}
 	// No current server fits: open a fresh one and slide the window (at
 	// most γ servers stay open so each tenant's replicas find distinct
 	// homes without reopening closed servers).
 	sid := b.p.OpenServer()
+	b.emitBinOpen(sid)
 	b.open = append(b.open, sid)
 	if len(b.open) > b.gamma {
 		b.open = b.open[1:]
 	}
-	return sid
+	return sid, probed
 }
 
 func (b *Baseline) openServer() int {
@@ -157,7 +238,16 @@ func (b *Baseline) openServer() int {
 		b.pos = append(b.pos, len(b.byLevel))
 		b.byLevel = append(b.byLevel, sid)
 	}
+	b.emitBinOpen(sid)
 	return sid
+}
+
+func (b *Baseline) emitBinOpen(sid int) {
+	if b.rec != nil {
+		e := obs.NewEvent(obs.KindBinOpen)
+		e.Server = sid
+		b.emit(e)
+	}
 }
 
 // reposition restores the (level desc, ID asc) index order after sid's

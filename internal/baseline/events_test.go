@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+)
+
+type recorded struct{ events []obs.Event }
+
+func (r *recorded) Record(e obs.Event) { r.events = append(r.events, e) }
+
+func TestAdmissionHookOutcomes(t *testing.T) {
+	b, err := New(FirstFit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.AdmissionPath
+	b.SetAdmissionHook(func(p core.AdmissionPath) { got = append(got, p) })
+
+	if err := b.Place(packing.Tenant{ID: 1, Load: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Place(packing.Tenant{ID: 1, Load: 0.3}); err == nil {
+		t.Fatal("duplicate admission succeeded")
+	}
+	want := []core.AdmissionPath{core.AdmitPlaced, core.AdmitRejected}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("hook outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestEventsMatchPlacementAllStrategies(t *testing.T) {
+	loads := []float64{0.3, 0.45, 0.2, 0.6, 0.15, 0.35, 0.5}
+	for _, strat := range []Strategy{FirstFit, BestFit, NextFit} {
+		t.Run(strat.String(), func(t *testing.T) {
+			b, err := New(strat, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recorded{}
+			b.SetRecorder(rec)
+			for i, l := range loads {
+				if err := b.Place(packing.Tenant{ID: packing.TenantID(i), Load: l}); err != nil {
+					t.Fatalf("Place(%d): %v", i, err)
+				}
+			}
+
+			ds := obs.Decisions(rec.events)
+			if len(ds) != len(loads) {
+				t.Fatalf("decisions = %d, want %d", len(ds), len(loads))
+			}
+			for _, d := range ds {
+				if d.Path != core.AdmitPlaced.String() {
+					t.Errorf("tenant %d path = %q", d.Tenant, d.Path)
+				}
+				if d.Engine != strat.String() {
+					t.Errorf("tenant %d engine = %q, want %q", d.Tenant, d.Engine, strat)
+				}
+				hosts := b.Placement().TenantHosts(packing.TenantID(d.Tenant))
+				got := make([]int, 0, len(d.Replicas))
+				for _, rep := range d.Replicas {
+					got = append(got, rep.Server)
+				}
+				want := append([]int(nil), hosts...)
+				sort.Ints(got)
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("tenant %d: %d replicas logged, %d placed",
+						d.Tenant, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("tenant %d: log %v vs placement %v", d.Tenant, got, want)
+					}
+				}
+			}
+
+			opens := 0
+			for _, e := range rec.events {
+				if e.Kind == obs.KindBinOpen {
+					opens++
+				}
+			}
+			if opens != b.Placement().NumServers() {
+				t.Errorf("bin_open = %d, servers = %d", opens, b.Placement().NumServers())
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 )
 
@@ -29,6 +30,10 @@ type CubeFit struct {
 	// admissionHook, when non-nil, is called after every Place attempt
 	// with the path taken (see SetAdmissionHook).
 	admissionHook func(AdmissionPath)
+	// rec, when non-nil, receives the decision event stream (see
+	// SetRecorder). Every emission site is guarded by a nil check so the
+	// default costs nothing.
+	rec obs.Recorder
 	// placeFault, when non-nil, is consulted before each physical replica
 	// placement of the second stage; a non-nil return aborts the admission
 	// mid-loop. Test seam for the admission-rollback path.
@@ -47,6 +52,11 @@ const (
 	AdmitTiny
 	// AdmitRejected: the admission failed and was rolled back.
 	AdmitRejected
+	// AdmitPlaced: a single-stage engine (RFI, the naive baselines)
+	// admitted the tenant. Those engines have no multi-path structure to
+	// attribute, but report through the same hook so the api/metrics
+	// layer counts every engine uniformly.
+	AdmitPlaced
 )
 
 // String returns the snake_case path name (used as a metric label).
@@ -60,6 +70,8 @@ func (p AdmissionPath) String() string {
 		return "tiny"
 	case AdmitRejected:
 		return "rejected"
+	case AdmitPlaced:
+		return "placed"
 	default:
 		return fmt.Sprintf("path(%d)", int(p))
 	}
@@ -71,6 +83,24 @@ func (p AdmissionPath) String() string {
 // under whatever synchronization guards Place and must not call back into
 // the instance.
 func (cf *CubeFit) SetAdmissionHook(fn func(AdmissionPath)) { cf.admissionHook = fn }
+
+// engineName labels CubeFit's decision events.
+const engineName = "cubefit"
+
+// SetRecorder attaches a decision flight recorder (see internal/obs):
+// every subsequent Place and Remove emits its full decision trail to r.
+// A nil r detaches the recorder. r.Record runs synchronously under
+// whatever synchronization guards Place and must not call back into the
+// instance.
+func (cf *CubeFit) SetRecorder(r obs.Recorder) { cf.rec = r }
+
+// emit labels and forwards one event. Callers must guard with
+// `cf.rec != nil` so the default path pays one nil check and never
+// constructs the event.
+func (cf *CubeFit) emit(e obs.Event) {
+	e.Engine = engineName
+	cf.rec.Record(e)
+}
 
 func (cf *CubeFit) observe(p AdmissionPath) {
 	if cf.admissionHook != nil {
@@ -176,41 +206,83 @@ func (cf *CubeFit) Config() Config { return cf.cfg }
 // is deregistered — so the placement still validates and the same tenant
 // can be re-admitted later.
 func (cf *CubeFit) Place(t packing.Tenant) error {
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindAttempt)
+		e.Tenant = int(t.ID)
+		e.Size = t.Load
+		cf.emit(e)
+	}
 	if _, exists := cf.p.Tenant(t.ID); exists {
-		cf.observe(AdmitRejected)
-		return fmt.Errorf("core: %w: tenant %d already admitted", packing.ErrDuplicateTenant, t.ID)
+		err := fmt.Errorf("core: %w: tenant %d already admitted", packing.ErrDuplicateTenant, t.ID)
+		cf.reject(t.ID, err)
+		return err
 	}
 	if err := cf.p.AddTenant(t); err != nil {
-		cf.observe(AdmitRejected)
+		cf.reject(t.ID, err)
 		return err
 	}
 	reps := cf.p.Replicas(t)
 
 	if !cf.cfg.DisableFirstStage && cf.tryFirstStage(t, reps) {
 		cf.stats.FirstStageTenants++
-		cf.observe(AdmitFirstStage)
+		cf.admit(t.ID, AdmitFirstStage)
 		return nil
 	}
 
 	tau := cf.cfg.ClassOf(reps[0].Size)
 	if tau == cf.cfg.K {
 		if err := cf.placeTiny(reps); err != nil {
-			cf.unwind(t.ID)
-			cf.observe(AdmitRejected)
+			cf.rollbackAdmission(t.ID, err)
 			return err
 		}
 		cf.stats.TinyTenants++
-		cf.observe(AdmitTiny)
+		cf.admit(t.ID, AdmitTiny)
 		return nil
 	}
 	if err := cf.placeRegular(tau, reps); err != nil {
-		cf.unwind(t.ID)
-		cf.observe(AdmitRejected)
+		cf.rollbackAdmission(t.ID, err)
 		return err
 	}
 	cf.stats.RegularTenants++
-	cf.observe(AdmitRegular)
+	cf.admit(t.ID, AdmitRegular)
 	return nil
+}
+
+// admit closes a successful admission: the hook fires and the recorder,
+// when attached, gets the admit event carrying the path label.
+func (cf *CubeFit) admit(id packing.TenantID, path AdmissionPath) {
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindAdmit)
+		e.Tenant = int(id)
+		e.Path = path.String()
+		cf.emit(e)
+	}
+	cf.observe(path)
+}
+
+// reject closes a failed admission that placed nothing.
+func (cf *CubeFit) reject(id packing.TenantID, err error) {
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindReject)
+		e.Tenant = int(id)
+		e.Path = AdmitRejected.String()
+		e.Reason = err.Error()
+		cf.emit(e)
+	}
+	cf.observe(AdmitRejected)
+}
+
+// rollbackAdmission unwinds a partially placed admission and closes it as
+// rejected.
+func (cf *CubeFit) rollbackAdmission(id packing.TenantID, err error) {
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindRollback)
+		e.Tenant = int(id)
+		e.Reason = err.Error()
+		cf.emit(e)
+	}
+	cf.unwind(id)
+	cf.reject(id, err)
 }
 
 // Stats returns counters describing which placement paths tenants took.
@@ -223,6 +295,11 @@ func (cf *CubeFit) Stats() Stats { return cf.stats }
 func (cf *CubeFit) Remove(id packing.TenantID) error {
 	if _, ok := cf.p.Tenant(id); !ok {
 		return fmt.Errorf("%w: %d", packing.ErrUnknownTenant, id)
+	}
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindDepart)
+		e.Tenant = int(id)
+		cf.emit(e)
 	}
 	cf.unwind(id)
 	return nil
@@ -327,6 +404,19 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 		b.slotUsed[slotIdx] += rep.Size
 		b.slotCount[slotIdx]++
 		cf.refs[rep.Tenant] = append(cf.refs[rep.Tenant], slotRef{server: b.server, slot: slotIdx})
+		if cf.rec != nil {
+			e := obs.NewEvent(obs.KindCubePlace)
+			e.Tenant = int(rep.Tenant)
+			e.Replica = rep.Index
+			e.Server = b.server
+			e.Slot = slotIdx
+			e.Class = cb.tau
+			e.Tiny = cb.tiny
+			e.Counter = cb.cnt
+			e.Digits = append([]int(nil), cb.digits...)
+			e.Size = rep.Size
+			cf.emit(e)
+		}
 	}
 	// Refresh reserve caches once per touched server (shared loads changed
 	// between every pair of the γ bins).
@@ -355,6 +445,10 @@ func (cf *CubeFit) advance(cb *cube) {
 			cf.matureBin(b)
 		}
 	}
+	var closedDigits []int
+	if cf.rec != nil {
+		closedDigits = append([]int(nil), cb.digits...)
+	}
 	cb.open = false
 	cb.fill = 0
 	cb.cnt++
@@ -367,6 +461,14 @@ func (cf *CubeFit) advance(cb *cube) {
 			}
 			cb.groups[j] = row
 		}
+	}
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindCubeAdvance)
+		e.Class = cb.tau
+		e.Tiny = cb.tiny
+		e.Counter = cb.cnt
+		e.Digits = closedDigits
+		cf.emit(e)
 	}
 }
 
@@ -420,12 +522,27 @@ func (cf *CubeFit) binAt(cb *cube, j, binIdx int) (*bin, error) {
 	}
 	cf.bins = append(cf.bins, b)
 	cb.groups[j][binIdx] = sid
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindBinOpen)
+		e.Server = sid
+		e.Class = cb.tau
+		e.Tiny = cb.tiny
+		cf.emit(e)
+	}
 	return b, nil
 }
 
 // matureBin marks a bin mature and makes it available to the first stage.
 func (cf *CubeFit) matureBin(b *bin) {
 	b.mature = true
+	if cf.rec != nil {
+		e := obs.NewEvent(obs.KindBinMature)
+		e.Server = b.server
+		e.Class = b.tau
+		e.Tiny = b.tiny
+		e.Level = cf.p.Server(b.server).Level()
+		cf.emit(e)
+	}
 	cf.refreshBin(b)
 }
 
@@ -443,14 +560,30 @@ func (cf *CubeFit) refreshBin(b *bin) {
 		if b.activeIdx >= 0 {
 			cf.removeActive(b)
 		}
-		b.retired = true
+		cf.retireBin(b)
 	case b.activeIdx < 0:
 		// (Re-)activate: either freshly matured, or slack was regained by a
 		// tenant departure.
+		if b.retired && cf.rec != nil {
+			e := obs.NewEvent(obs.KindBinReactivate)
+			e.Server = b.server
+			cf.emit(e)
+		}
 		b.retired = false
 		b.activeIdx = len(cf.active)
 		cf.active = append(cf.active, b)
 	}
+}
+
+// retireBin marks a bin retired, emitting the event only on the
+// transition (refreshBin revisits retired bins after departures).
+func (cf *CubeFit) retireBin(b *bin) {
+	if !b.retired && cf.rec != nil {
+		e := obs.NewEvent(obs.KindBinRetire)
+		e.Server = b.server
+		cf.emit(e)
+	}
+	b.retired = true
 }
 
 func (cf *CubeFit) removeActive(b *bin) {

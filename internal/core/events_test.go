@@ -1,0 +1,245 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+	"cubefit/internal/workload"
+)
+
+// recorded keeps every event for assertions.
+type recorded struct{ events []obs.Event }
+
+func (r *recorded) Record(e obs.Event) { r.events = append(r.events, e) }
+
+func (r *recorded) byKind(k obs.Kind) []obs.Event {
+	var out []obs.Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// workloadTenants draws n uniform(1..15) tenants through the default load
+// model, the Figure 6 workload shape.
+func workloadTenants(t *testing.T, n int, seed uint64) []packing.Tenant {
+	t.Helper()
+	u, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewClientSource(workload.DefaultLoadModel(), u, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Take(src, n)
+}
+
+// TestEventsReconstructDecisions is the core of the flight-recorder
+// contract: replaying the event stream must reproduce, for every admitted
+// tenant, exactly the path core.Stats aggregates and exactly the servers
+// the placement records.
+func TestEventsReconstructDecisions(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	rec := &recorded{}
+	cf.SetRecorder(rec)
+
+	tenants := workloadTenants(t, 400, 7)
+	placeAll(t, cf, tenants)
+
+	ds := obs.Decisions(rec.events)
+	if len(ds) != len(tenants) {
+		t.Fatalf("reconstructed %d decisions, want %d", len(ds), len(tenants))
+	}
+
+	// Path counts must match the engine's own statistics.
+	st := cf.Stats()
+	counts := obs.CountPaths(ds)
+	if counts[AdmitFirstStage.String()] != st.FirstStageTenants ||
+		counts[AdmitRegular.String()] != st.RegularTenants ||
+		counts[AdmitTiny.String()] != st.TinyTenants {
+		t.Errorf("path counts %v != stats %+v", counts, st)
+	}
+	if counts[obs.PathUnknown] != 0 || counts[AdmitRejected.String()] != 0 {
+		t.Errorf("unexpected unknown/rejected decisions: %v", counts)
+	}
+
+	// Per-tenant: the reconstructed replica servers must equal the
+	// placement's TenantHosts, and replica indices must be complete.
+	for _, d := range ds {
+		hosts := cf.Placement().TenantHosts(packing.TenantID(d.Tenant))
+		if len(d.Replicas) != len(hosts) {
+			t.Fatalf("tenant %d: %d replicas in log, %d hosts placed",
+				d.Tenant, len(d.Replicas), len(hosts))
+		}
+		got := make([]int, 0, len(d.Replicas))
+		for _, r := range d.Replicas {
+			got = append(got, r.Server)
+		}
+		want := append([]int(nil), hosts...)
+		sort.Ints(got)
+		sort.Ints(want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tenant %d: servers %v in log, %v placed", d.Tenant, got, want)
+			}
+		}
+		if d.Engine != "cubefit" {
+			t.Fatalf("tenant %d: engine %q", d.Tenant, d.Engine)
+		}
+	}
+}
+
+// TestCubeEventsCarryAddress asserts second-stage decisions include the
+// full cube address: class, counter, base-τ digits, and per-replica slot.
+func TestCubeEventsCarryAddress(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	rec := &recorded{}
+	cf.SetRecorder(rec)
+	placeAll(t, cf, workloadTenants(t, 200, 3))
+
+	checked := 0
+	for _, d := range obs.Decisions(rec.events) {
+		if d.Path != AdmitRegular.String() {
+			continue
+		}
+		checked++
+		if d.Class == obs.Unset || d.Counter == obs.Unset {
+			t.Fatalf("tenant %d: regular decision without cube address: %+v", d.Tenant, d)
+		}
+		if len(d.Digits) == 0 {
+			t.Fatalf("tenant %d: no counter digits", d.Tenant)
+		}
+		// The digits are the base-τ expansion of the counter (τ = class).
+		v := 0
+		for _, digit := range d.Digits {
+			if digit < 0 || digit >= d.Class {
+				t.Fatalf("tenant %d: digit %d outside base %d", d.Tenant, digit, d.Class)
+			}
+			v = v*d.Class + digit
+		}
+		if v != d.Counter {
+			t.Fatalf("tenant %d: digits %v (base %d) = %d, counter says %d",
+				d.Tenant, d.Digits, d.Class, v, d.Counter)
+		}
+		for _, r := range d.Replicas {
+			if r.Slot == obs.Unset || r.FirstStage {
+				t.Fatalf("tenant %d: cube replica without slot: %+v", d.Tenant, r)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("workload produced no regular admissions; test is vacuous")
+	}
+}
+
+// TestBinLifecycleEvents checks bin_open covers every opened server and
+// retire/reactivate fire only on state transitions.
+func TestBinLifecycleEvents(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	rec := &recorded{}
+	cf.SetRecorder(rec)
+	placeAll(t, cf, workloadTenants(t, 300, 11))
+
+	opens := rec.byKind(obs.KindBinOpen)
+	if len(opens) != cf.Placement().NumServers() {
+		t.Errorf("bin_open events = %d, servers opened = %d",
+			len(opens), cf.Placement().NumServers())
+	}
+	seen := make(map[int]bool)
+	for _, e := range opens {
+		if seen[e.Server] {
+			t.Errorf("server %d opened twice", e.Server)
+		}
+		seen[e.Server] = true
+	}
+	for _, e := range rec.byKind(obs.KindBinMature) {
+		if e.Server == obs.Unset || e.Level <= 0 {
+			t.Errorf("bin_mature without server/level: %+v", e)
+		}
+	}
+}
+
+// TestRollbackEventOnInjectedFault forces a mid-admission fault and
+// asserts the decision shows the rejection with its rollback trail.
+func TestRollbackEventOnInjectedFault(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 5})
+	rec := &recorded{}
+	cf.SetRecorder(rec)
+
+	if err := cf.Place(packing.Tenant{ID: 1, Load: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	cf.placeFault = failOnCall(2)
+	if err := cf.Place(packing.Tenant{ID: 2, Load: 0.4}); err == nil {
+		t.Fatal("injected fault did not surface")
+	}
+	cf.placeFault = nil
+
+	d, ok := obs.DecisionFor(rec.events, 2)
+	if !ok {
+		t.Fatal("no decision for the faulted tenant")
+	}
+	if d.Path != AdmitRejected.String() {
+		t.Errorf("path = %q, want rejected", d.Path)
+	}
+	if len(d.Rollbacks) == 0 {
+		t.Error("rejected decision has no rollback trail")
+	}
+	if d.Reason == "" {
+		t.Error("rejected decision has no reason")
+	}
+	if len(d.Replicas) != 0 {
+		t.Errorf("rejected decision kept replicas: %+v", d.Replicas)
+	}
+}
+
+// TestDepartEmitsEvent checks Remove records the departure.
+func TestDepartEmitsEvent(t *testing.T) {
+	cf := mustCubeFit(t, Config{Gamma: 2, K: 5})
+	rec := &recorded{}
+	cf.SetRecorder(rec)
+	if err := cf.Place(packing.Tenant{ID: 9, Load: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Remove(9); err != nil {
+		t.Fatal(err)
+	}
+	departs := rec.byKind(obs.KindDepart)
+	if len(departs) != 1 || departs[0].Tenant != 9 {
+		t.Errorf("departs = %+v", departs)
+	}
+}
+
+// TestNilRecorderIsInert double-checks the default path places identically
+// with no recorder attached (the benchmark guards the cost; this guards
+// behavior).
+func TestNilRecorderIsInert(t *testing.T) {
+	plain := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	traced := mustCubeFit(t, Config{Gamma: 2, K: 10})
+	traced.SetRecorder(&recorded{})
+
+	tenants := workloadTenants(t, 150, 5)
+	placeAll(t, plain, tenants)
+	placeAll(t, traced, tenants)
+
+	if plain.Stats() != traced.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", plain.Stats(), traced.Stats())
+	}
+	for _, tn := range tenants {
+		a := plain.Placement().TenantHosts(tn.ID)
+		b := traced.Placement().TenantHosts(tn.ID)
+		if len(a) != len(b) {
+			t.Fatalf("tenant %d host count diverges", tn.ID)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tenant %d hosts diverge: %v vs %v", tn.ID, a, b)
+			}
+		}
+	}
+}

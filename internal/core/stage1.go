@@ -1,6 +1,9 @@
 package core
 
-import "cubefit/internal/packing"
+import (
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+)
 
 // tryFirstStage attempts to place all γ replicas of the tenant into mature
 // bins using the Best Fit strategy under the m-fit test. Replicas are
@@ -10,20 +13,51 @@ import "cubefit/internal/packing"
 func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool {
 	placed := 0
 	for j := range reps {
-		b := cf.bestMFit(t, reps[j])
+		b, probed := cf.bestMFit(t, reps[j])
+		if cf.rec != nil {
+			e := obs.NewEvent(obs.KindStage1Probe)
+			e.Tenant = int(t.ID)
+			e.Replica = j
+			e.Probes = probed
+			if b != nil {
+				e.Server = b.server
+			}
+			cf.emit(e)
+		}
 		if b == nil {
+			if placed > 0 && cf.rec != nil {
+				e := obs.NewEvent(obs.KindRollback)
+				e.Tenant = int(t.ID)
+				e.Reason = "first-stage fallback: no mature bin m-fits the replica"
+				cf.emit(e)
+			}
 			cf.rollbackFirstStage(t, reps, placed)
 			return false
 		}
 		// The placement cannot fail: bestMFit verified capacity, tenant
 		// distinctness and the robustness reserve.
 		if err := cf.p.Place(b.server, reps[j]); err != nil {
+			if placed > 0 && cf.rec != nil {
+				e := obs.NewEvent(obs.KindRollback)
+				e.Tenant = int(t.ID)
+				e.Reason = "first-stage fallback: " + err.Error()
+				cf.emit(e)
+			}
 			cf.rollbackFirstStage(t, reps, placed)
 			return false
 		}
 		placed++
 		cf.refs[t.ID] = append(cf.refs[t.ID], slotRef{server: b.server, slot: -1})
 		cf.refreshAfterPlacement(t.ID)
+		if cf.rec != nil {
+			e := obs.NewEvent(obs.KindStage1Place)
+			e.Tenant = int(t.ID)
+			e.Replica = j
+			e.Server = b.server
+			e.Size = reps[j].Size
+			e.Level = cf.p.Server(b.server).Level()
+			cf.emit(e)
+		}
 	}
 	return true
 }
@@ -57,25 +91,26 @@ func (cf *CubeFit) refreshAfterPlacement(id packing.TenantID) {
 }
 
 // bestMFit returns the active mature bin with the highest level that m-fits
-// the replica, or nil. A bin B m-fits replica r iff B does not already host
-// the tenant, has room for r, and after placing r the empty space of B
-// still covers the worst-case load redirected from any γ−1 simultaneous
-// server failures. We additionally require that the reserve of the servers
-// hosting the tenant's earlier replicas remains sufficient, since placing r
-// increases their shared load with B.
-func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) *bin {
+// the replica (nil if none), along with the number of bins examined. A bin
+// B m-fits replica r iff B does not already host the tenant, has room for
+// r, and after placing r the empty space of B still covers the worst-case
+// load redirected from any γ−1 simultaneous server failures. We
+// additionally require that the reserve of the servers hosting the
+// tenant's earlier replicas remains sufficient, since placing r increases
+// their shared load with B.
+func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
 	earlier := cf.placedHosts(t.ID)
-	var best *bin
 	bestLevel := -1.0
 	for i := 0; i < len(cf.active); i++ {
 		b := cf.active[i]
+		probed++
 		srv := cf.p.Server(b.server)
 		slack := 1 - srv.Level() - b.reserve
 		if packing.FitsWithin(slack, cf.cfg.PruneSlack) {
 			// Permanently retire bins with no usable slack; the scan index
 			// stays put because removeActive swaps the last element in.
 			cf.removeActive(b)
-			b.retired = true
+			cf.retireBin(b)
 			i--
 			continue
 		}
@@ -97,7 +132,7 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) *bin {
 			bestLevel = srv.Level()
 		}
 	}
-	return best
+	return best, probed
 }
 
 // placedHosts returns the servers currently hosting replicas of the tenant

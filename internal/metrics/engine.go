@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"cubefit/internal/obs"
+)
+
+// EngineSink is an obs.Recorder that folds the decision event stream into
+// engine metrics: per-path admission latency histograms and servers-open /
+// mature-bin / cube-cursor gauges. It is the bridge between the flight
+// recorder (internal/obs) and the Prometheus exposition — attach it with
+// obs.Tee alongside a ring or JSONL sink.
+//
+// Latency is computed from the event timestamps assigned by obs.Stamp
+// (attempt → admit/reject), so the sink itself never reads a clock.
+type EngineSink struct {
+	events  *CounterVec
+	latency *HistogramVec
+	servers *Gauge
+	mature  *Gauge
+	cursor  *GaugeVec
+
+	mu      sync.Mutex
+	pending map[int]time.Time // tenant → attempt timestamp
+}
+
+// NewEngineSink registers the engine metric families on the registry and
+// returns the sink.
+func NewEngineSink(r *Registry) *EngineSink {
+	return &EngineSink{
+		events: r.NewCounterVec("cubefit_engine_events_total",
+			"Placement decision events by kind.", "kind"),
+		latency: r.NewHistogramVec("cubefit_place_duration_seconds",
+			"Tenant admission latency by outcome path.",
+			[]string{"path"}, DefaultLatencyBuckets...),
+		servers: r.NewGauge("cubefit_servers_opened",
+			"Servers opened by the engine."),
+		mature: r.NewGauge("cubefit_active_mature_bins",
+			"Mature bins currently eligible for first-stage placement."),
+		cursor: r.NewGaugeVec("cubefit_cube_cursor",
+			"Cube counter position (slots closed since the last wrap) by class.",
+			"class", "tiny"),
+		pending: make(map[int]time.Time),
+	}
+}
+
+// Record implements obs.Recorder.
+func (s *EngineSink) Record(e obs.Event) {
+	s.events.With(string(e.Kind)).Inc()
+	switch e.Kind {
+	case obs.KindAttempt:
+		s.mu.Lock()
+		s.pending[e.Tenant] = e.Time
+		s.mu.Unlock()
+	case obs.KindAdmit, obs.KindReject:
+		s.mu.Lock()
+		start, ok := s.pending[e.Tenant]
+		delete(s.pending, e.Tenant)
+		s.mu.Unlock()
+		if ok {
+			s.latency.With(e.Path).Observe(e.Time.Sub(start).Seconds())
+		}
+	case obs.KindBinOpen:
+		s.servers.Inc()
+	case obs.KindBinMature, obs.KindBinReactivate:
+		s.mature.Inc()
+	case obs.KindBinRetire:
+		s.mature.Dec()
+	case obs.KindCubeAdvance:
+		s.cursor.With(strconv.Itoa(e.Class), tinyLabel(e.Tiny)).Set(int64(e.Counter))
+	}
+}
+
+func tinyLabel(tiny bool) string {
+	if tiny {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cubefit/internal/clock"
+	"cubefit/internal/obs"
+)
+
+func TestEngineSink(t *testing.T) {
+	r := NewRegistry()
+	sink := NewEngineSink(r)
+	fake := clock.NewFake(time.Unix(1000, 0))
+	rec := obs.Stamp(fake, sink)
+
+	// One admission taking 50ms between attempt and admit.
+	att := obs.NewEvent(obs.KindAttempt)
+	att.Tenant = 1
+	rec.Record(att)
+	fake.Advance(50 * time.Millisecond)
+	adm := obs.NewEvent(obs.KindAdmit)
+	adm.Tenant = 1
+	adm.Path = "regular"
+	rec.Record(adm)
+
+	// One rejection.
+	att2 := obs.NewEvent(obs.KindAttempt)
+	att2.Tenant = 2
+	rec.Record(att2)
+	rej := obs.NewEvent(obs.KindReject)
+	rej.Tenant = 2
+	rej.Path = "rejected"
+	rec.Record(rej)
+
+	// Bin lifecycle: two opens, one mature, one retire, one reactivate.
+	for _, k := range []obs.Kind{
+		obs.KindBinOpen, obs.KindBinOpen, obs.KindBinMature,
+		obs.KindBinRetire, obs.KindBinReactivate,
+	} {
+		rec.Record(obs.NewEvent(k))
+	}
+
+	// Cube cursor at counter 7 for class 5.
+	adv := obs.NewEvent(obs.KindCubeAdvance)
+	adv.Class = 5
+	adv.Counter = 7
+	rec.Record(adv)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cubefit_engine_events_total{kind="attempt"} 2`,
+		`cubefit_engine_events_total{kind="admit"} 1`,
+		`cubefit_place_duration_seconds_count{path="regular"} 1`,
+		`cubefit_place_duration_seconds_count{path="rejected"} 1`,
+		// 50ms falls in the 0.05 bucket (le is inclusive).
+		`cubefit_place_duration_seconds_bucket{path="regular",le="0.05"} 1`,
+		`cubefit_servers_opened 2`,
+		// mature + reactivate - retire = 1.
+		`cubefit_active_mature_bins 1`,
+		`cubefit_cube_cursor{class="5",tiny="false"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestEngineSinkIgnoresOutcomeWithoutAttempt(t *testing.T) {
+	r := NewRegistry()
+	sink := NewEngineSink(r)
+	adm := obs.NewEvent(obs.KindAdmit)
+	adm.Tenant = 1
+	adm.Path = "regular"
+	adm.Time = time.Unix(5, 0)
+	sink.Record(adm) // no pending attempt: must not observe a latency
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `cubefit_place_duration_seconds_count{path="regular"} 1`) {
+		t.Error("latency observed for an admit with no matching attempt")
+	}
+}

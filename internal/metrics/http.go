@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -38,8 +39,8 @@ func NewHTTPMetrics(r *Registry) *HTTPMetrics {
 func (m *HTTPMetrics) Instrument(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		ww, rec := WrapResponseWriter(w)
+		next.ServeHTTP(ww, r)
 		m.requests.With(route, r.Method, statusClass(rec.Code)).Inc()
 		m.latency.With(route).Observe(time.Since(start).Seconds())
 	})
@@ -56,6 +57,38 @@ type StatusRecorder struct {
 func (r *StatusRecorder) WriteHeader(code int) {
 	r.Code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// WrapResponseWriter wraps w so the returned *StatusRecorder captures the
+// response status, while the returned ResponseWriter still advertises
+// http.Flusher and io.ReaderFrom exactly when w does. Handlers that
+// stream (flushing between chunks) or sendfile through the wrapper keep
+// working; a wrapper that blindly embedded w would hide those optional
+// interfaces and silently break flushing.
+func WrapResponseWriter(w http.ResponseWriter) (http.ResponseWriter, *StatusRecorder) {
+	rec := &StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+	f, canFlush := w.(http.Flusher)
+	rf, canReadFrom := w.(io.ReaderFrom)
+	switch {
+	case canFlush && canReadFrom:
+		return struct {
+			*StatusRecorder
+			http.Flusher
+			io.ReaderFrom
+		}{rec, f, rf}, rec
+	case canFlush:
+		return struct {
+			*StatusRecorder
+			http.Flusher
+		}{rec, f}, rec
+	case canReadFrom:
+		return struct {
+			*StatusRecorder
+			io.ReaderFrom
+		}{rec, rf}, rec
+	default:
+		return rec, rec
+	}
 }
 
 // statusClass maps a status code to its Prometheus-conventional class

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -72,5 +73,102 @@ func TestRegistryHandler(t *testing.T) {
 	n, _ := resp.Body.Read(buf)
 	if !strings.Contains(string(buf[:n]), "up_total 1") {
 		t.Fatalf("body %q", buf[:n])
+	}
+}
+
+// flushRecorder implements http.Flusher; readFromRecorder adds
+// io.ReaderFrom; bareWriter implements neither.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+type readFromRecorder struct {
+	*httptest.ResponseRecorder
+	readFrom bool
+}
+
+func (r *readFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	r.readFrom = true
+	return io.Copy(r.ResponseRecorder, src)
+}
+
+type bareWriter struct{ http.ResponseWriter }
+
+func TestWrapResponseWriterPreservesFlusher(t *testing.T) {
+	base := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	ww, rec := WrapResponseWriter(base)
+	f, ok := ww.(http.Flusher)
+	if !ok {
+		t.Fatal("wrapper hides http.Flusher")
+	}
+	f.Flush()
+	if !base.flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	ww.WriteHeader(http.StatusTeapot)
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("recorded code = %d through flusher wrapper", rec.Code)
+	}
+	if _, ok := ww.(io.ReaderFrom); ok {
+		t.Error("wrapper invents io.ReaderFrom the base does not have")
+	}
+}
+
+func TestWrapResponseWriterPreservesReaderFrom(t *testing.T) {
+	base := &readFromRecorder{ResponseRecorder: httptest.NewRecorder()}
+	ww, rec := WrapResponseWriter(base)
+	rf, ok := ww.(io.ReaderFrom)
+	if !ok {
+		t.Fatal("wrapper hides io.ReaderFrom")
+	}
+	if _, err := rf.ReadFrom(strings.NewReader("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !base.readFrom {
+		t.Error("ReadFrom did not reach the underlying writer")
+	}
+	if got := base.Body.String(); got != "payload" {
+		t.Errorf("body = %q", got)
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("default code = %d", rec.Code)
+	}
+}
+
+func TestWrapResponseWriterPreservesBoth(t *testing.T) {
+	type both struct {
+		*flushRecorder
+		io.ReaderFrom
+	}
+	inner := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rfInner := &readFromRecorder{ResponseRecorder: inner.ResponseRecorder}
+	ww, rec := WrapResponseWriter(both{inner, rfInner})
+	if _, ok := ww.(http.Flusher); !ok {
+		t.Error("wrapper hides http.Flusher")
+	}
+	if _, ok := ww.(io.ReaderFrom); !ok {
+		t.Error("wrapper hides io.ReaderFrom")
+	}
+	ww.WriteHeader(http.StatusAccepted)
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("recorded code = %d", rec.Code)
+	}
+}
+
+func TestWrapResponseWriterPlain(t *testing.T) {
+	// A writer with neither interface must not gain them.
+	ww, rec := WrapResponseWriter(bareWriter{httptest.NewRecorder()})
+	if _, ok := ww.(http.Flusher); ok {
+		t.Error("wrapper invents http.Flusher")
+	}
+	if _, ok := ww.(io.ReaderFrom); ok {
+		t.Error("wrapper invents io.ReaderFrom")
+	}
+	ww.WriteHeader(http.StatusNotFound)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("recorded code = %d", rec.Code)
 	}
 }

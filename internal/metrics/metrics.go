@@ -37,6 +37,28 @@ func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
+// Gauge is an integer gauge — a value that can move both ways (servers
+// open, mature bins, cursor positions). The zero value is ready to use;
+// all methods are lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // atomicFloat is a float64 updated through CAS on its bit pattern.
 type atomicFloat struct {
 	bits atomic.Uint64
@@ -131,6 +153,37 @@ func (v *CounterVec) key(values []string) string {
 	return strings.Join(values, labelSep)
 }
 
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct {
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns (creating on first use) the gauge for the label values.
+// It panics if the number of values does not match the declared labels.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	g := v.children[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g := v.children[key]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	v.children[key] = g
+	return g
+}
+
 // HistogramVec is a family of histograms partitioned by label values.
 type HistogramVec struct {
 	labels []string
@@ -167,8 +220,10 @@ type family struct {
 	name string
 	help string
 
-	counter    *Counter // exactly one of the four is non-nil
+	counter    *Counter // exactly one of the six is non-nil
 	counterVec *CounterVec
+	gauge      *Gauge
+	gaugeVec   *GaugeVec
 	hist       *Histogram
 	histVec    *HistogramVec
 }
@@ -207,6 +262,20 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
 	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
 	r.register(&family{name: name, help: help, counterVec: v})
+	return v
+}
+
+// NewGauge registers and returns a plain gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, gauge: g})
+	return g
+}
+
+// NewGaugeVec registers and returns a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, children: make(map[string]*Gauge)}
+	r.register(&family{name: name, help: help, gaugeVec: v})
 	return v
 }
 
@@ -254,8 +323,11 @@ func (r *Registry) Handler() http.Handler {
 
 func (f *family) write(w io.Writer) error {
 	kind := "counter"
-	if f.hist != nil || f.histVec != nil {
+	switch {
+	case f.hist != nil || f.histVec != nil:
 		kind = "histogram"
+	case f.gauge != nil || f.gaugeVec != nil:
+		kind = "gauge"
 	}
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind); err != nil {
 		return err
@@ -266,10 +338,29 @@ func (f *family) write(w io.Writer) error {
 		return err
 	case f.counterVec != nil:
 		return f.writeCounterVec(w)
+	case f.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+		return err
+	case f.gaugeVec != nil:
+		return f.writeGaugeVec(w)
 	case f.hist != nil:
 		return writeHistogram(w, f.name, "", f.hist)
 	case f.histVec != nil:
 		return f.writeHistogramVec(w)
+	}
+	return nil
+}
+
+func (f *family) writeGaugeVec(w io.Writer) error {
+	v := f.gaugeVec
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, key := range sortedKeys(v.children) {
+		val := v.children[key].Value()
+		labels := renderLabels(v.labels, strings.Split(key, labelSep))
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", f.name, labels, val); err != nil {
+			return err
+		}
 	}
 	return nil
 }

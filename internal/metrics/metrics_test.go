@@ -163,3 +163,90 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("route sum %d, want 8000", total)
 	}
 }
+
+// TestHistogramBoundaryObservation pins the inclusive-le contract: an
+// observation exactly equal to a bucket bound lands in that bucket, not
+// the next one.
+func TestHistogramBoundaryObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("edge_seconds", "Edge.", 0.25, 0.5)
+	h.Observe(0.25) // exactly on the first bound
+	h.Observe(0.5)  // exactly on the second bound
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`edge_seconds_bucket{le="0.25"} 1`,
+		`edge_seconds_bucket{le="0.5"} 2`,
+		`edge_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramInfBucketMatchesCount asserts the Prometheus invariant
+// that the +Inf bucket always equals _count, including when every
+// observation overflows the largest bound.
+func TestHistogramInfBucketMatchesCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("overflow_seconds", "Overflow.", 0.001)
+	for i := 0; i < 7; i++ {
+		h.Observe(100) // all beyond the last bound
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`overflow_seconds_bucket{le="0.001"} 0`,
+		`overflow_seconds_bucket{le="+Inf"} 7`,
+		"overflow_seconds_count 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAndVec(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("open_things", "Open things.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if g.Value() != 6 {
+		t.Fatalf("Value = %d, want 6", g.Value())
+	}
+	g.Set(3)
+
+	gv := r.NewGaugeVec("cursor_position", "Cursor.", "class")
+	gv.With("2").Set(9)
+	gv.With("7").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE open_things gauge",
+		"open_things 3",
+		"# TYPE cursor_position gauge",
+		`cursor_position{class="2"} 9`,
+		`cursor_position{class="7"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

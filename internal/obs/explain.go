@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"cubefit/internal/trace"
+)
+
+// ReplicaDecision is where one replica of a tenant landed and how.
+type ReplicaDecision struct {
+	Replica int `json:"replica"`
+	Server  int `json:"server"`
+	// Slot is the payload slot within a cube bin, or Unset for first-stage
+	// and single-stage (Best Fit style) placements.
+	Slot int `json:"slot"`
+	// FirstStage marks a replica placed by CubeFit's mature-bin Best Fit.
+	FirstStage bool `json:"firstStage,omitempty"`
+}
+
+// Decision is the reconstructed admission record of one tenant: the exact
+// path the engine took, in the terms core.Stats aggregates — a set of
+// first-stage bin IDs, or a cube address (class τ, counter value, base-τ
+// digits, per-replica slot), or the tiny policy, or a rejection.
+type Decision struct {
+	Tenant int     `json:"tenant"`
+	Engine string  `json:"engine,omitempty"`
+	Size   float64 `json:"size,omitempty"`
+	// Path is the admission-path label ("first_stage", "regular", "tiny",
+	// "placed", "rejected") or "unknown" when the log holds no outcome
+	// event for the tenant (e.g. a ring buffer that evicted it).
+	Path string `json:"path"`
+	// Class, Tiny, Counter and Digits describe the cube slot that admitted
+	// the tenant (second-stage paths only).
+	Class    int               `json:"class"`
+	Tiny     bool              `json:"tiny,omitempty"`
+	Counter  int               `json:"counter"`
+	Digits   []int             `json:"digits,omitempty"`
+	Replicas []ReplicaDecision `json:"replicas,omitempty"`
+	// Probes totals the bins/servers examined across the admission.
+	Probes int `json:"probes,omitempty"`
+	// Rollbacks lists the reasons of rollback events during the admission
+	// (a first-stage fallback, or the unwind before a rejection).
+	Rollbacks []string `json:"rollbacks,omitempty"`
+	// Reason is the rejection reason (rejected admissions only).
+	Reason string `json:"reason,omitempty"`
+}
+
+// PathUnknown is the Decision.Path of a tenant whose outcome event is
+// missing from the log.
+const PathUnknown = "unknown"
+
+// Decisions reconstructs per-tenant admission records from an event log,
+// in order of each tenant's last admission attempt. A tenant re-admitted
+// after a departure is reported with its latest attempt only.
+func Decisions(events []Event) []Decision {
+	byTenant := make(map[int]*Decision)
+	var order []int
+	for _, e := range events {
+		if e.Tenant == Unset {
+			continue
+		}
+		d := byTenant[e.Tenant]
+		switch e.Kind {
+		case KindAttempt:
+			if d == nil {
+				order = append(order, e.Tenant)
+			}
+			nd := Decision{
+				Tenant:  e.Tenant,
+				Engine:  e.Engine,
+				Size:    e.Size,
+				Path:    PathUnknown,
+				Class:   Unset,
+				Counter: Unset,
+			}
+			byTenant[e.Tenant] = &nd
+			continue
+		case KindDepart:
+			// Keep the admission record; the placement snapshot, not the
+			// decision log, is the source of truth for residency.
+			continue
+		}
+		if d == nil {
+			// Event for a tenant whose attempt was evicted from the log;
+			// without the attempt the partial trail is not reconstructible.
+			continue
+		}
+		switch e.Kind {
+		case KindStage1Probe, KindProbe:
+			d.Probes += e.Probes
+		case KindStage1Place:
+			d.Replicas = append(d.Replicas, ReplicaDecision{
+				Replica:    e.Replica,
+				Server:     e.Server,
+				Slot:       Unset,
+				FirstStage: true,
+			})
+		case KindPlace:
+			d.Replicas = append(d.Replicas, ReplicaDecision{
+				Replica: e.Replica,
+				Server:  e.Server,
+				Slot:    Unset,
+			})
+		case KindCubePlace:
+			d.Replicas = append(d.Replicas, ReplicaDecision{
+				Replica: e.Replica,
+				Server:  e.Server,
+				Slot:    e.Slot,
+			})
+			d.Class = e.Class
+			d.Tiny = e.Tiny
+			d.Counter = e.Counter
+			d.Digits = append([]int(nil), e.Digits...)
+		case KindRollback:
+			// Whatever was placed so far has been unwound.
+			d.Replicas = nil
+			d.Rollbacks = append(d.Rollbacks, e.Reason)
+		case KindAdmit:
+			d.Path = e.Path
+		case KindReject:
+			d.Path = e.Path
+			if d.Path == "" {
+				d.Path = "rejected"
+			}
+			d.Reason = e.Reason
+			d.Replicas = nil
+		}
+	}
+	out := make([]Decision, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byTenant[id])
+	}
+	return out
+}
+
+// DecisionFor returns the reconstructed decision of one tenant.
+func DecisionFor(events []Event, tenant int) (Decision, bool) {
+	for _, d := range Decisions(events) {
+		if d.Tenant == tenant {
+			return d, true
+		}
+	}
+	return Decision{}, false
+}
+
+// CountPaths tallies decisions by path label, the aggregate that must
+// match the engine's own counters (core.Stats for CubeFit).
+func CountPaths(ds []Decision) map[string]int {
+	counts := make(map[string]int)
+	for _, d := range ds {
+		counts[d.Path]++
+	}
+	return counts
+}
+
+// Attribution maps one replica host of a tenant to the servers that would
+// absorb its clients if that host failed — the tenant's other replica
+// hosts, which is exactly how the paper's failure model redistributes
+// load (§IV).
+type Attribution struct {
+	Replica    int   `json:"replica"`
+	Server     int   `json:"server"`
+	FailoverTo []int `json:"failoverTo"`
+}
+
+// Attribute computes the replica-to-server failover attribution of a
+// tenant from a placement snapshot. It errors when the tenant has no
+// replicas in the snapshot.
+func Attribute(snap trace.Snapshot, tenant int) ([]Attribution, error) {
+	type hosted struct{ replica, server int }
+	var hosts []hosted
+	for _, s := range snap.Servers {
+		for _, r := range s.Replicas {
+			if r.Tenant == tenant {
+				hosts = append(hosts, hosted{replica: r.Index, server: s.ID})
+			}
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("obs: tenant %d has no replicas in the snapshot", tenant)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].replica < hosts[j].replica })
+	out := make([]Attribution, 0, len(hosts))
+	for _, h := range hosts {
+		at := Attribution{Replica: h.replica, Server: h.server}
+		for _, o := range hosts {
+			if o.server != h.server {
+				at.FailoverTo = append(at.FailoverTo, o.server)
+			}
+		}
+		sort.Ints(at.FailoverTo)
+		out = append(out, at)
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"cubefit/internal/trace"
+)
+
+// ev builds an event with the fields decision reconstruction reads.
+func ev(kind Kind, tenant int, mut func(*Event)) Event {
+	e := NewEvent(kind)
+	e.Tenant = tenant
+	if mut != nil {
+		mut(&e)
+	}
+	return e
+}
+
+func TestDecisionsFirstStage(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 1, func(e *Event) { e.Engine = "cubefit"; e.Size = 0.4 }),
+		ev(KindStage1Probe, 1, func(e *Event) { e.Replica = 0; e.Probes = 3; e.Server = 5 }),
+		ev(KindStage1Place, 1, func(e *Event) { e.Replica = 0; e.Server = 5 }),
+		ev(KindStage1Probe, 1, func(e *Event) { e.Replica = 1; e.Probes = 2; e.Server = 8 }),
+		ev(KindStage1Place, 1, func(e *Event) { e.Replica = 1; e.Server = 8 }),
+		ev(KindAdmit, 1, func(e *Event) { e.Path = "first_stage" }),
+	}
+	ds := Decisions(events)
+	if len(ds) != 1 {
+		t.Fatalf("got %d decisions", len(ds))
+	}
+	d := ds[0]
+	if d.Path != "first_stage" || d.Engine != "cubefit" || d.Probes != 5 {
+		t.Errorf("decision = %+v", d)
+	}
+	if len(d.Replicas) != 2 || !d.Replicas[0].FirstStage || d.Replicas[0].Server != 5 ||
+		d.Replicas[1].Server != 8 {
+		t.Errorf("replicas = %+v", d.Replicas)
+	}
+	if d.Replicas[0].Slot != Unset {
+		t.Errorf("first-stage slot = %d, want Unset", d.Replicas[0].Slot)
+	}
+}
+
+func TestDecisionsCubePath(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 2, nil),
+		ev(KindCubePlace, 2, func(e *Event) {
+			e.Replica = 0
+			e.Server = 10
+			e.Slot = 3
+			e.Class = 4
+			e.Counter = 17
+			e.Digits = []int{4, 1}
+		}),
+		ev(KindCubePlace, 2, func(e *Event) {
+			e.Replica = 1
+			e.Server = 11
+			e.Slot = 0
+			e.Class = 4
+			e.Counter = 17
+			e.Digits = []int{4, 1}
+		}),
+		ev(KindAdmit, 2, func(e *Event) { e.Path = "regular" }),
+	}
+	d := Decisions(events)[0]
+	if d.Class != 4 || d.Counter != 17 || !reflect.DeepEqual(d.Digits, []int{4, 1}) {
+		t.Errorf("cube address = class=%d counter=%d digits=%v", d.Class, d.Counter, d.Digits)
+	}
+	if len(d.Replicas) != 2 || d.Replicas[0].Slot != 3 || d.Replicas[1].Slot != 0 {
+		t.Errorf("replicas = %+v", d.Replicas)
+	}
+}
+
+func TestDecisionsRollbackClearsReplicas(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 3, nil),
+		ev(KindStage1Place, 3, func(e *Event) { e.Replica = 0; e.Server = 1 }),
+		ev(KindRollback, 3, func(e *Event) { e.Reason = "first-stage fallback" }),
+		ev(KindCubePlace, 3, func(e *Event) { e.Replica = 0; e.Server = 2; e.Slot = 1 }),
+		ev(KindCubePlace, 3, func(e *Event) { e.Replica = 1; e.Server = 4; e.Slot = 1 }),
+		ev(KindAdmit, 3, func(e *Event) { e.Path = "regular" }),
+	}
+	d := Decisions(events)[0]
+	if len(d.Replicas) != 2 || d.Replicas[0].Server != 2 {
+		t.Errorf("rollback should clear the unwound replica: %+v", d.Replicas)
+	}
+	if len(d.Rollbacks) != 1 || d.Rollbacks[0] != "first-stage fallback" {
+		t.Errorf("rollbacks = %v", d.Rollbacks)
+	}
+}
+
+func TestDecisionsReject(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 4, nil),
+		ev(KindPlace, 4, func(e *Event) { e.Replica = 0; e.Server = 0 }),
+		ev(KindReject, 4, func(e *Event) { e.Path = "rejected"; e.Reason = "duplicate tenant" }),
+	}
+	d := Decisions(events)[0]
+	if d.Path != "rejected" || d.Reason != "duplicate tenant" {
+		t.Errorf("decision = %+v", d)
+	}
+	if len(d.Replicas) != 0 {
+		t.Errorf("rejected decision keeps replicas: %+v", d.Replicas)
+	}
+}
+
+func TestDecisionsLatestAttemptWins(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 5, nil),
+		ev(KindAdmit, 5, func(e *Event) { e.Path = "regular" }),
+		ev(KindDepart, 5, nil),
+		ev(KindAttempt, 5, nil),
+		ev(KindAdmit, 5, func(e *Event) { e.Path = "tiny" }),
+	}
+	ds := Decisions(events)
+	if len(ds) != 1 || ds[0].Path != "tiny" {
+		t.Errorf("decisions = %+v", ds)
+	}
+}
+
+func TestDecisionsSkipsOrphanedEvents(t *testing.T) {
+	// Events whose attempt was evicted from a ring must not fabricate a
+	// decision; a tenant with path unknown appears only with its attempt.
+	events := []Event{
+		ev(KindCubePlace, 6, nil),
+		ev(KindAdmit, 6, func(e *Event) { e.Path = "regular" }),
+		ev(KindAttempt, 7, nil),
+	}
+	ds := Decisions(events)
+	if len(ds) != 1 || ds[0].Tenant != 7 || ds[0].Path != PathUnknown {
+		t.Errorf("decisions = %+v", ds)
+	}
+}
+
+func TestDecisionForAndCountPaths(t *testing.T) {
+	events := []Event{
+		ev(KindAttempt, 1, nil),
+		ev(KindAdmit, 1, func(e *Event) { e.Path = "regular" }),
+		ev(KindAttempt, 2, nil),
+		ev(KindAdmit, 2, func(e *Event) { e.Path = "regular" }),
+		ev(KindAttempt, 3, nil),
+		ev(KindReject, 3, func(e *Event) { e.Path = "rejected" }),
+	}
+	if d, ok := DecisionFor(events, 2); !ok || d.Tenant != 2 {
+		t.Errorf("DecisionFor(2) = %+v, %v", d, ok)
+	}
+	if _, ok := DecisionFor(events, 99); ok {
+		t.Error("DecisionFor(99) should miss")
+	}
+	counts := CountPaths(Decisions(events))
+	if counts["regular"] != 2 || counts["rejected"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	snap := trace.Snapshot{
+		Gamma: 3,
+		Servers: []trace.ServerSnapshot{
+			{ID: 0, Replicas: []trace.ReplicaSnapshot{{Tenant: 1, Index: 2}}},
+			{ID: 4, Replicas: []trace.ReplicaSnapshot{{Tenant: 1, Index: 0}, {Tenant: 2, Index: 0}}},
+			{ID: 7, Replicas: []trace.ReplicaSnapshot{{Tenant: 1, Index: 1}}},
+		},
+	}
+	ats, err := Attribute(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Attribution{
+		{Replica: 0, Server: 4, FailoverTo: []int{0, 7}},
+		{Replica: 1, Server: 7, FailoverTo: []int{0, 4}},
+		{Replica: 2, Server: 0, FailoverTo: []int{4, 7}},
+	}
+	if !reflect.DeepEqual(ats, want) {
+		t.Errorf("Attribute = %+v, want %+v", ats, want)
+	}
+	if _, err := Attribute(snap, 99); err == nil {
+		t.Error("Attribute of an absent tenant should error")
+	}
+}

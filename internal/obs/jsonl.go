@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL is a sink writing one JSON object per line (JSON Lines). The
+// first write error is sticky: subsequent events are dropped and the
+// error is reported by Err, so a full disk does not corrupt the log
+// mid-line or take the engine down.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewJSONL returns a sink encoding events onto w, one per line.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Record implements Recorder.
+func (s *JSONL) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = fmt.Errorf("obs: jsonl write: %w", err)
+		return
+	}
+	s.n++
+}
+
+// Count returns the number of events successfully written.
+func (s *JSONL) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err returns the first write error, if any.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadJSONL decodes a JSON Lines event log back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return nil, fmt.Errorf("obs: jsonl read (event %d): %w", len(events)+1, err)
+		}
+		events = append(events, e)
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory sink keeping the most recent events. It is
+// safe for concurrent use; Record takes one short mutex-guarded append,
+// cheap enough to sit on the admission path.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64
+}
+
+// NewRing returns a ring buffer holding up to capacity events (at least 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record implements Recorder, overwriting the oldest event when full.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded, including evicted ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	return r.Last(-1)
+}
+
+// Last returns up to n of the most recent events, oldest first (all
+// retained events when n is negative or exceeds the retention).
+func (r *Ring) Last(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stored := len(r.buf)
+	if n < 0 || n > stored {
+		n = stored
+	}
+	out := make([]Event, 0, n)
+	// The oldest retained event sits at total%cap once the buffer wrapped.
+	start := 0
+	if stored == cap(r.buf) {
+		start = int(r.total % uint64(cap(r.buf)))
+	}
+	for i := stored - n; i < stored; i++ {
+		out = append(out, r.buf[(start+i)%stored])
+	}
+	return out
+}

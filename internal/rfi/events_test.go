@@ -1,0 +1,93 @@
+package rfi
+
+import (
+	"sort"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+)
+
+type recorded struct{ events []obs.Event }
+
+func (r *recorded) Record(e obs.Event) { r.events = append(r.events, e) }
+
+func TestAdmissionHookOutcomes(t *testing.T) {
+	r, err := New(Config{Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.AdmissionPath
+	r.SetAdmissionHook(func(p core.AdmissionPath) { got = append(got, p) })
+
+	if err := r.Place(packing.Tenant{ID: 1, Load: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate admission fails and must report rejected.
+	if err := r.Place(packing.Tenant{ID: 1, Load: 0.3}); err == nil {
+		t.Fatal("duplicate admission succeeded")
+	}
+	want := []core.AdmissionPath{core.AdmitPlaced, core.AdmitRejected}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("hook outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestEventsMatchPlacement(t *testing.T) {
+	r, err := New(Config{Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorded{}
+	r.SetRecorder(rec)
+
+	loads := []float64{0.3, 0.45, 0.2, 0.6, 0.15, 0.35, 0.5}
+	for i, l := range loads {
+		if err := r.Place(packing.Tenant{ID: packing.TenantID(i), Load: l}); err != nil {
+			t.Fatalf("Place(%d): %v", i, err)
+		}
+	}
+
+	ds := obs.Decisions(rec.events)
+	if len(ds) != len(loads) {
+		t.Fatalf("decisions = %d, want %d", len(ds), len(loads))
+	}
+	for _, d := range ds {
+		if d.Path != core.AdmitPlaced.String() {
+			t.Errorf("tenant %d path = %q", d.Tenant, d.Path)
+		}
+		if d.Engine != "rfi" {
+			t.Errorf("tenant %d engine = %q", d.Tenant, d.Engine)
+		}
+		if d.Probes == 0 {
+			t.Errorf("tenant %d recorded no probes", d.Tenant)
+		}
+		hosts := r.Placement().TenantHosts(packing.TenantID(d.Tenant))
+		got := make([]int, 0, len(d.Replicas))
+		for _, rep := range d.Replicas {
+			got = append(got, rep.Server)
+		}
+		want := append([]int(nil), hosts...)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("tenant %d: %d replicas logged, %d placed", d.Tenant, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tenant %d: log %v vs placement %v", d.Tenant, got, want)
+			}
+		}
+	}
+
+	opens := 0
+	for _, e := range rec.events {
+		if e.Kind == obs.KindBinOpen {
+			opens++
+		}
+	}
+	if opens != r.Placement().NumServers() {
+		t.Errorf("bin_open = %d, servers = %d", opens, r.Placement().NumServers())
+	}
+}

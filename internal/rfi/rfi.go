@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 )
 
@@ -69,6 +71,52 @@ type RFI struct {
 	// loads only grow (RFI has no departures), so the cache is maintained
 	// with O(1) monotone updates.
 	maxShared []float64
+
+	// admissionHook, when non-nil, runs after every Place attempt with the
+	// outcome (AdmitPlaced or AdmitRejected); see SetAdmissionHook.
+	admissionHook func(core.AdmissionPath)
+	// rec, when non-nil, receives the decision event stream; every
+	// emission site is guarded by a nil check (see SetRecorder).
+	rec obs.Recorder
+}
+
+// engineName labels RFI's decision events.
+const engineName = "rfi"
+
+// SetAdmissionHook registers fn to run synchronously after every Place
+// call with the outcome taken: core.AdmitPlaced on success (RFI is
+// single-stage, so there is no finer path to attribute) and
+// core.AdmitRejected on failure. The hook gives RFI the same
+// admission-outcome contract as CubeFit, so the api/metrics layer counts
+// all engines uniformly.
+func (a *RFI) SetAdmissionHook(fn func(core.AdmissionPath)) { a.admissionHook = fn }
+
+// SetRecorder attaches a decision flight recorder (see internal/obs). A
+// nil r detaches it. r.Record runs synchronously inside Place.
+func (a *RFI) SetRecorder(r obs.Recorder) { a.rec = r }
+
+func (a *RFI) observe(p core.AdmissionPath) {
+	if a.admissionHook != nil {
+		a.admissionHook(p)
+	}
+}
+
+// emit labels and forwards one event; callers guard with `a.rec != nil`.
+func (a *RFI) emit(e obs.Event) {
+	e.Engine = engineName
+	a.rec.Record(e)
+}
+
+// reject closes a failed admission attempt.
+func (a *RFI) reject(id packing.TenantID, err error) {
+	if a.rec != nil {
+		e := obs.NewEvent(obs.KindReject)
+		e.Tenant = int(id)
+		e.Path = core.AdmitRejected.String()
+		e.Reason = err.Error()
+		a.emit(e)
+	}
+	a.observe(core.AdmitRejected)
 }
 
 var _ packing.Algorithm = (*RFI)(nil)
@@ -101,22 +149,56 @@ func (a *RFI) Config() Config { return a.cfg }
 // feasible server with the least leftover capacity; a new server is opened
 // when no server qualifies.
 func (a *RFI) Place(t packing.Tenant) error {
+	if a.rec != nil {
+		e := obs.NewEvent(obs.KindAttempt)
+		e.Tenant = int(t.ID)
+		e.Size = t.Load
+		a.emit(e)
+	}
 	if err := a.p.AddTenant(t); err != nil {
+		a.reject(t.ID, err)
 		return err
 	}
 	for _, rep := range a.p.Replicas(t) {
-		sid := a.bestServer(t.ID, rep)
+		sid, probed := a.bestServer(t.ID, rep)
+		if a.rec != nil {
+			e := obs.NewEvent(obs.KindProbe)
+			e.Tenant = int(t.ID)
+			e.Replica = rep.Index
+			e.Probes = probed
+			e.Server = sid
+			a.emit(e)
+		}
 		if sid < 0 {
 			sid = a.openServer()
 			if !a.feasible(a.p.Server(sid), t.ID, rep) {
-				return fmt.Errorf("rfi: replica of size %v infeasible even on an empty server (μ=%v)",
+				err := fmt.Errorf("rfi: replica of size %v infeasible even on an empty server (μ=%v)",
 					rep.Size, a.cfg.Mu)
+				a.reject(t.ID, err)
+				return err
 			}
 		}
 		if err := a.place(sid, t.ID, rep); err != nil {
+			a.reject(t.ID, err)
 			return err
 		}
+		if a.rec != nil {
+			e := obs.NewEvent(obs.KindPlace)
+			e.Tenant = int(t.ID)
+			e.Replica = rep.Index
+			e.Server = sid
+			e.Size = rep.Size
+			e.Level = a.p.Server(sid).Level()
+			a.emit(e)
+		}
 	}
+	if a.rec != nil {
+		e := obs.NewEvent(obs.KindAdmit)
+		e.Tenant = int(t.ID)
+		e.Path = core.AdmitPlaced.String()
+		a.emit(e)
+	}
+	a.observe(core.AdmitPlaced)
 	return nil
 }
 
@@ -125,6 +207,11 @@ func (a *RFI) openServer() int {
 	a.pos = append(a.pos, len(a.byLevel))
 	a.byLevel = append(a.byLevel, sid)
 	a.maxShared = append(a.maxShared, 0)
+	if a.rec != nil {
+		e := obs.NewEvent(obs.KindBinOpen)
+		e.Server = sid
+		a.emit(e)
+	}
 	return sid
 }
 
@@ -173,9 +260,10 @@ func (a *RFI) reposition(sid int) {
 }
 
 // bestServer returns the feasible server with the highest level (least
-// leftover capacity after placement), or -1. The level index makes the
-// first feasible entry at or after the μ-cap boundary the Best Fit answer.
-func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
+// leftover capacity after placement), or -1, along with the number of
+// servers examined. The level index makes the first feasible entry at or
+// after the μ-cap boundary the Best Fit answer.
+func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) (best, probed int) {
 	limit := a.cfg.Mu - rep.Size + packing.CapacityEps
 	start := sort.Search(len(a.byLevel), func(k int) bool {
 		return a.p.Server(a.byLevel[k]).Level() <= limit
@@ -183,6 +271,7 @@ func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
 	for i := start; i < len(a.byLevel); i++ {
 		sid := a.byLevel[i]
 		s := a.p.Server(sid)
+		probed++
 		// Cheap necessary condition: the cached max shared load only grows
 		// once the replica lands, so failing it means infeasible.
 		if !packing.WithinCapacity(s.Level() + rep.Size + a.maxShared[sid]) {
@@ -192,10 +281,10 @@ func (a *RFI) bestServer(id packing.TenantID, rep packing.Replica) int {
 			continue
 		}
 		if a.feasible(s, id, rep) {
-			return sid
+			return sid, probed
 		}
 	}
-	return -1
+	return -1, probed
 }
 
 // feasible reports whether placing rep on s keeps (a) the direct load under

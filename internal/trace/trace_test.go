@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 
 	"cubefit/internal/core"
 	"cubefit/internal/packing"
+	"cubefit/internal/trace"
 	"cubefit/internal/workload"
 )
 
@@ -38,14 +39,14 @@ func mustUniform(t *testing.T) workload.Uniform {
 func TestRoundTrip(t *testing.T) {
 	p := buildPlacement(t)
 	var buf bytes.Buffer
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := Read(&buf)
+	snap, err := trace.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored, err := Restore(snap)
+	restored, err := trace.Restore(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRoundTrip(t *testing.T) {
 func TestJSONShape(t *testing.T) {
 	p := buildPlacement(t)
 	var buf bytes.Buffer
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -94,24 +95,24 @@ func TestJSONShape(t *testing.T) {
 }
 
 func TestReadErrors(t *testing.T) {
-	if _, err := Read(strings.NewReader("{not json")); err == nil {
+	if _, err := trace.Read(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")
 	}
 }
 
 func TestRestoreErrors(t *testing.T) {
 	// Bad gamma.
-	if _, err := Restore(Snapshot{Gamma: 0}); err == nil {
+	if _, err := trace.Restore(trace.Snapshot{Gamma: 0}); err == nil {
 		t.Fatal("gamma 0 accepted")
 	}
 	// Replica referencing an unknown tenant.
-	snap := Snapshot{
+	snap := trace.Snapshot{
 		Gamma: 2,
-		Servers: []ServerSnapshot{
-			{ID: 0, Replicas: []ReplicaSnapshot{{Tenant: 7, Index: 0, Size: 0.2}}},
+		Servers: []trace.ServerSnapshot{
+			{ID: 0, Replicas: []trace.ReplicaSnapshot{{Tenant: 7, Index: 0, Size: 0.2}}},
 		},
 	}
-	if _, err := Restore(snap); err == nil {
+	if _, err := trace.Restore(snap); err == nil {
 		t.Fatal("unknown tenant accepted")
 	}
 }
@@ -122,14 +123,14 @@ func TestEmptyPlacementRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Write(&buf, p); err != nil {
+	if err := trace.Write(&buf, p); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := Read(&buf)
+	snap, err := trace.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored, err := Restore(snap)
+	restored, err := trace.Restore(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
