@@ -1,0 +1,23 @@
+package main
+
+import (
+	"fmt"
+
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+)
+
+func main() {
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil { panic(err) }
+	ring := obs.NewRing(100)
+	cf.SetRecorder(ring)
+	t := packing.Tenant{ID: 7, Load: 0.3}
+	if err := cf.Place(t); err != nil { panic(err) }
+	// duplicate attempt — rejected, tenant stays admitted
+	_ = cf.Place(t)
+	d, ok := obs.DecisionFor(ring.Events(), 7)
+	fmt.Printf("ok=%v path=%q replicas=%d (tenant still admitted: %v)\n",
+		ok, d.Path, len(d.Replicas), func() bool { _, e := cf.Placement().Tenant(7); return e }())
+}
