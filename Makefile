@@ -35,13 +35,13 @@ race:
 
 # Benchmarks with a machine-readable report: the raw `go test -bench`
 # text lands in bench.out and cmd/cubefit-bench converts it to
-# BENCH_pr3.json for CI archiving and cross-commit diffing. BENCHTIME=1x
+# BENCH_pr4.json for CI archiving and cross-commit diffing. BENCHTIME=1x
 # keeps the default run fast; use BENCHTIME=1s (or more) for stable
 # numbers.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' -benchtime=$(BENCHTIME) . | tee bench.out
-	$(GO) run ./cmd/cubefit-bench -out BENCH_pr3.json bench.out
+	$(GO) run ./cmd/cubefit-bench -out BENCH_pr4.json bench.out
 
 cover:
 	$(GO) test -short -coverprofile=cover.out ./...

@@ -14,6 +14,7 @@ import (
 	"cubefit/internal/cluster"
 	"cubefit/internal/core"
 	"cubefit/internal/costs"
+	"cubefit/internal/headroom"
 	"cubefit/internal/packing"
 	"cubefit/internal/ratio"
 	"cubefit/internal/rfi"
@@ -388,6 +389,79 @@ func BenchmarkPlaceRFI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := a.Place(src.Next()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Robustness headroom: incremental audit vs exhaustive rescan -----------
+
+// headroomBenchTenants sizes the audited placement; the PR's acceptance
+// bar is a ≥10× ns/op advantage for the incremental auditor at this scale.
+const headroomBenchTenants = 1000
+
+// benchHeadroomState builds a 1k-tenant CubeFit placement with the
+// incremental auditor attached and settled.
+func benchHeadroomState(b *testing.B) (*core.CubeFit, *headroom.Auditor) {
+	b.Helper()
+	src, err := workload.NewClientSource(benchModel(), uniform15(b), benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := headroom.New(cf.Placement(), 0)
+	cf.SetRecorder(a)
+	if err := packing.PlaceAll(cf, workload.Take(src, headroomBenchTenants)); err != nil {
+		b.Fatal(err)
+	}
+	a.Report() // settle the dirty queue so iterations start clean
+	return cf, a
+}
+
+// BenchmarkHeadroomIncremental measures one audit refresh after a
+// tenant-shaped mutation: mark the tenant's hosts dirty, recompute only
+// those entries, and read the minimum slack.
+func BenchmarkHeadroomIncremental(b *testing.B) {
+	cf, a := benchHeadroomState(b)
+	p := cf.Placement()
+	hosts := make([][]int, 0, p.NumTenants())
+	for _, t := range p.Tenants() {
+		hs := make([]int, 0, p.Gamma())
+		for _, h := range p.TenantHosts(t.ID) {
+			if h >= 0 {
+				hs = append(hs, h)
+			}
+		}
+		if len(hs) > 0 {
+			hosts = append(hosts, hs)
+		}
+	}
+	if len(hosts) == 0 {
+		b.Fatal("no placed tenants")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.MarkDirty(hosts[i%len(hosts)]...); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := a.Min(); !ok {
+			b.Fatal("no audited servers")
+		}
+	}
+}
+
+// BenchmarkHeadroomExhaustive is the full-rescan reference on the same
+// placement: every server's top-(γ−1) shared sum recomputed per iteration.
+func BenchmarkHeadroomExhaustive(b *testing.B) {
+	cf, _ := benchHeadroomState(b)
+	p := cf.Placement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := headroom.Exhaustive(p, 0)
+		if rep.MinServer < 0 {
+			b.Fatal("no audited servers")
 		}
 	}
 }

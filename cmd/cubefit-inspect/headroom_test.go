@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeadroomSummary(t *testing.T) {
+	eventsPath, _ := tracedArtifacts(t)
+	var out bytes.Buffer
+	if err := run([]string{"headroom", "-events", eventsPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"events replayed (γ=2)",
+		"min slack",
+		"red line 0.050",
+		"trough:",
+		"tightest",
+		"Worst failure set",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHeadroomCSV(t *testing.T) {
+	eventsPath, _ := tracedArtifacts(t)
+	var out bytes.Buffer
+	if err := run([]string{"headroom", "-events", eventsPath, "-csv"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "seq,kind,tenant,tenants,servers,min_slack,min_server,below_redline,overloaded" {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	// One sample per closed admission: the traced run admits 120 tenants.
+	if len(lines) != 121 {
+		t.Fatalf("expected 121 CSV lines, got %d", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != 8 {
+			t.Fatalf("CSV row with %d commas: %q", n, line)
+		}
+	}
+}
+
+func TestHeadroomErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"headroom"}, nil, &out); err == nil {
+		t.Fatal("missing -events should fail")
+	}
+	if err := run([]string{"headroom", "-events", "/nonexistent/events.jsonl"}, nil, &out); err == nil {
+		t.Fatal("unreadable events file should fail")
+	}
+}

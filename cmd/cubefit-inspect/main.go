@@ -10,6 +10,13 @@
 // Given a snapshot too, it cross-checks the reconstructed servers against
 // the placement and prints the replica-to-server failover attribution.
 //
+// The headroom subcommand replays the same kind of event log through the
+// incremental robustness headroom auditor (internal/headroom) and reports
+// the worst-case failover safety margin over time: one sample per closed
+// admission or departure (-csv for the raw series), the trough, and the
+// tightest servers with their arg-max failure sets attributed to the
+// tenants causing them.
+//
 // Usage:
 //
 //	cubefit-inspect placement.json
@@ -17,6 +24,7 @@
 //	cubefit-inspect -drills 2 placement.json
 //	cubefit-inspect explain -events events.jsonl [placement.json]
 //	cubefit-inspect explain -events events.jsonl -tenant 42 placement.json
+//	cubefit-inspect headroom -events events.jsonl [-redline 0.05] [-top 5] [-csv]
 package main
 
 import (
@@ -44,6 +52,9 @@ func main() {
 func run(args []string, stdin io.Reader, out io.Writer) error {
 	if len(args) > 0 && args[0] == "explain" {
 		return runExplain(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "headroom" {
+		return runHeadroom(args[1:], out)
 	}
 	fs := flag.NewFlagSet("cubefit-inspect", flag.ContinueOnError)
 	var (

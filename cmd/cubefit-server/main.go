@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-pprof] [-drain 10s]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
@@ -18,6 +18,8 @@
 //	GET    /v1/healthz
 //	GET    /metrics          Prometheus text exposition
 //	GET    /debug/events     last decision events [?n=200]
+//	GET    /debug/headroom   worst-case failover slack per server [?worst=n]
+//	GET    /debug/headroom/servers/{id}  one server's worst set, attributed
 //	GET    /explain/tenants/{id}  reconstructed decision path + failover
 //	/debug/pprof/*           with -pprof only
 //
@@ -27,9 +29,13 @@
 // counters at GET /metrics. The engine's decision flight recorder
 // (internal/obs) feeds GET /debug/events and GET /explain/tenants/{id}
 // as well as the engine gauges and per-path admission latency
-// histograms on /metrics. On SIGINT/SIGTERM it stops accepting new
-// connections and drains in-flight requests for up to -drain before
-// exiting.
+// histograms on /metrics. The same stream drives the incremental
+// robustness headroom auditor: GET /debug/headroom reports every server's
+// worst-case failover slack and arg-max failure set, and the
+// cubefit_headroom_* gauges track the minimum/median slack plus the
+// servers below the -redline threshold. On SIGINT/SIGTERM it stops
+// accepting new connections and drains in-flight requests for up to
+// -drain before exiting.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 
 	"cubefit/internal/api"
 	"cubefit/internal/core"
+	"cubefit/internal/headroom"
 	"cubefit/internal/metrics"
 	"cubefit/internal/workload"
 )
@@ -120,6 +127,8 @@ func newServer(args []string) (*http.Server, options, error) {
 		k         = fs.Int("k", 10, "CubeFit classes")
 		withPprof = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		redline   = fs.Float64("redline", headroom.DefaultRedLine,
+			"headroom red-line: slack below this counts a server in cubefit_headroom_below_redline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
@@ -133,6 +142,7 @@ func newServer(args []string) (*http.Server, options, error) {
 	if err != nil {
 		return nil, options{}, err
 	}
+	ctrl.SetHeadroomRedLine(*redline)
 	mux := http.NewServeMux()
 	mux.Handle("/", ctrl.Handler())
 	if opts.pprof {

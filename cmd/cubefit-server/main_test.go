@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -165,5 +166,35 @@ func TestServeListenerError(t *testing.T) {
 	srv := &http.Server{Handler: http.NewServeMux()}
 	if err := serve(context.Background(), ln, srv, time.Second); err == nil {
 		t.Fatal("closed listener did not surface an error")
+	}
+}
+
+func TestRedLineFlag(t *testing.T) {
+	srv, _, err := newServer([]string{"-redline", "0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cubefit_headroom_redline 0.2") {
+		t.Fatalf("/metrics missing configured red line:\n%s", buf.String())
+	}
+	// The headroom route is live from the start (empty placement).
+	hr, err := ts.Client().Get(ts.URL + "/debug/headroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("/debug/headroom status %d", hr.StatusCode)
 	}
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cubefit/internal/packing"
+)
+
+func TestHeadroomCurves(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "curves.csv")
+	const tenants = 250
+
+	var out bytes.Buffer
+	if err := run([]string{"-headroom", csvPath, "-tenants", strconv.Itoa(tenants), "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Headroom curves:", "cubefit(", "rfi(", "final min", "trough"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "arrival,tenant,load,cubefit_min_slack,cubefit_servers,rfi_min_slack,rfi_servers" {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	if len(lines) != tenants+1 {
+		t.Fatalf("expected %d CSV lines, got %d", tenants+1, len(lines))
+	}
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 7 {
+			t.Fatalf("row %d has %d fields: %q", i+1, len(fields), line)
+		}
+		arrival, err := strconv.Atoi(fields[0])
+		if err != nil || arrival != i+1 {
+			t.Fatalf("row %d arrival = %q", i+1, fields[0])
+		}
+		// CubeFit guarantees tolerance of γ−1 simultaneous failures, so
+		// its minimum worst-case slack never goes meaningfully negative.
+		slack, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			t.Fatalf("row %d cubefit slack %q: %v", i+1, fields[3], err)
+		}
+		if slack < -packing.CapacityEps || slack > 1 {
+			t.Fatalf("row %d cubefit min slack %v out of range", i+1, slack)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	cubefit-sim [-tenants 50000] [-runs 10] [-k 10] [-gamma 2] [-mu 0.85]
 //	            [-seed 1] [-table1] [-quick]
 //	cubefit-sim -events out.jsonl [-trace out.json] [-tenants N] [-seed S]
+//	cubefit-sim -headroom curves.csv [-tenants N] [-seed S]
 //
 // Without flags it runs the full paper configuration (10 runs × 50,000
 // tenants × 11 distributions), which takes a few minutes; -quick reduces
@@ -18,6 +19,12 @@
 // writing every placement event as JSON lines to the -events file and the
 // final placement snapshot to the -trace file. Replay the log with
 // `cubefit-inspect explain -events out.jsonl [out.json]`.
+//
+// With -headroom it runs CubeFit and RFI over the same arrival sequence
+// with incremental robustness headroom auditors attached and writes the
+// per-arrival minimum worst-case failover slack of both engines as CSV —
+// the safety-margin curves contrasting CubeFit's γ−1-failure reserve with
+// RFI's single-failure interleaving.
 package main
 
 import (
@@ -60,12 +67,16 @@ func run(args []string, out io.Writer) error {
 		timing  = fs.Bool("timing", false, "also measure placement wall-clock time per algorithm")
 		events  = fs.String("events", "", "traced run: write decision events as JSONL to this file")
 		trc     = fs.String("trace", "", "traced run: write the final placement snapshot to this file")
+		hdroom  = fs.String("headroom", "", "headroom run: write per-arrival CubeFit vs RFI min-slack curves as CSV to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *quick {
 		*tenants, *runs = 2000, 3
+	}
+	if *hdroom != "" {
+		return runHeadroomCurves(out, *hdroom, *tenants, *gamma, *k, *mu, *seed)
 	}
 	if *events != "" || *trc != "" {
 		if *quick {

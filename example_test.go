@@ -4,6 +4,10 @@ import (
 	"fmt"
 
 	"cubefit"
+
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
 )
 
 // ExampleNew shows the minimal admission flow: two replicas per tenant on
@@ -51,6 +55,33 @@ func ExampleWorstCaseFailures() {
 	fmt.Println("worst-case post-failure load within capacity:", overload <= 1)
 	// Output:
 	// worst-case post-failure load within capacity: true
+}
+
+// Example_decisionRecorder attaches a flight-recorder ring to the engine
+// and shows that a duplicate admission attempt is rejected without
+// disturbing the original placement: the decision log still reconstructs
+// the first admission and the tenant stays admitted.
+func Example_decisionRecorder() {
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ring := obs.NewRing(100)
+	cf.SetRecorder(ring)
+	t := packing.Tenant{ID: 7, Load: 0.3}
+	if err := cf.Place(t); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Duplicate attempt — rejected, tenant stays admitted.
+	_ = cf.Place(t)
+	d, ok := obs.DecisionFor(ring.Events(), 7)
+	_, admitted := cf.Placement().Tenant(7)
+	fmt.Printf("ok=%v path=%q replicas=%d (tenant still admitted: %v)\n",
+		ok, d.Path, len(d.Replicas), admitted)
+	// Output:
+	// ok=true path="rejected" replicas=0 (tenant still admitted: true)
 }
 
 // ExampleNewRFI contrasts the baseline: it places tenants but reserves

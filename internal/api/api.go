@@ -20,7 +20,13 @@
 // automatically: the last events stay inspectable at GET /debug/events,
 // GET /explain/tenants/{id} reconstructs a tenant's decision path with
 // its failover attribution, and the same stream feeds the engine gauges
-// and per-path admission latency histograms on /metrics.
+// and per-path admission latency histograms on /metrics. The stream also
+// drives an incremental robustness headroom auditor (internal/headroom):
+// GET /debug/headroom reports every server's worst-case failover slack and
+// arg-max failure set, GET /debug/headroom/servers/{id} drills one server
+// down to the tenants contributing its worst set, and the
+// cubefit_headroom_* gauges track the minimum and median slack, the
+// red-lined server count, and overload-on-failure transitions.
 //
 // Error contract: 400 for malformed or invalid requests (bad JSON, load
 // outside (0,1], negative clients/failures, missing load and clients),
@@ -40,6 +46,7 @@ import (
 	"cubefit/internal/clock"
 	"cubefit/internal/core"
 	"cubefit/internal/failure"
+	"cubefit/internal/headroom"
 	"cubefit/internal/metrics"
 	"cubefit/internal/obs"
 	"cubefit/internal/packing"
@@ -86,6 +93,11 @@ type Controller struct {
 	// algorithm is not recordable). It has its own lock, so the event
 	// endpoints never contend with placement mutations.
 	ring *obs.Ring
+	// auditor incrementally tracks worst-case failover headroom from the
+	// same event stream (nil when the algorithm is not recordable); it
+	// feeds the cubefit_headroom_* gauges and the /debug/headroom routes.
+	auditor   *headroom.Auditor
+	headroomM *headroomMetrics
 }
 
 // NewController wraps an algorithm. The load model translates
@@ -110,11 +122,16 @@ func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller
 	}
 	if rec, ok := alg.(recordable); ok {
 		// Flight recorder: one stamped stream tees into the in-memory
-		// ring (for /debug/events and /explain) and the engine metric
-		// sink (gauges + per-path latency histograms on /metrics).
+		// ring (for /debug/events and /explain), the engine metric sink
+		// (gauges + per-path latency histograms on /metrics), and the
+		// incremental headroom auditor (/debug/headroom and the
+		// cubefit_headroom_* gauges).
 		c.ring = obs.NewRing(eventRingCapacity)
+		c.auditor = headroom.New(alg.Placement(), 0)
+		c.headroomM = newHeadroomMetrics(c.registry)
 		rec.SetRecorder(obs.Stamp(clock.Real(),
-			obs.Tee(c.ring, metrics.NewEngineSink(c.registry))))
+			obs.Tee(c.ring, metrics.NewEngineSink(c.registry), c.auditor)))
+		c.refreshHeadroom()
 	}
 	return c, nil
 }
@@ -153,6 +170,8 @@ func (c *Controller) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	route("GET /debug/events", "debug_events", c.handleDebugEvents)
+	route("GET /debug/headroom", "debug_headroom", c.handleHeadroom)
+	route("GET /debug/headroom/servers/{id}", "debug_headroom_server", c.handleHeadroomServer)
 	route("GET /explain/tenants/{id}", "explain", c.handleExplain)
 	mux.Handle("GET /metrics", c.registry.Handler())
 	return mux
@@ -314,7 +333,9 @@ func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.snap = nil // even a failed admission may open servers
-	if err := c.alg.Place(t); err != nil {
+	err := c.alg.Place(t)
+	c.refreshHeadroom() // failed admissions can still shift headroom
+	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}
@@ -372,6 +393,7 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	c.snap = nil
+	c.refreshHeadroom()
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -1,0 +1,160 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cubefit/internal/headroom"
+	"cubefit/internal/metrics"
+)
+
+// headroomMetrics bundles the robustness headroom gauges the controller
+// refreshes after every mutation. All values come from the incremental
+// auditor, so a refresh is O(servers changed since the last one) plus the
+// O(n log n) median.
+type headroomMetrics struct {
+	minSlack *metrics.FGauge
+	p50Slack *metrics.FGauge
+	redline  *metrics.FGauge
+	below    *metrics.Gauge
+	overload *metrics.Gauge
+	// overloadTotal mirrors the auditor's monotone overload-on-failure
+	// event counter; lastOverload tracks the last value already exported.
+	overloadTotal *metrics.Counter
+	lastOverload  uint64
+}
+
+func newHeadroomMetrics(r *metrics.Registry) *headroomMetrics {
+	return &headroomMetrics{
+		minSlack: r.NewFGauge("cubefit_headroom_min_slack",
+			"Least worst-case failover slack across open servers (1 when none open)."),
+		p50Slack: r.NewFGauge("cubefit_headroom_p50_slack",
+			"Median worst-case failover slack across open servers."),
+		redline: r.NewFGauge("cubefit_headroom_redline",
+			"Configured red-line slack threshold."),
+		below: r.NewGauge("cubefit_headroom_below_redline",
+			"Servers whose worst-case failover slack is below the red line."),
+		overload: r.NewGauge("cubefit_headroom_overloaded_servers",
+			"Servers that would overload under their worst failure set."),
+		overloadTotal: r.NewCounter("cubefit_headroom_overload_on_failure_total",
+			"Transitions of a server into the overload-on-failure state."),
+	}
+}
+
+// refreshHeadroom re-exports the headroom gauges. Callers hold the
+// controller write lock (mutations) or are constructing the controller.
+func (c *Controller) refreshHeadroom() {
+	if c.auditor == nil {
+		return
+	}
+	rep := c.auditor.Report()
+	_, _, _, events := c.auditor.Aggregates()
+	m := c.headroomM
+	m.minSlack.Set(rep.MinSlack)
+	m.p50Slack.Set(rep.P50Slack)
+	m.redline.Set(rep.RedLine)
+	m.below.Set(int64(rep.BelowRedLine))
+	m.overload.Set(int64(rep.Overloaded))
+	if events > m.lastOverload {
+		m.overloadTotal.Add(events - m.lastOverload)
+		m.lastOverload = events
+	}
+}
+
+// SetHeadroomRedLine reconfigures the red-line slack threshold (<= 0
+// selects headroom.DefaultRedLine). It is a no-op when the wrapped
+// algorithm does not record decision events.
+func (c *Controller) SetHeadroomRedLine(redline float64) {
+	if c.auditor == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.auditor.SetRedLine(redline)
+	c.refreshHeadroom()
+}
+
+// headroomResponse is GET /debug/headroom: the full audit plus the
+// monotone overload-on-failure event total.
+type headroomResponse struct {
+	headroom.Report
+	OverloadEventsTotal uint64 `json:"overloadEventsTotal"`
+}
+
+func (c *Controller) headroomUnavailable(w http.ResponseWriter) bool {
+	if c.auditor == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("%s does not record decision events", c.alg.Name())})
+		return true
+	}
+	return false
+}
+
+func (c *Controller) handleHeadroom(w http.ResponseWriter, r *http.Request) {
+	if c.headroomUnavailable(w) {
+		return
+	}
+	worst := 0
+	if raw := r.URL.Query().Get("worst"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid worst " + raw})
+			return
+		}
+		worst = v
+	}
+	c.mu.RLock()
+	rep := c.auditor.Report()
+	_, _, _, events := c.auditor.Aggregates()
+	if worst > 0 {
+		rep.Servers = c.auditor.Worst(worst)
+	}
+	c.mu.RUnlock()
+	writeJSON(w, http.StatusOK, headroomResponse{Report: rep, OverloadEventsTotal: events})
+}
+
+// headroomServerResponse is GET /debug/headroom/servers/{id}: one server's
+// audit entry with its worst failure set attributed to the co-located
+// tenants that would redirect load onto it.
+type headroomServerResponse struct {
+	headroom.Entry
+	RedLine      bool                    `json:"belowRedLine"`
+	Contributors []headroom.Contribution `json:"contributors"`
+}
+
+func (c *Controller) handleHeadroomServer(w http.ResponseWriter, r *http.Request) {
+	if c.headroomUnavailable(w) {
+		return
+	}
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid server id " + raw})
+		return
+	}
+	c.mu.RLock()
+	entry, ok := c.auditor.Entry(id)
+	var contribs []headroom.Contribution
+	if ok {
+		contribs, err = headroom.Contributors(c.alg.Placement(), id, entry.WorstSet)
+	}
+	redline := c.auditor.RedLine()
+	c.mu.RUnlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("server %d not found", id)})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if contribs == nil {
+		contribs = []headroom.Contribution{}
+	}
+	writeJSON(w, http.StatusOK, headroomServerResponse{
+		Entry:        entry,
+		RedLine:      entry.Slack < redline,
+		Contributors: contribs,
+	})
+}

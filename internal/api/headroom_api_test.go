@@ -1,0 +1,283 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"cubefit/internal/headroom"
+	"cubefit/internal/packing"
+	"cubefit/internal/workload"
+)
+
+// newHeadroomController returns a controller over the default CubeFit
+// engine alongside its test server.
+func newHeadroomController(t *testing.T) (*Controller, *httptest.Server) {
+	t.Helper()
+	c, err := NewDefaultController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func TestHeadroomEndpoint(t *testing.T) {
+	c, srv := newHeadroomController(t)
+	loads := []float64{0.6, 0.3, 0.45, 0.72, 0.15, 0.9, 0.25}
+	for i, load := range loads {
+		code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": i + 1, "load": load}, nil)
+		if code != http.StatusCreated {
+			t.Fatalf("place %d: status %d", i+1, code)
+		}
+	}
+
+	var out struct {
+		headroom.Report
+		OverloadEventsTotal uint64 `json:"overloadEventsTotal"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/headroom", nil, &out); code != http.StatusOK {
+		t.Fatalf("headroom status %d", code)
+	}
+	p := c.alg.Placement()
+	if out.Gamma != p.Gamma() {
+		t.Fatalf("gamma = %d, want %d", out.Gamma, p.Gamma())
+	}
+	if len(out.Servers) != p.NumServers() {
+		t.Fatalf("reported %d servers, placement has %d", len(out.Servers), p.NumServers())
+	}
+	// Every open server carrying load must expose its worst failure set;
+	// a robust placement keeps every slack non-negative.
+	for _, e := range out.Servers {
+		if e.Level > 0 && len(e.WorstSet) == 0 {
+			t.Fatalf("server %d has level %v but empty worst set", e.Server, e.Level)
+		}
+		if e.Overloaded || e.Slack < -packing.CapacityEps {
+			t.Fatalf("robust placement reports overloaded server: %+v", e)
+		}
+	}
+	want := headroom.Exhaustive(p, out.RedLine)
+	if out.MinSlack != want.MinSlack || out.MinServer != want.MinServer ||
+		out.BelowRedLine != want.BelowRedLine {
+		t.Fatalf("aggregates %+v disagree with exhaustive %+v", out.Report, want)
+	}
+
+	// ?worst=2 limits the entries to the two tightest servers.
+	var worst struct {
+		headroom.Report
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/headroom?worst=2", nil, &worst); code != http.StatusOK {
+		t.Fatalf("headroom?worst status %d", code)
+	}
+	if len(worst.Servers) != 2 {
+		t.Fatalf("worst=2 returned %d entries", len(worst.Servers))
+	}
+	if worst.Servers[0].Server != out.MinServer {
+		t.Fatalf("worst[0] = server %d, min is %d", worst.Servers[0].Server, out.MinServer)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/headroom?worst=x", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid worst: status %d", code)
+	}
+}
+
+func TestHeadroomServerEndpoint(t *testing.T) {
+	c, srv := newHeadroomController(t)
+	for i, load := range []float64{0.5, 0.62, 0.31, 0.44, 0.27} {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": i + 1, "load": load}, nil); code != http.StatusCreated {
+			t.Fatalf("place %d: status %d", i+1, code)
+		}
+	}
+	min, ok := c.auditor.Min()
+	if !ok {
+		t.Fatal("no audited servers")
+	}
+	var out struct {
+		headroom.Entry
+		BelowRedLine bool                    `json:"belowRedLine"`
+		Contributors []headroom.Contribution `json:"contributors"`
+	}
+	url := fmt.Sprintf("%s/debug/headroom/servers/%d", srv.URL, min.Server)
+	if code := doJSON(t, "GET", url, nil, &out); code != http.StatusOK {
+		t.Fatalf("headroom server status %d", code)
+	}
+	if out.Server != min.Server || out.Slack != min.Slack {
+		t.Fatalf("entry %+v, want %+v", out.Entry, min)
+	}
+	if len(out.Contributors) != len(min.WorstSet) {
+		t.Fatalf("%d contributors for %d worst peers", len(out.Contributors), len(min.WorstSet))
+	}
+	for i, contrib := range out.Contributors {
+		if contrib.Peer != min.WorstSet[i] {
+			t.Fatalf("contributor %d is peer %d, want %d", i, contrib.Peer, min.WorstSet[i])
+		}
+		if len(contrib.Tenants) == 0 {
+			t.Fatalf("peer %d contributes %v load with no tenants", contrib.Peer, contrib.Shared)
+		}
+		sum := 0.0
+		for _, ts := range contrib.Tenants {
+			sum += ts.Size
+		}
+		if !packing.AlmostEqualTol(sum, contrib.Shared, packing.CapacityEps) {
+			t.Fatalf("peer %d tenant sizes sum %v != shared %v", contrib.Peer, sum, contrib.Shared)
+		}
+	}
+
+	if code := doJSON(t, "GET", srv.URL+"/debug/headroom/servers/99999", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown server: status %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/headroom/servers/abc", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad server id: status %d", code)
+	}
+}
+
+// unrecordedAlg is a minimal algorithm without a flight recorder seam; the
+// headroom routes must answer 404 for it.
+type unrecordedAlg struct {
+	p *packing.Placement
+}
+
+func (a *unrecordedAlg) Name() string                  { return "unrecorded" }
+func (a *unrecordedAlg) Placement() *packing.Placement { return a.p }
+func (a *unrecordedAlg) Place(t packing.Tenant) error {
+	if err := a.p.AddTenant(t); err != nil {
+		return err
+	}
+	for _, rep := range a.p.Replicas(t) {
+		sid := a.p.OpenServer()
+		if err := a.p.Place(sid, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestHeadroomUnavailable(t *testing.T) {
+	p, err := packing.NewPlacement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(&unrecordedAlg{p: p}, workload.DefaultLoadModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	for _, url := range []string{"/debug/headroom", "/debug/headroom/servers/0"} {
+		if code := doJSON(t, "GET", srv.URL+url, nil, nil); code != http.StatusNotFound {
+			t.Fatalf("%s on unrecorded algorithm: status %d", url, code)
+		}
+	}
+	// SetHeadroomRedLine must be a safe no-op.
+	c.SetHeadroomRedLine(0.5)
+}
+
+func TestHeadroomMetricsExported(t *testing.T) {
+	c, srv := newHeadroomController(t)
+	for i, load := range []float64{0.4, 0.55, 0.62} {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": i + 1, "load": load}, nil); code != http.StatusCreated {
+			t.Fatalf("place %d: status %d", i+1, code)
+		}
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/v1/tenants/2", nil, nil); code != http.StatusNoContent {
+		t.Fatal("remove failed")
+	}
+	c.SetHeadroomRedLine(0.25)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cubefit_headroom_min_slack ",
+		"cubefit_headroom_p50_slack ",
+		"cubefit_headroom_redline 0.25",
+		"cubefit_headroom_below_redline ",
+		"cubefit_headroom_overloaded_servers 0",
+		"cubefit_headroom_overload_on_failure_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The exported minimum matches the auditor.
+	min, _ := c.auditor.Min()
+	if !strings.Contains(text, fmt.Sprintf("cubefit_headroom_min_slack %g", min.Slack)) {
+		t.Fatalf("/metrics min_slack does not match auditor value %g:\n%s", min.Slack, text)
+	}
+}
+
+// TestHeadroomConcurrent hammers the headroom routes while admissions and
+// departures mutate the placement; run under -race this is the acceptance
+// check that the auditor is safe beside the controller's RWMutex. The
+// final state must still agree with the exhaustive reference.
+func TestHeadroomConcurrent(t *testing.T) {
+	c, srv := newHeadroomController(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := w*100 + i + 1
+				body := map[string]any{"id": id, "clients": 3 + i}
+				if code := doJSON(t, "POST", srv.URL+"/v1/tenants", body, nil); code != http.StatusCreated {
+					errs <- fmt.Errorf("place %d: status %d", id, code)
+					return
+				}
+				if i%3 == 2 {
+					if code := doJSON(t, "DELETE", srv.URL+fmt.Sprintf("/v1/tenants/%d", id), nil, nil); code != http.StatusNoContent {
+						errs <- fmt.Errorf("remove %d: status %d", id, code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				var out struct {
+					headroom.Report
+				}
+				if code := doJSON(t, "GET", srv.URL+"/debug/headroom", nil, &out); code != http.StatusOK {
+					errs <- fmt.Errorf("headroom read: status %d", code)
+					return
+				}
+				for _, e := range out.Servers {
+					if e.Level > 0 && len(e.WorstSet) == 0 {
+						errs <- fmt.Errorf("server %d: loaded but empty worst set", e.Server)
+						return
+					}
+				}
+				doJSON(t, "GET", srv.URL+"/debug/headroom/servers/0", nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rep := c.auditor.Report()
+	want := headroom.Exhaustive(c.alg.Placement(), rep.RedLine)
+	if !reflect.DeepEqual(rep, want) {
+		t.Fatalf("post-traffic audit diverged from exhaustive\n got: %+v\nwant: %+v", rep, want)
+	}
+}

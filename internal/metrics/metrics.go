@@ -59,6 +59,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FGauge is a float gauge for quantities measured in fractions of unit
+// capacity (headroom slack, utilization). The zero value is ready to use;
+// all methods are lock-free (the value lives in an atomic bit pattern).
+type FGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // atomicFloat is a float64 updated through CAS on its bit pattern.
 type atomicFloat struct {
 	bits atomic.Uint64
@@ -220,10 +233,11 @@ type family struct {
 	name string
 	help string
 
-	counter    *Counter // exactly one of the six is non-nil
+	counter    *Counter // exactly one of the seven is non-nil
 	counterVec *CounterVec
 	gauge      *Gauge
 	gaugeVec   *GaugeVec
+	fgauge     *FGauge
 	hist       *Histogram
 	histVec    *HistogramVec
 }
@@ -269,6 +283,13 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(&family{name: name, help: help, gauge: g})
+	return g
+}
+
+// NewFGauge registers and returns a plain float gauge.
+func (r *Registry) NewFGauge(name, help string) *FGauge {
+	g := &FGauge{}
+	r.register(&family{name: name, help: help, fgauge: g})
 	return g
 }
 
@@ -326,7 +347,7 @@ func (f *family) write(w io.Writer) error {
 	switch {
 	case f.hist != nil || f.histVec != nil:
 		kind = "histogram"
-	case f.gauge != nil || f.gaugeVec != nil:
+	case f.gauge != nil || f.gaugeVec != nil || f.fgauge != nil:
 		kind = "gauge"
 	}
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind); err != nil {
@@ -343,6 +364,9 @@ func (f *family) write(w io.Writer) error {
 		return err
 	case f.gaugeVec != nil:
 		return f.writeGaugeVec(w)
+	case f.fgauge != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
+		return err
 	case f.hist != nil:
 		return writeHistogram(w, f.name, "", f.hist)
 	case f.histVec != nil:

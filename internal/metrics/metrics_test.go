@@ -250,3 +250,49 @@ func TestGaugeAndVec(t *testing.T) {
 		}
 	}
 }
+
+func TestFGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewFGauge("headroom_min", "Minimum slack.")
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v, want 0", g.Value())
+	}
+	g.Set(0.25)
+	g.Set(-0.125)
+	if g.Value() != -0.125 {
+		t.Fatalf("Value = %v, want -0.125", g.Value())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE headroom_min gauge",
+		"headroom_min -0.125",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFGaugeConcurrent(t *testing.T) {
+	g := &FGauge{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		v := float64(i) / 16
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				g.Set(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got < 0 || got > 0.5 {
+		t.Fatalf("Value = %v, want one of the written values", got)
+	}
+}

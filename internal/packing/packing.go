@@ -140,6 +140,43 @@ func (s *Server) TopShared(k int) float64 {
 // fast path.
 const topSharedFastK = 4
 
+// TopSharedSet returns the sum of the k largest shared loads together
+// with the peer servers realizing it — the arg-max failure set of the
+// robustness invariant: the (at most) k peers whose simultaneous failure
+// redirects the most load onto this server. The set is deterministic:
+// peers are ranked by decreasing shared load with ties broken by
+// ascending server ID, and only peers actually sharing load appear
+// (failing a non-sharing server adds nothing to the worst case).
+func (s *Server) TopSharedSet(k int) (float64, []int) {
+	if k <= 0 || len(s.shared) == 0 {
+		return 0, nil
+	}
+	type peerShare struct {
+		id int
+		v  float64
+	}
+	peers := make([]peerShare, 0, len(s.shared))
+	for j, v := range s.shared {
+		peers = append(peers, peerShare{id: j, v: v})
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].v != peers[j].v { //cubefit:vet-allow floatcmp -- exact tie-break keeps the ranking a strict weak order
+			return peers[i].v > peers[j].v
+		}
+		return peers[i].id < peers[j].id
+	})
+	if k > len(peers) {
+		k = len(peers)
+	}
+	sum := 0.0
+	set := make([]int, k)
+	for i := 0; i < k; i++ {
+		sum += peers[i].v
+		set[i] = peers[i].id
+	}
+	return sum, set
+}
+
 // Free returns the spare capacity 1 − Level().
 func (s *Server) Free() float64 { return 1 - s.level }
 
