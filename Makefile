@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet lint test test-short race bench bench-compare profile cover experiments figure5 figure6 table1 theorem2 fmt
 
 all: build vet lint test
 
@@ -35,13 +35,27 @@ race:
 
 # Benchmarks with a machine-readable report: the raw `go test -bench`
 # text lands in bench.out and cmd/cubefit-bench converts it to
-# BENCH_pr4.json for CI archiving and cross-commit diffing. BENCHTIME=1x
+# BENCH_pr5.json for CI archiving and cross-commit diffing. BENCHTIME=1x
 # keeps the default run fast; use BENCHTIME=1s (or more) for stable
 # numbers.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' -benchtime=$(BENCHTIME) . | tee bench.out
-	$(GO) run ./cmd/cubefit-bench -out BENCH_pr4.json bench.out
+	$(GO) run ./cmd/cubefit-bench -out BENCH_pr5.json bench.out
+
+# Diff the fresh benchmark report against the committed previous-PR
+# baseline. Exit code 2 (and a REGRESSION marker) when any ns/op, B/op,
+# or allocs/op grew by more than BENCH_THRESHOLD; tune the tolerance for
+# noisy machines with e.g. `make bench-compare BENCH_THRESHOLD=0.50`.
+BENCH_THRESHOLD ?= 0.20
+bench-compare: bench
+	$(GO) run ./cmd/cubefit-bench -compare BENCH_pr4.json BENCH_pr5.json -threshold $(BENCH_THRESHOLD)
+
+# CPU and allocation profiles of a representative consolidation run;
+# inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) run ./cmd/cubefit-sim -quick -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "profiles written: cpu.prof mem.prof (go tool pprof <file>)"
 
 cover:
 	$(GO) test -short -coverprofile=cover.out ./...

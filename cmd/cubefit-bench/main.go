@@ -7,17 +7,26 @@
 //	go test -bench=. -benchmem -run '^$' . > bench.out
 //	cubefit-bench -out BENCH.json bench.out
 //	go test -bench=. -benchmem -run '^$' . | cubefit-bench
+//	cubefit-bench -compare old.json new.json [-threshold 0.20]
 //
 // It understands the standard benchmark line format — name, iteration
 // count, then value/unit pairs — including -benchmem columns (B/op,
 // allocs/op) and custom b.ReportMetric units such as the "servers"
 // metric reported by the ablation benchmarks. Sub-benchmark names keep
 // their slashes; the trailing -N GOMAXPROCS suffix is split out.
+//
+// The -compare mode diffs two JSON reports previously produced by this
+// tool and prints a per-benchmark table of ns/op, B/op, and allocs/op
+// with relative deltas. Exit codes: 0 when no tracked metric regressed
+// beyond the threshold (default 0.20 = +20%), 1 on usage or I/O errors,
+// 2 when at least one metric regressed — so CI can gate on slowdowns
+// while treating noise within the threshold as a pass.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +37,9 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cubefit-bench:", err)
+		if errors.Is(err, ErrRegression) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -57,6 +69,9 @@ type Benchmark struct {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) >= 1 && args[0] == "-compare" {
+		return runCompare(args[1:], stdout)
+	}
 	var outPath string
 	rest := args
 	if len(args) >= 2 && args[0] == "-out" {

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	cubefit-cluster [-servers 69] [-failures 2] [-warmup 60] [-measure 120]
-//	                [-sla 5] [-seed 1] [-quick]
+//	                [-sla 5] [-seed 1] [-quick] [-workers N]
+//
+// -workers N simulates the six (distribution × algorithm) series on N
+// goroutines. Each series is fully self-contained (own tenant stream, own
+// cluster), so the report is bit-identical to -workers 1.
 package main
 
 import (
@@ -41,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "master random seed")
 		quick     = fs.Bool("quick", false, "reduced scale (20 servers, short windows)")
 		transient = fs.Bool("transient", false, "kill servers mid-run (reconnect transient) instead of pre-failed steady state")
+		workers   = fs.Int("workers", 1, "concurrent series (results identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,33 +78,46 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "Figure 5: worst-case failure latency, %d servers, SLA %.1f s\n\n", *servers, *sla)
 	tb := report.NewTable("Distribution", "Algorithm", "Failures", "Worst P99", "SLA", "Client load", "Lost")
+	// Each (distribution × algorithm) series is an independent experiment;
+	// run them on the worker pool and render in series order, so the report
+	// is identical for every -workers value.
+	type series struct {
+		dist workload.Distribution
+		f    sim.Factory
+	}
+	var all []series
 	for _, dist := range dists {
 		for _, f := range configs {
-			spec := sim.ClusterSpec{
-				Servers:   *servers,
-				Failures:  failures,
-				Model:     model,
-				Dist:      dist,
-				Seed:      *seed,
-				Cluster:   cluster.Config{SLA: *sla, Warmup: *warmup, Measure: *measure, Seed: *seed},
-				Transient: *transient,
+			all = append(all, series{dist: dist, f: f})
+		}
+	}
+	results, err := sim.Trials(*workers, len(all), func(i int) ([]sim.ClusterPoint, error) {
+		spec := sim.ClusterSpec{
+			Servers:   *servers,
+			Failures:  failures,
+			Model:     model,
+			Dist:      all[i].dist,
+			Seed:      *seed,
+			Cluster:   cluster.Config{SLA: *sla, Warmup: *warmup, Measure: *measure, Seed: *seed},
+			Transient: *transient,
+		}
+		return sim.RunCluster(spec, all[i].f)
+	})
+	if err != nil {
+		return err
+	}
+	for i, points := range results {
+		for _, pt := range points {
+			verdict := "meets"
+			if pt.Latency.ViolatesSLA {
+				verdict = "VIOLATES"
 			}
-			points, err := sim.RunCluster(spec, f)
-			if err != nil {
-				return err
-			}
-			for _, pt := range points {
-				verdict := "meets"
-				if pt.Latency.ViolatesSLA {
-					verdict = "VIOLATES"
-				}
-				tb.AddRow(dist.Name(), pt.Algorithm,
-					fmt.Sprintf("%d", pt.Failures),
-					report.Seconds(pt.Latency.WorstServerP99),
-					verdict,
-					fmt.Sprintf("%.1f", pt.Plan.MaxClientLoad),
-					fmt.Sprintf("%d", pt.Latency.LostClients))
-			}
+			tb.AddRow(all[i].dist.Name(), pt.Algorithm,
+				fmt.Sprintf("%d", pt.Failures),
+				report.Seconds(pt.Latency.WorstServerP99),
+				verdict,
+				fmt.Sprintf("%.1f", pt.Plan.MaxClientLoad),
+				fmt.Sprintf("%d", pt.Latency.LostClients))
 		}
 	}
 	if err := tb.Render(out); err != nil {

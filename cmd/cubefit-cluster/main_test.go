@@ -52,3 +52,22 @@ func TestInvalidFailureCount(t *testing.T) {
 		t.Fatal("failures > servers accepted")
 	}
 }
+
+// TestWorkersParity asserts the acceptance requirement that the parallel
+// runner reproduces the serial report byte-for-byte at a fixed seed.
+func TestWorkersParity(t *testing.T) {
+	base := []string{"-quick", "-failures", "1", "-seed", "3"}
+	var serial bytes.Buffer
+	if err := run(base, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "6"} {
+		var parallel bytes.Buffer
+		if err := run(append([]string{"-workers", w}, base...), &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(parallel.Bytes(), serial.Bytes()) {
+			t.Fatalf("-workers %s output differs from serial:\n%s\nvs\n%s", w, parallel.String(), serial.String())
+		}
+	}
+}

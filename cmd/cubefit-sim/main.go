@@ -6,13 +6,18 @@
 // Usage:
 //
 //	cubefit-sim [-tenants 50000] [-runs 10] [-k 10] [-gamma 2] [-mu 0.85]
-//	            [-seed 1] [-table1] [-quick]
+//	            [-seed 1] [-table1] [-quick] [-workers N]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //	cubefit-sim -events out.jsonl [-trace out.json] [-tenants N] [-seed S]
 //	cubefit-sim -headroom curves.csv [-tenants N] [-seed S]
 //
 // Without flags it runs the full paper configuration (10 runs × 50,000
 // tenants × 11 distributions), which takes a few minutes; -quick reduces
-// the scale for a fast smoke run.
+// the scale for a fast smoke run. -workers N simulates the independent
+// runs of each distribution on N goroutines; the output is bit-identical
+// to -workers 1 because every run draws from its own pre-derived seed and
+// results merge in run order. -cpuprofile/-memprofile write pprof profiles
+// of the whole invocation, so future performance work starts from data.
 //
 // With -events (and/or -trace) it instead performs one deterministic
 // uniform(1..15) CubeFit run with the decision flight recorder attached,
@@ -33,6 +38,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cubefit/internal/clock"
@@ -68,10 +75,18 @@ func run(args []string, out io.Writer) error {
 		events  = fs.String("events", "", "traced run: write decision events as JSONL to this file")
 		trc     = fs.String("trace", "", "traced run: write the final placement snapshot to this file")
 		hdroom  = fs.String("headroom", "", "headroom run: write per-arrival CubeFit vs RFI min-slack curves as CSV to this file")
+		workers = fs.Int("workers", 1, "concurrent runs per distribution (results identical for any value)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the invocation to this file")
+		memprof = fs.String("memprofile", "", "write an allocation profile of the invocation to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *quick {
 		*tenants, *runs = 2000, 3
 	}
@@ -117,6 +132,7 @@ func run(args []string, out io.Writer) error {
 			Seed:    *seed,
 			Model:   model,
 			Dist:    dist,
+			Workers: *workers,
 		}
 		res, err := sim.RunConsolidation(spec, cubeFactory, rfiFactory)
 		if err != nil {
@@ -192,6 +208,43 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile dump,
+// returning a stop function to defer. Empty paths are skipped. The heap
+// profile is written when the stop function runs, after a GC, so it
+// reflects live allocations at the end of the run plus cumulative
+// allocation counts.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cubefit-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cubefit-sim: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // tracedConfig is the CubeFit configuration of a traced run: the same

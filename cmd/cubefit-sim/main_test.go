@@ -60,3 +60,22 @@ func TestGamma3Config(t *testing.T) {
 		t.Fatalf("γ=3 not reflected in output:\n%s", out.String())
 	}
 }
+
+// TestWorkersParity asserts that the parallel trial runner reproduces the
+// serial consolidation report byte-for-byte at a fixed seed.
+func TestWorkersParity(t *testing.T) {
+	base := []string{"-tenants", "300", "-runs", "4", "-table1", "-seed", "9"}
+	var serial bytes.Buffer
+	if err := run(base, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "8"} {
+		var parallel bytes.Buffer
+		if err := run(append([]string{"-workers", w}, base...), &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(parallel.Bytes(), serial.Bytes()) {
+			t.Fatalf("-workers %s output differs from serial:\n%s\nvs\n%s", w, parallel.String(), serial.String())
+		}
+	}
+}

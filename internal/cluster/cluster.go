@@ -26,7 +26,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -250,7 +249,10 @@ func runSim(p *packing.Placement, assign *failure.Assignment, cfg Config) (*sim,
 		WorstServer:    -1,
 	}
 	if len(s.responses) > 0 {
-		sum, err := stats.Summarize(s.responses)
+		// The sample slices are owned by this run and not read again, so the
+		// in-place variants (quickselect, no sorted copy) are safe and give
+		// bit-identical statistics.
+		sum, err := stats.SummarizeInPlace(s.responses)
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -260,7 +262,7 @@ func runSim(p *packing.Placement, assign *failure.Assignment, cfg Config) (*sim,
 		if len(resp) == 0 {
 			continue
 		}
-		p99, err := stats.P99(resp)
+		p99, err := stats.P99InPlace(resp)
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -292,6 +294,58 @@ type sim struct {
 	responses      []float64
 	serverResp     [][]float64
 	maxConcurrency int
+	// liveBuf is the shared scratch for client.liveHosts. issueAt never
+	// nests with another issueAt (submit completes nothing synchronously on
+	// a live server), so one buffer serves all clients.
+	liveBuf []int
+	// stmtFree recycles statement-state records; at any instant at most one
+	// stmt per client is outstanding, so the free list stays small.
+	stmtFree []*stmt
+}
+
+// stmt is the state of one in-flight client statement, shared by all of
+// its per-server sub-statements. It replaces the per-statement completion
+// closures: servers call sim.finish(st, ok) instead of invoking a captured
+// func, so issuing a statement allocates nothing in steady state.
+type stmt struct {
+	c       *client
+	start   float64
+	pending int // outstanding sub-statements (1 for reads)
+	update  bool
+}
+
+func (s *sim) acquireStmt(c *client, start float64, pending int, update bool) *stmt {
+	var st *stmt
+	if n := len(s.stmtFree); n > 0 {
+		st = s.stmtFree[n-1]
+		s.stmtFree = s.stmtFree[:n-1]
+	} else {
+		st = new(stmt)
+	}
+	st.c, st.start, st.pending, st.update = c, start, pending, update
+	return st
+}
+
+// finish resolves one sub-statement of st. ok is false when the hosting
+// server died with the statement in flight: reads are retried by their
+// client against survivors, while an update simply completes once its
+// surviving sub-statements do (the dying replica no longer needs to
+// apply it).
+func (s *sim) finish(st *stmt, ok bool) {
+	if st.update {
+		st.pending--
+		if st.pending > 0 {
+			return
+		}
+	}
+	c, start, update := st.c, st.start, st.update
+	st.c = nil
+	s.stmtFree = append(s.stmtFree, st)
+	if !ok && !update {
+		c.issueAt(start) // reconnect and retry
+		return
+	}
+	c.complete(start)
 }
 
 func (s *sim) inWindow() bool {
@@ -331,37 +385,26 @@ func (c *client) issueAt(start float64) {
 	}
 	q := c.sim.mix.Sample(c.r)
 	if !q.Update {
-		c.sim.servers[c.home].submit(q.Demand, start, func(ok bool) {
-			if !ok {
-				c.issueAt(start) // reconnect and retry
-				return
-			}
-			c.complete(start)
-		})
+		c.sim.servers[c.home].submit(q.Demand, c.sim.acquireStmt(c, start, 1, false))
 		return
 	}
-	pending := len(live)
-	done := func(bool) {
-		// A sub-statement on a dying replica no longer needs to apply;
-		// the update completes on the survivors.
-		pending--
-		if pending == 0 {
-			c.complete(start)
-		}
-	}
+	st := c.sim.acquireStmt(c, start, len(live), true)
 	for _, h := range live {
-		c.sim.servers[h].submit(q.Demand, start, done)
+		c.sim.servers[h].submit(q.Demand, st)
 	}
 }
 
-// liveHosts filters the tenant's replica servers by dynamic failures.
+// liveHosts filters the tenant's replica servers by dynamic failures. The
+// result lives in the sim's shared scratch buffer, which is safe because
+// no other issueAt can run before the caller is done with it.
 func (c *client) liveHosts() []int {
-	live := make([]int, 0, len(c.hosts))
+	live := c.sim.liveBuf[:0]
 	for _, h := range c.hosts {
 		if !c.sim.dynFailed[h] {
 			live = append(live, h)
 		}
 	}
+	c.sim.liveBuf = live
 	return live
 }
 
@@ -392,16 +435,17 @@ type psServer struct {
 	overhead int
 	vt       float64
 	lastT    float64
-	jobs     jobHeap
+	jobs     []job
 	timerVer int
 }
 
 type job struct {
 	target float64
 	start  float64
-	// done receives true on completion, false when the server died with
-	// the statement in flight.
-	done func(ok bool)
+	// st is the statement this sub-statement belongs to; sim.finish(st, ok)
+	// resolves it with ok=true on completion, ok=false when the server died
+	// with the statement in flight.
+	st *stmt
 }
 
 // sync advances virtual time to the engine's current time.
@@ -413,14 +457,14 @@ func (s *psServer) sync() {
 	s.lastT = now
 }
 
-// submit admits one statement with the given demand.
-func (s *psServer) submit(demand, start float64, done func(ok bool)) {
+// submit admits one sub-statement of st with the given demand.
+func (s *psServer) submit(demand float64, st *stmt) {
 	if s.sim.dynFailed[s.id] {
-		done(false)
+		s.sim.finish(st, false)
 		return
 	}
 	s.sync()
-	heap.Push(&s.jobs, job{target: s.vt + demand, start: start, done: done})
+	s.pushJob(job{target: s.vt + demand, start: st.start, st: st})
 	if len(s.jobs) > s.sim.maxConcurrency {
 		s.sim.maxConcurrency = len(s.jobs)
 	}
@@ -434,29 +478,30 @@ func (s *psServer) reschedule() {
 	if len(s.jobs) == 0 {
 		return
 	}
-	ver := s.timerVer
 	next := s.sim.eng.Now() + (s.jobs[0].target-s.vt)*float64(len(s.jobs)+s.overhead)
 	if next < s.sim.eng.Now() {
 		next = s.sim.eng.Now()
 	}
-	// Schedule can only fail for past or non-finite times, both excluded.
-	_ = s.sim.eng.Schedule(next, func() { s.fire(ver) })
+	// ScheduleFire can only fail for past or non-finite times, both
+	// excluded; unlike a captured closure it allocates nothing.
+	_ = s.sim.eng.ScheduleFire(next, s, s.timerVer)
 }
 
-// fire completes every job whose virtual target has been reached.
-func (s *psServer) fire(ver int) {
+// Fire implements eventsim.Handler: it completes every job whose virtual
+// target has been reached.
+func (s *psServer) Fire(ver int) {
 	if ver != s.timerVer {
 		return
 	}
 	s.sync()
 	for len(s.jobs) > 0 && s.jobs[0].target <= s.vt+packing.SharedEps {
-		j := heap.Pop(&s.jobs).(job)
+		j := s.popJob()
 		if s.sim.inWindow() {
 			s.sim.serverResp[s.id] = append(s.sim.serverResp[s.id], s.sim.eng.Now()-j.start)
 		}
-		// done may submit follow-up work to this server; that bumps
+		// finish may submit follow-up work to this server; that bumps
 		// timerVer, which is fine — we reschedule below regardless.
-		j.done(true)
+		s.sim.finish(j.st, true)
 	}
 	s.reschedule()
 }
@@ -469,20 +514,50 @@ func (s *psServer) kill() {
 	aborted := s.jobs
 	s.jobs = nil
 	for _, j := range aborted {
-		j.done(false)
+		s.sim.finish(j.st, false)
 	}
 }
 
-type jobHeap []job
+// The job queue is a hand-rolled binary min-heap on target (container/heap
+// would box every job in an interface value, and submit runs millions of
+// times per run). The sift algorithms replicate container/heap exactly —
+// same child selection, same tie behavior — so the completion order of
+// jobs with equal targets is unchanged from the boxed implementation.
 
-func (h jobHeap) Len() int           { return len(h) }
-func (h jobHeap) Less(i, j int) bool { return h[i].target < h[j].target }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)        { *h = append(*h, x.(job)) }
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	j := old[n-1]
-	*h = old[:n-1]
+func (s *psServer) pushJob(j job) {
+	s.jobs = append(s.jobs, j)
+	i := len(s.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.jobs[parent].target <= s.jobs[i].target {
+			break
+		}
+		s.jobs[i], s.jobs[parent] = s.jobs[parent], s.jobs[i]
+		i = parent
+	}
+}
+
+func (s *psServer) popJob() job {
+	n := len(s.jobs) - 1
+	s.jobs[0], s.jobs[n] = s.jobs[n], s.jobs[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.jobs[r].target < s.jobs[l].target {
+			c = r
+		}
+		if s.jobs[i].target <= s.jobs[c].target {
+			break
+		}
+		s.jobs[i], s.jobs[c] = s.jobs[c], s.jobs[i]
+		i = c
+	}
+	j := s.jobs[n]
+	s.jobs[n] = job{} // drop the stmt reference so the array does not pin it
+	s.jobs = s.jobs[:n]
 	return j
 }

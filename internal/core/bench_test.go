@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cubefit/internal/packing"
+	"cubefit/internal/rng"
+)
+
+// benchEngine builds an engine pre-loaded with enough tenants that the
+// first stage has a realistic population of active mature bins.
+func benchEngine(b *testing.B, cfg Config, tenants int) *CubeFit {
+	b.Helper()
+	cf, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < tenants; i++ {
+		size := 0.001 + (0.9/float64(cfg.Gamma)-0.001)*r.Float64()
+		t := packing.Tenant{ID: packing.TenantID(i + 1), Load: size * float64(cfg.Gamma)}
+		if err := cf.Place(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cf
+}
+
+// BenchmarkBestMFitProbe pins the cost of a single first-stage probe for
+// the indexed fast path and the reference linear scan. The probe is
+// read-only (no placement follows), so each iteration sees the same bin
+// population.
+func BenchmarkBestMFitProbe(b *testing.B) {
+	for _, impl := range []struct {
+		name      string
+		reference bool
+	}{
+		{"indexed", false},
+		{"reference", true},
+	} {
+		for _, tenants := range []int{200, 1000} {
+			name := fmt.Sprintf("%s/tenants%d", impl.name, tenants)
+			b.Run(name, func(b *testing.B) {
+				cf := benchEngine(b, Config{Gamma: 2, K: 10, ReferenceFirstStage: impl.reference}, tenants)
+				probe := packing.Tenant{ID: packing.TenantID(1 << 20), Load: 0.02}
+				if err := cf.p.AddTenant(probe); err != nil {
+					b.Fatal(err)
+				}
+				reps := cf.p.Replicas(probe)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if bin, _ := cf.bestMFit(probe, reps[0]); bin == nil {
+						b.Fatal("probe found no bin")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopSharedAdjusted pins the m-fit inner loop: the hypothetical
+// top-k shared-load sum of a populated server.
+func BenchmarkTopSharedAdjusted(b *testing.B) {
+	cf := benchEngine(b, Config{Gamma: 3, K: 10}, 500)
+	// Pick the active mature bin with the most sharing neighbors.
+	var srv *packing.Server
+	for _, bn := range cf.active {
+		s := cf.p.Server(bn.server)
+		if srv == nil || s.NumShared() > srv.NumShared() {
+			srv = s
+		}
+	}
+	if srv == nil {
+		b.Fatal("no active bins")
+	}
+	bump := [1]int{srv.ID() + 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topSharedAdjusted(srv, 2, bump[:], 0.01)
+	}
+}
+
+// BenchmarkPlaceNoRecorder measures a full admit/depart cycle on the
+// default (recorder-detached) hot path; allocs/op here is the number the
+// scratch buffers and ref pool exist to hold down.
+func BenchmarkPlaceNoRecorder(b *testing.B) {
+	cf := benchEngine(b, Config{Gamma: 2, K: 10}, 500)
+	r := rng.New(11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		size := 0.001 + 0.449*r.Float64()
+		id := packing.TenantID(1<<20 + i)
+		if err := cf.Place(packing.Tenant{ID: id, Load: 2 * size}); err != nil {
+			b.Fatal(err)
+		}
+		if err := cf.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

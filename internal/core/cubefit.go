@@ -21,9 +21,22 @@ type CubeFit struct {
 	bins []*bin
 	// active lists mature bins eligible for the first stage.
 	active []*bin
-	cubes  map[cubeKey]*cube
+	// index mirrors active, bucketed by quantized level for the fast-path
+	// first stage (see index.go). Maintained by refreshBin/removeActive.
+	index levelIndex
+	cubes map[cubeKey]*cube
 	// refs records where each tenant's replicas went, for Remove.
 	refs map[packing.TenantID][]slotRef
+	// refPool recycles the per-tenant slotRef slices freed by unwind so
+	// steady-state churn (admit/depart cycles) reuses their backing arrays.
+	refPool [][]slotRef
+
+	// Scratch buffers for the admission hot path. CubeFit is documented as
+	// not concurrency-safe, so a single instance of each suffices; they are
+	// only ever valid within one Place/Remove call.
+	repScratch     []packing.Replica
+	hostScratch    []int
+	earlierScratch []int
 
 	stats Stats
 
@@ -94,12 +107,14 @@ const engineName = "cubefit"
 // instance.
 func (cf *CubeFit) SetRecorder(r obs.Recorder) { cf.rec = r }
 
-// emit labels and forwards one event. Callers must guard with
-// `cf.rec != nil` so the default path pays one nil check and never
-// constructs the event.
-func (cf *CubeFit) emit(e obs.Event) {
+// emit labels, forwards and releases one pooled event. Callers must guard
+// with `cf.rec != nil` so the default path pays one nil check and never
+// acquires the event; events are recorded by value, so releasing the
+// struct back to the pool immediately afterwards is safe.
+func (cf *CubeFit) emit(e *obs.Event) {
 	e.Engine = engineName
-	cf.rec.Record(e)
+	cf.rec.Record(*e)
+	obs.ReleaseEvent(e)
 }
 
 func (cf *CubeFit) observe(p AdmissionPath) {
@@ -159,6 +174,16 @@ type bin struct {
 	retired   bool // mature and permanently removed from active (pruned)
 	activeIdx int  // index in CubeFit.active, or -1
 	reserve   float64
+	// level and slack cache the hosting server's level and usable slack
+	// 1 − level − reserve as of the last refreshBin. refreshBin runs for
+	// every server whose level or shared map changed, so the caches are
+	// never stale when the first stage reads them.
+	level float64
+	slack float64
+	// bucket/bucketPos locate the bin inside CubeFit.index (-1 when not
+	// indexed), maintained alongside activeIdx.
+	bucket    int
+	bucketPos int
 }
 
 type slotRef struct {
@@ -207,7 +232,7 @@ func (cf *CubeFit) Config() Config { return cf.cfg }
 // can be re-admitted later.
 func (cf *CubeFit) Place(t packing.Tenant) error {
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindAttempt)
+		e := obs.AcquireEvent(obs.KindAttempt)
 		e.Tenant = int(t.ID)
 		e.Size = t.Load
 		cf.emit(e)
@@ -221,7 +246,10 @@ func (cf *CubeFit) Place(t packing.Tenant) error {
 		cf.reject(t.ID, err)
 		return err
 	}
-	reps := cf.p.Replicas(t)
+	// reps lives in a scratch buffer: it is only read within this call and
+	// nothing below retains it.
+	reps := cf.p.ReplicasInto(t, cf.repScratch)
+	cf.repScratch = reps
 
 	if !cf.cfg.DisableFirstStage && cf.tryFirstStage(t, reps) {
 		cf.stats.FirstStageTenants++
@@ -252,7 +280,7 @@ func (cf *CubeFit) Place(t packing.Tenant) error {
 // when attached, gets the admit event carrying the path label.
 func (cf *CubeFit) admit(id packing.TenantID, path AdmissionPath) {
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindAdmit)
+		e := obs.AcquireEvent(obs.KindAdmit)
 		e.Tenant = int(id)
 		e.Path = path.String()
 		cf.emit(e)
@@ -263,7 +291,7 @@ func (cf *CubeFit) admit(id packing.TenantID, path AdmissionPath) {
 // reject closes a failed admission that placed nothing.
 func (cf *CubeFit) reject(id packing.TenantID, err error) {
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindReject)
+		e := obs.AcquireEvent(obs.KindReject)
 		e.Tenant = int(id)
 		e.Path = AdmitRejected.String()
 		e.Reason = err.Error()
@@ -276,7 +304,7 @@ func (cf *CubeFit) reject(id packing.TenantID, err error) {
 // rejected.
 func (cf *CubeFit) rollbackAdmission(id packing.TenantID, err error) {
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindRollback)
+		e := obs.AcquireEvent(obs.KindRollback)
 		e.Tenant = int(id)
 		e.Reason = err.Error()
 		cf.emit(e)
@@ -297,7 +325,7 @@ func (cf *CubeFit) Remove(id packing.TenantID) error {
 		return fmt.Errorf("%w: %d", packing.ErrUnknownTenant, id)
 	}
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindDepart)
+		e := obs.AcquireEvent(obs.KindDepart)
 		e.Tenant = int(id)
 		cf.emit(e)
 	}
@@ -316,7 +344,8 @@ func (cf *CubeFit) unwind(id packing.TenantID) {
 		return
 	}
 	size := cf.p.ReplicaSize(t)
-	hosts := cf.p.TenantHosts(id)
+	hosts := cf.p.TenantHostsInto(id, cf.hostScratch)
+	cf.hostScratch = hosts
 	// RemoveTenant cannot fail for a registered tenant; every placed
 	// replica recorded in tenantHosts is unplaceable by construction.
 	_ = cf.p.RemoveTenant(id)
@@ -330,10 +359,36 @@ func (cf *CubeFit) unwind(id packing.TenantID) {
 			b.slotCount[ref.slot]--
 		}
 	}
-	delete(cf.refs, id)
+	cf.releaseRefs(id)
 	for _, h := range hosts {
 		if h >= 0 {
 			cf.refreshBin(cf.bins[h])
+		}
+	}
+}
+
+// addRef records one placed replica for the tenant, recycling a slotRef
+// slice from the pool for the tenant's first replica.
+func (cf *CubeFit) addRef(id packing.TenantID, ref slotRef) {
+	rs, ok := cf.refs[id]
+	if !ok {
+		if n := len(cf.refPool); n > 0 {
+			rs = cf.refPool[n-1][:0]
+			cf.refPool = cf.refPool[:n-1]
+		} else {
+			rs = make([]slotRef, 0, cf.cfg.Gamma)
+		}
+	}
+	cf.refs[id] = append(rs, ref)
+}
+
+// releaseRefs drops the tenant's replica records and returns their backing
+// array to the pool.
+func (cf *CubeFit) releaseRefs(id packing.TenantID) {
+	if rs, ok := cf.refs[id]; ok {
+		delete(cf.refs, id)
+		if cap(rs) > 0 {
+			cf.refPool = append(cf.refPool, rs[:0])
 		}
 	}
 }
@@ -403,9 +458,9 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 		}
 		b.slotUsed[slotIdx] += rep.Size
 		b.slotCount[slotIdx]++
-		cf.refs[rep.Tenant] = append(cf.refs[rep.Tenant], slotRef{server: b.server, slot: slotIdx})
+		cf.addRef(rep.Tenant, slotRef{server: b.server, slot: slotIdx})
 		if cf.rec != nil {
-			e := obs.NewEvent(obs.KindCubePlace)
+			e := obs.AcquireEvent(obs.KindCubePlace)
 			e.Tenant = int(rep.Tenant)
 			e.Replica = rep.Index
 			e.Server = b.server
@@ -420,7 +475,8 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 	}
 	// Refresh reserve caches once per touched server (shared loads changed
 	// between every pair of the γ bins).
-	hosts := cf.p.TenantHosts(reps[0].Tenant)
+	hosts := cf.p.TenantHostsInto(reps[0].Tenant, cf.hostScratch)
+	cf.hostScratch = hosts
 	for _, h := range hosts {
 		if h >= 0 {
 			cf.refreshBin(cf.bins[h])
@@ -463,7 +519,7 @@ func (cf *CubeFit) advance(cb *cube) {
 		}
 	}
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindCubeAdvance)
+		e := obs.AcquireEvent(obs.KindCubeAdvance)
 		e.Class = cb.tau
 		e.Tiny = cb.tiny
 		e.Counter = cb.cnt
@@ -519,11 +575,13 @@ func (cf *CubeFit) binAt(cb *cube, j, binIdx int) (*bin, error) {
 		slotUsed:  make([]float64, cb.tau),
 		slotCount: make([]int, cb.tau),
 		activeIdx: -1,
+		bucket:    -1,
+		bucketPos: -1,
 	}
 	cf.bins = append(cf.bins, b)
 	cb.groups[j][binIdx] = sid
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindBinOpen)
+		e := obs.AcquireEvent(obs.KindBinOpen)
 		e.Server = sid
 		e.Class = cb.tau
 		e.Tiny = cb.tiny
@@ -536,7 +594,7 @@ func (cf *CubeFit) binAt(cb *cube, j, binIdx int) (*bin, error) {
 func (cf *CubeFit) matureBin(b *bin) {
 	b.mature = true
 	if cf.rec != nil {
-		e := obs.NewEvent(obs.KindBinMature)
+		e := obs.AcquireEvent(obs.KindBinMature)
 		e.Server = b.server
 		e.Class = b.tau
 		e.Tiny = b.tiny
@@ -546,17 +604,19 @@ func (cf *CubeFit) matureBin(b *bin) {
 	cf.refreshBin(b)
 }
 
-// refreshBin recomputes the bin's cached failover reserve and maintains its
-// membership in the active (first-stage candidate) list.
+// refreshBin recomputes the bin's cached failover reserve, level and slack
+// and maintains its membership in the active (first-stage candidate) list
+// and the level index.
 func (cf *CubeFit) refreshBin(b *bin) {
 	srv := cf.p.Server(b.server)
 	b.reserve = srv.TopShared(cf.cfg.Gamma - 1)
+	b.level = srv.Level()
+	b.slack = 1 - b.level - b.reserve
 	if !b.mature {
 		return
 	}
-	slack := 1 - srv.Level() - b.reserve
 	switch {
-	case packing.FitsWithin(slack, cf.cfg.PruneSlack):
+	case packing.FitsWithin(b.slack, cf.cfg.PruneSlack):
 		if b.activeIdx >= 0 {
 			cf.removeActive(b)
 		}
@@ -565,13 +625,17 @@ func (cf *CubeFit) refreshBin(b *bin) {
 		// (Re-)activate: either freshly matured, or slack was regained by a
 		// tenant departure.
 		if b.retired && cf.rec != nil {
-			e := obs.NewEvent(obs.KindBinReactivate)
+			e := obs.AcquireEvent(obs.KindBinReactivate)
 			e.Server = b.server
 			cf.emit(e)
 		}
 		b.retired = false
 		b.activeIdx = len(cf.active)
 		cf.active = append(cf.active, b)
+		cf.index.insert(b)
+	default:
+		// Already active: the level may have crossed a bucket boundary.
+		cf.index.update(b)
 	}
 }
 
@@ -579,7 +643,7 @@ func (cf *CubeFit) refreshBin(b *bin) {
 // transition (refreshBin revisits retired bins after departures).
 func (cf *CubeFit) retireBin(b *bin) {
 	if !b.retired && cf.rec != nil {
-		e := obs.NewEvent(obs.KindBinRetire)
+		e := obs.AcquireEvent(obs.KindBinRetire)
 		e.Server = b.server
 		cf.emit(e)
 	}
@@ -593,6 +657,7 @@ func (cf *CubeFit) removeActive(b *bin) {
 	cf.active[i].activeIdx = i
 	cf.active = cf.active[:last]
 	b.activeIdx = -1
+	cf.index.remove(b)
 }
 
 // NumActiveMatureBins reports the number of mature bins currently eligible

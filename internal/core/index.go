@@ -1,0 +1,78 @@
+package core
+
+// The first-stage fast path: a level-ordered index over the active mature
+// bins. Best Fit wants the highest-level bin that m-fits the replica, so
+// the active bins are bucketed by quantized level; a probe walks the
+// buckets from the highest level down and can stop at the first bucket
+// that yields a candidate, because every bin in a lower bucket has a
+// strictly lower level. Each bin additionally caches its exact level and
+// its usable slack 1 − level − reserve (both refreshed by refreshBin on
+// every mutation of the hosting server), so a probe rejects bins that
+// cannot possibly m-fit without touching the server at all.
+//
+// The index is repaired on the same transitions that maintain the active
+// list — refreshBin after placements and departures, maturing, retiring —
+// and holds exactly the bins of CubeFit.active. The reference linear scan
+// (Config.ReferenceFirstStage) remains available; the parity property
+// test asserts both produce byte-identical placements.
+
+// levelBuckets is the number of quantized level buckets. Levels live in
+// [0, 1], so each bucket spans 1/levelBuckets of load; 64 keeps buckets
+// small (a handful of bins each at experiment scale) while the top-down
+// walk over empty buckets stays negligible.
+const levelBuckets = 64
+
+// levelBucket quantizes a server level into a bucket index. It is
+// monotone, so bins in a higher bucket always have strictly higher levels
+// than bins in any lower bucket; levels at or above 1 (possible within
+// CapacityEps) clamp into the top bucket.
+func levelBucket(level float64) int {
+	q := int(level * levelBuckets)
+	if q < 0 {
+		q = 0
+	}
+	if q >= levelBuckets {
+		q = levelBuckets - 1
+	}
+	return q
+}
+
+// levelIndex buckets the active mature bins by quantized level. Bins track
+// their own position (bin.bucket, bin.bucketPos) so removal is O(1) via
+// swap-remove, mirroring how CubeFit.active tracks activeIdx.
+type levelIndex struct {
+	buckets [levelBuckets][]*bin
+}
+
+// insert adds an active bin under its current cached level.
+func (ix *levelIndex) insert(b *bin) {
+	q := levelBucket(b.level)
+	b.bucket = q
+	b.bucketPos = len(ix.buckets[q])
+	ix.buckets[q] = append(ix.buckets[q], b)
+}
+
+// remove takes the bin out of its bucket (no-op if not indexed).
+func (ix *levelIndex) remove(b *bin) {
+	if b.bucket < 0 {
+		return
+	}
+	bucket := ix.buckets[b.bucket]
+	last := len(bucket) - 1
+	i := b.bucketPos
+	bucket[i] = bucket[last]
+	bucket[i].bucketPos = i
+	ix.buckets[b.bucket] = bucket[:last]
+	b.bucket = -1
+	b.bucketPos = -1
+}
+
+// update repositions the bin after a level change, touching the bucket
+// slices only when the quantized level actually moved.
+func (ix *levelIndex) update(b *bin) {
+	if b.bucket == levelBucket(b.level) {
+		return
+	}
+	ix.remove(b)
+	ix.insert(b)
+}

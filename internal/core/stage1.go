@@ -15,7 +15,7 @@ func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool 
 	for j := range reps {
 		b, probed := cf.bestMFit(t, reps[j])
 		if cf.rec != nil {
-			e := obs.NewEvent(obs.KindStage1Probe)
+			e := obs.AcquireEvent(obs.KindStage1Probe)
 			e.Tenant = int(t.ID)
 			e.Replica = j
 			e.Probes = probed
@@ -26,7 +26,7 @@ func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool 
 		}
 		if b == nil {
 			if placed > 0 && cf.rec != nil {
-				e := obs.NewEvent(obs.KindRollback)
+				e := obs.AcquireEvent(obs.KindRollback)
 				e.Tenant = int(t.ID)
 				e.Reason = "first-stage fallback: no mature bin m-fits the replica"
 				cf.emit(e)
@@ -38,7 +38,7 @@ func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool 
 		// distinctness and the robustness reserve.
 		if err := cf.p.Place(b.server, reps[j]); err != nil {
 			if placed > 0 && cf.rec != nil {
-				e := obs.NewEvent(obs.KindRollback)
+				e := obs.AcquireEvent(obs.KindRollback)
 				e.Tenant = int(t.ID)
 				e.Reason = "first-stage fallback: " + err.Error()
 				cf.emit(e)
@@ -47,10 +47,10 @@ func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool 
 			return false
 		}
 		placed++
-		cf.refs[t.ID] = append(cf.refs[t.ID], slotRef{server: b.server, slot: -1})
+		cf.addRef(t.ID, slotRef{server: b.server, slot: -1})
 		cf.refreshAfterPlacement(t.ID)
 		if cf.rec != nil {
-			e := obs.NewEvent(obs.KindStage1Place)
+			e := obs.AcquireEvent(obs.KindStage1Place)
 			e.Tenant = int(t.ID)
 			e.Replica = j
 			e.Server = b.server
@@ -68,11 +68,12 @@ func (cf *CubeFit) rollbackFirstStage(t packing.Tenant, reps []packing.Replica, 
 	if placed == 0 {
 		return
 	}
-	hosts := cf.p.TenantHosts(t.ID)
+	hosts := cf.p.TenantHostsInto(t.ID, cf.hostScratch)
+	cf.hostScratch = hosts
 	for j := 0; j < placed; j++ {
 		_ = cf.p.Unplace(t.ID, reps[j].Index)
 	}
-	delete(cf.refs, t.ID)
+	cf.releaseRefs(t.ID)
 	for _, h := range hosts {
 		if h >= 0 {
 			cf.refreshBin(cf.bins[h])
@@ -83,7 +84,9 @@ func (cf *CubeFit) rollbackFirstStage(t packing.Tenant, reps []packing.Replica, 
 // refreshAfterPlacement refreshes the reserve caches of every server
 // hosting a replica of the tenant (their pairwise shared loads changed).
 func (cf *CubeFit) refreshAfterPlacement(id packing.TenantID) {
-	for _, h := range cf.p.TenantHosts(id) {
+	hosts := cf.p.TenantHostsInto(id, cf.hostScratch)
+	cf.hostScratch = hosts
+	for _, h := range hosts {
 		if h >= 0 {
 			cf.refreshBin(cf.bins[h])
 		}
@@ -98,7 +101,70 @@ func (cf *CubeFit) refreshAfterPlacement(id packing.TenantID) {
 // additionally require that the reserve of the servers hosting the
 // tenant's earlier replicas remains sufficient, since placing r increases
 // their shared load with B.
+//
+// The default implementation walks the level index top-down; the reference
+// linear scan remains available behind Config.ReferenceFirstStage. Both
+// select the same bin: maximize level, break ties on the lower server ID.
 func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
+	if cf.cfg.ReferenceFirstStage {
+		return cf.bestMFitScan(t, rep)
+	}
+	return cf.bestMFitIndexed(t, rep)
+}
+
+// bestMFitIndexed is the fast path: it walks the level buckets from the
+// highest down and stops after the first bucket that yields a candidate,
+// since bins in lower buckets have strictly lower levels and Best Fit
+// maximizes level. Within a bucket the exact cached levels break the
+// order; the cached slack filters bins that cannot possibly m-fit before
+// the server is touched.
+func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
+	earlier := cf.placedHosts(t.ID)
+	for q := levelBuckets - 1; q >= 0; q-- {
+		bucket := cf.index.buckets[q]
+		bestLevel := -1.0
+		for i := 0; i < len(bucket); i++ {
+			b := bucket[i]
+			probed++
+			if packing.FitsWithin(b.slack, cf.cfg.PruneSlack) {
+				// Defensive retirement, mirroring the reference scan;
+				// refreshBin retires such bins eagerly, so this is not
+				// expected to trigger. remove swaps the last bucket entry
+				// into position i, so the scan index stays put.
+				cf.removeActive(b)
+				cf.retireBin(b)
+				i--
+				continue
+			}
+			if b.level < bestLevel ||
+				//cubefit:vet-allow floatcmp -- exact tie-break on level keeps Best Fit deterministic
+				(b.level == bestLevel && best != nil && b.server > best.server) {
+				continue
+			}
+			if !packing.FitsWithin(rep.Size, b.slack) {
+				continue // necessary condition: new reserve only grows
+			}
+			srv := cf.p.Server(b.server)
+			if srv.Hosts(t.ID) {
+				continue
+			}
+			if cf.mFits(srv, earlier, rep) {
+				best = b
+				bestLevel = b.level
+			}
+		}
+		if best != nil {
+			return best, probed
+		}
+	}
+	return nil, probed
+}
+
+// bestMFitScan is the reference implementation: a linear scan over all
+// active mature bins. Kept for differential testing (the parity property
+// test drives both engines over identical workloads) and as the executable
+// specification of the Best Fit tie-break.
+func (cf *CubeFit) bestMFitScan(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
 	earlier := cf.placedHosts(t.ID)
 	bestLevel := -1.0
 	for i := 0; i < len(cf.active); i++ {
@@ -136,10 +202,17 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) (best *bin, p
 }
 
 // placedHosts returns the servers currently hosting replicas of the tenant
-// (empty for the first replica).
+// (empty for the first replica). The result lives in a scratch buffer valid
+// until the next placedHosts call.
 func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
-	var hosts []int
-	for _, h := range cf.p.TenantHosts(id) {
+	raw := cf.p.TenantHostsInto(id, cf.earlierScratch)
+	if raw != nil {
+		cf.earlierScratch = raw
+	}
+	// Filter out unplaced replicas in place (the write index never passes
+	// the read index).
+	hosts := raw[:0]
+	for _, h := range raw {
 		if h >= 0 {
 			hosts = append(hosts, h)
 		}
@@ -163,9 +236,10 @@ func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica
 	}
 	// Earlier hosts: their shared load with the candidate grows by the size
 	// of their own replica of this tenant, which equals rep.Size.
+	self := [1]int{srv.ID()}
 	for _, h := range earlier {
 		hs := cf.p.Server(h)
-		afterH := topSharedAdjusted(hs, k, []int{srv.ID()}, rep.Size)
+		afterH := topSharedAdjusted(hs, k, self[:], rep.Size)
 		if !packing.WithinCapacity(hs.Level() + afterH) {
 			return false
 		}

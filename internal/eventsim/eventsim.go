@@ -2,10 +2,15 @@
 // simulation kernel: a virtual clock and a time-ordered queue of callback
 // events. Ties are broken by scheduling order, so a single-threaded
 // simulation replays identically for identical inputs.
+//
+// The queue is a hand-rolled binary heap over a concrete event struct:
+// container/heap would box every element in an interface value, and the
+// cluster simulator pushes millions of events per run. Because (at, seq)
+// is a strict total order, the pop sequence is fully determined regardless
+// of heap internals — replays stay bit-identical.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -15,16 +20,28 @@ import (
 type Engine struct {
 	now  float64
 	seq  uint64
-	heap eventHeap
+	heap []event
 }
 
 // ErrPast is returned when scheduling an event before the current time.
 var ErrPast = errors.New("eventsim: event scheduled in the past")
 
+// Handler is the allocation-free alternative to scheduling a closure: a
+// long-lived object implements Fire and is scheduled with ScheduleFire,
+// carrying a version number for staleness checks (timer superseded by a
+// rescheduled one). Hot loops that would otherwise allocate one closure
+// per event schedule their receiver instead.
+type Handler interface {
+	Fire(ver int)
+}
+
+// event is one queue entry: either a closure (fn) or a handler (h, ver).
 type event struct {
 	at  float64
 	seq uint64
 	fn  func()
+	h   Handler
+	ver int
 }
 
 // New creates an engine with the clock at 0.
@@ -41,14 +58,33 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Schedule enqueues fn to run at the given time (which must not precede
 // the current time).
 func (e *Engine) Schedule(at float64, fn func()) error {
+	if err := e.checkTime(at); err != nil {
+		return err
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// ScheduleFire enqueues h.Fire(ver) to run at the given time. Unlike
+// Schedule it captures no closure, so a reused handler makes the enqueue
+// allocation-free (amortized over the heap's backing array).
+func (e *Engine) ScheduleFire(at float64, h Handler, ver int) error {
+	if err := e.checkTime(at); err != nil {
+		return err
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, h: h, ver: ver})
+	return nil
+}
+
+func (e *Engine) checkTime(at float64) error {
 	if at < e.now {
 		return ErrPast
 	}
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		return errors.New("eventsim: non-finite event time")
 	}
-	e.seq++
-	heap.Push(&e.heap, event{at: at, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -63,9 +99,13 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.pop()
 	e.now = ev.at
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.Fire(ev.ver)
+	}
 	return true
 }
 
@@ -87,25 +127,51 @@ func (e *Engine) Run() {
 	}
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
-		return h[i].at < h[j].at
+// less orders events by time, ties broken by scheduling order; (at, seq)
+// is a strict total order because seq is unique.
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at { //cubefit:vet-allow floatcmp -- exact tie-break keeps the comparator a strict weak order
+		return e.heap[i].at < e.heap[j].at
 	}
-	return h[i].seq < h[j].seq
+	return e.heap[i].seq < e.heap[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (e *Engine) pop() event {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/h references so the backing array does not pin them
+	e.heap = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && e.less(r, l) {
+			c = r
+		}
+		if !e.less(c, i) {
+			break
+		}
+		e.heap[i], e.heap[c] = e.heap[c], e.heap[i]
+		i = c
+	}
+	return min
 }

@@ -1,0 +1,38 @@
+package obs
+
+import "sync"
+
+// eventPool recycles Event structs for the engines' emission sites: an
+// admission with the recorder attached builds each event in a pooled
+// struct, records it by value, and releases the struct, so tracing steady
+// state allocates no event headers. The pool sits strictly behind the
+// engines' nil-checked recorder seam — with no recorder attached nothing
+// is acquired and the hot path still pays a single nil check.
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
+
+// AcquireEvent returns a pooled event of the given kind with every field
+// reset (identity fields to Unset, everything else to the zero value).
+// Release it with ReleaseEvent after recording.
+func AcquireEvent(kind Kind) *Event {
+	e := eventPool.Get().(*Event)
+	*e = Event{
+		Kind:    kind,
+		Tenant:  Unset,
+		Replica: Unset,
+		Server:  Unset,
+		Slot:    Unset,
+		Class:   Unset,
+		Counter: Unset,
+	}
+	return e
+}
+
+// ReleaseEvent returns e to the pool. The Digits slice is NOT recycled:
+// recorders retain the value they were handed (ring buffers keep the
+// event, sinks may defer encoding), and the slice header they copied
+// aliases e.Digits — so ownership of the backing array passes to the
+// recorded value and the pooled struct forgets it.
+func ReleaseEvent(e *Event) {
+	e.Digits = nil
+	eventPool.Put(e)
+}

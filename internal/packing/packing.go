@@ -263,7 +263,7 @@ func (p *Placement) Tenants() []Tenant {
 
 // TenantHosts returns the server IDs hosting tenant id's replicas by replica
 // index (-1 where unplaced), or nil if the tenant is unknown. The returned
-// slice is a copy.
+// slice is a copy; use TenantHostsInto or EachTenantHost on hot paths.
 func (p *Placement) TenantHosts(id TenantID) []int {
 	hosts, ok := p.tenantHosts[id]
 	if !ok {
@@ -272,6 +272,28 @@ func (p *Placement) TenantHosts(id TenantID) []int {
 	out := make([]int, len(hosts))
 	copy(out, hosts)
 	return out
+}
+
+// TenantHostsInto is the allocation-free variant of TenantHosts: the host
+// IDs are appended to buf[:0] (growing it only when its capacity is
+// insufficient) and the filled slice is returned. It returns nil for an
+// unknown tenant. The result aliases buf and is only valid until the next
+// call with the same buffer or the next placement mutation.
+func (p *Placement) TenantHostsInto(id TenantID, buf []int) []int {
+	hosts, ok := p.tenantHosts[id]
+	if !ok {
+		return nil
+	}
+	return append(buf[:0], hosts...)
+}
+
+// EachTenantHost calls fn for every replica of tenant id with the replica
+// index and its hosting server (-1 where unplaced). It visits replicas in
+// index order and allocates nothing. fn must not mutate the placement.
+func (p *Placement) EachTenantHost(id TenantID, fn func(idx, server int)) {
+	for i, h := range p.tenantHosts[id] {
+		fn(i, h)
+	}
 }
 
 // OpenServer allocates a new empty server and returns its ID.
@@ -313,16 +335,23 @@ func (p *Placement) ReplicaSize(t Tenant) float64 { return t.Load / float64(p.ga
 // Replicas builds the γ replicas of tenant t, distributing its clients
 // round-robin across replica indices.
 func (p *Placement) Replicas(t Tenant) []Replica {
+	return p.ReplicasInto(t, make([]Replica, 0, p.gamma))
+}
+
+// ReplicasInto is the allocation-free variant of Replicas: the γ replicas
+// are appended to buf[:0] and the filled slice is returned. The result
+// aliases buf and is only valid until the next call with the same buffer.
+func (p *Placement) ReplicasInto(t Tenant, buf []Replica) []Replica {
 	size := p.ReplicaSize(t)
-	out := make([]Replica, p.gamma)
+	out := buf[:0]
 	base := t.Clients / p.gamma
 	extra := t.Clients % p.gamma
-	for i := range out {
+	for i := 0; i < p.gamma; i++ {
 		c := base
 		if i < extra {
 			c++
 		}
-		out[i] = Replica{Tenant: t.ID, Index: i, Size: size, Clients: c}
+		out = append(out, Replica{Tenant: t.ID, Index: i, Size: size, Clients: c})
 	}
 	return out
 }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/rfi"
+	"cubefit/internal/workload"
+)
+
+func TestTrialsMatchesSerialOrder(t *testing.T) {
+	trial := func(i int) (int, error) { return i * i, nil }
+	want, err := Trials(1, 50, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 100} {
+		got, err := Trials(workers, 50, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results diverged from serial", workers)
+		}
+	}
+}
+
+func TestTrialsEmpty(t *testing.T) {
+	got, err := Trials(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty trials = %v, %v", got, err)
+	}
+}
+
+func TestTrialsLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) func(int) (int, error) {
+		return func(i int) (int, error) {
+			for _, b := range bad {
+				if i == b {
+					return 0, fmt.Errorf("trial %d failed", i)
+				}
+			}
+			return i, nil
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		_, err := Trials(workers, 20, errAt(17, 5, 11))
+		if err == nil || err.Error() != "trial 5 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index trial 5", workers, err)
+		}
+	}
+}
+
+func TestTrialsSerialStopsEarly(t *testing.T) {
+	calls := 0
+	_, err := Trials(1, 10, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 4 {
+		t.Fatalf("serial runner made %d calls after failure at trial 3, want 4", calls)
+	}
+}
+
+func consolidationSpec(t *testing.T, workers int) ConsolidationSpec {
+	t.Helper()
+	dist, err := workload.NewUniform(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ConsolidationSpec{
+		Tenants: 400,
+		Runs:    6,
+		Seed:    7,
+		Model:   workload.DefaultLoadModel(),
+		Dist:    dist,
+		Workers: workers,
+	}
+}
+
+// TestRunConsolidationParallelParity is the satellite parity requirement:
+// the parallel trial runner must reproduce the serial runner's result
+// exactly — same per-run server counts, same aggregate intervals — for
+// the same spec and seed. Run under -race this also exercises the worker
+// pool for data races.
+func TestRunConsolidationParallelParity(t *testing.T) {
+	model := workload.DefaultLoadModel()
+	a := CubeFitFactory(core.Config{Gamma: 2, K: 10}, &model)
+	b := RFIFactory(rfi.Config{Gamma: 2})
+	serial, err := RunConsolidation(consolidationSpec(t, 1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := RunConsolidation(consolidationSpec(t, workers), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel, serial) {
+			t.Fatalf("workers=%d: parallel result diverged from serial:\n%+v\nvs\n%+v",
+				workers, parallel, serial)
+		}
+	}
+}

@@ -69,6 +69,11 @@ type ConsolidationSpec struct {
 	Model workload.LoadModel
 	// Dist draws tenant client counts.
 	Dist workload.Distribution
+	// Workers bounds the number of runs simulated concurrently; 0 or 1
+	// means serial. Results are identical for every worker count: each run
+	// draws from its own pre-derived seed and the runs are aggregated in
+	// run order (see Trials).
+	Workers int
 }
 
 // Validate reports whether the spec is usable.
@@ -81,6 +86,9 @@ func (s ConsolidationSpec) Validate() error {
 	}
 	if s.Dist == nil {
 		return errors.New("sim: nil distribution")
+	}
+	if s.Workers < 0 {
+		return errors.New("sim: negative Workers")
 	}
 	return s.Model.Validate()
 }
@@ -107,12 +115,46 @@ type ConsolidationResult struct {
 }
 
 // RunConsolidation executes the repeated-run comparison of algorithm a
-// (CubeFit in the paper) against baseline b (RFI).
+// (CubeFit in the paper) against baseline b (RFI). With spec.Workers > 1
+// the runs execute on a worker pool; the per-run seeds are pre-derived
+// from spec.Seed in run order and the outcomes merged in run order, so
+// the result is bit-identical to the serial execution.
 func RunConsolidation(spec ConsolidationSpec, a, b Factory) (ConsolidationResult, error) {
 	if err := spec.Validate(); err != nil {
 		return ConsolidationResult{}, err
 	}
+	// Derive each run's seed serially before fanning out: this is the only
+	// consumption of the shared seed stream, so its order is fixed no
+	// matter how the runs interleave.
 	seeds := rng.New(spec.Seed)
+	runSeeds := make([]uint64, spec.Runs)
+	for run := range runSeeds {
+		runSeeds[run] = seeds.Uint64()
+	}
+	type runOutcome struct {
+		servedA, servedB int
+		utilA, utilB     float64
+	}
+	outcomes, err := Trials(spec.Workers, spec.Runs, func(run int) (runOutcome, error) {
+		src, err := workload.NewClientSource(spec.Model, spec.Dist, runSeeds[run])
+		if err != nil {
+			return runOutcome{}, err
+		}
+		tenants := workload.Take(src, spec.Tenants)
+
+		servedA, uA, err := runOnce(a, tenants)
+		if err != nil {
+			return runOutcome{}, fmt.Errorf("sim: %s run %d: %w", a.Name, run, err)
+		}
+		servedB, uB, err := runOnce(b, tenants)
+		if err != nil {
+			return runOutcome{}, fmt.Errorf("sim: %s run %d: %w", b.Name, run, err)
+		}
+		return runOutcome{servedA: servedA, servedB: servedB, utilA: uA, utilB: uB}, nil
+	})
+	if err != nil {
+		return ConsolidationResult{}, err
+	}
 	res := ConsolidationResult{
 		Distribution: spec.Dist.Name(),
 		A:            AlgorithmOutcome{Name: a.Name},
@@ -120,28 +162,13 @@ func RunConsolidation(spec ConsolidationSpec, a, b Factory) (ConsolidationResult
 	}
 	savings := make([]float64, 0, spec.Runs)
 	var utilA, utilB float64
-	for run := 0; run < spec.Runs; run++ {
-		src, err := workload.NewClientSource(spec.Model, spec.Dist, seeds.Uint64())
-		if err != nil {
-			return ConsolidationResult{}, err
-		}
-		tenants := workload.Take(src, spec.Tenants)
-
-		servedA, uA, err := runOnce(a, tenants)
-		if err != nil {
-			return ConsolidationResult{}, fmt.Errorf("sim: %s run %d: %w", a.Name, run, err)
-		}
-		servedB, uB, err := runOnce(b, tenants)
-		if err != nil {
-			return ConsolidationResult{}, fmt.Errorf("sim: %s run %d: %w", b.Name, run, err)
-		}
-		res.A.PerRun = append(res.A.PerRun, float64(servedA))
-		res.B.PerRun = append(res.B.PerRun, float64(servedB))
-		savings = append(savings, stats.RelativeDifference(float64(servedB), float64(servedA)))
-		utilA += uA
-		utilB += uB
+	for _, out := range outcomes {
+		res.A.PerRun = append(res.A.PerRun, float64(out.servedA))
+		res.B.PerRun = append(res.B.PerRun, float64(out.servedB))
+		savings = append(savings, stats.RelativeDifference(float64(out.servedB), float64(out.servedA)))
+		utilA += out.utilA
+		utilB += out.utilB
 	}
-	var err error
 	if res.A.Servers, err = stats.CI95(res.A.PerRun); err != nil {
 		return ConsolidationResult{}, err
 	}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"testing"
+
+	"cubefit/internal/rng"
+)
+
+// TestInPlaceMatchesSorting is the parity property for the quickselect
+// variants: across random samples (with heavy tie mass, adversarial for
+// partitioning) every in-place statistic must be bit-identical to the
+// sort-a-copy reference.
+func TestInPlaceMatchesSorting(t *testing.T) {
+	r := rng.New(99)
+	sizes := []int{1, 2, 3, 7, 13, 100, 1000, 4097}
+	percentiles := []float64{0, 1, 50, 95, 99, 100}
+	for _, n := range sizes {
+		for trial := 0; trial < 5; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				if r.Float64() < 0.3 {
+					// Ties: quantize a third of the sample to one decimal.
+					xs[i] = float64(int(r.Float64()*10)) / 10
+				} else {
+					xs[i] = r.Float64() * 100
+				}
+			}
+			for _, p := range percentiles {
+				want, err := Percentile(xs, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch := append([]float64(nil), xs...)
+				got, err := PercentileInPlace(scratch, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want { //cubefit:vet-allow floatcmp -- the in-place variant must be bit-identical to the reference
+					t.Fatalf("n=%d p=%v: in-place %v != sorted %v", n, p, got, want)
+				}
+			}
+			wantSum, err := Summarize(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch := append([]float64(nil), xs...)
+			gotSum, err := SummarizeInPlace(scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSum != wantSum {
+				t.Fatalf("n=%d: SummarizeInPlace %+v != Summarize %+v", n, gotSum, wantSum)
+			}
+		}
+	}
+}
+
+func TestInPlaceErrors(t *testing.T) {
+	if _, err := PercentileInPlace(nil, 50); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+	if _, err := PercentileInPlace([]float64{1}, 101); err == nil {
+		t.Fatal("expected error on out-of-range percentile")
+	}
+	if _, err := SummarizeInPlace(nil); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+	if v, err := P99InPlace([]float64{3}); err != nil || v != 3 { //cubefit:vet-allow floatcmp -- exact single-sample passthrough
+		t.Fatalf("P99InPlace single sample = %v, %v", v, err)
+	}
+}
+
+func BenchmarkSummarizeInPlace(b *testing.B) {
+	r := rng.New(5)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	scratch := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, xs)
+		if _, err := SummarizeInPlace(scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

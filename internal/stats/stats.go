@@ -82,6 +82,112 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// PercentileInPlace returns the p-th percentile of xs using the same
+// closest-ranks linear interpolation as Percentile, but selects the two
+// order statistics with quickselect instead of sorting a copy: O(n)
+// expected time, no allocation, bit-identical results. xs is reordered.
+// Samples must be free of NaNs (response times always are).
+func PercentileInPlace(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	n := len(xs)
+	if n == 1 {
+		return xs[0], nil
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	selectKth(xs, lo)
+	if lo == hi {
+		return xs[lo], nil
+	}
+	// After selectKth, xs[lo+1:] holds every element above rank lo, so the
+	// (lo+1)-th order statistic is its minimum.
+	next := xs[hi]
+	for _, x := range xs[lo+1:] {
+		if x < next {
+			next = x
+		}
+	}
+	frac := rank - float64(lo)
+	return xs[lo]*(1-frac) + next*frac, nil
+}
+
+// P99InPlace is PercentileInPlace at the 99th percentile.
+func P99InPlace(xs []float64) (float64, error) {
+	return PercentileInPlace(xs, 99)
+}
+
+// OrderStatInPlace returns the k-th order statistic of xs (0-indexed, so
+// k=0 is the minimum), selecting it in place with quickselect — identical
+// to sorting and indexing, without the sort. xs is reordered. NaN-free
+// samples only.
+func OrderStatInPlace(xs []float64, k int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if k < 0 || k >= len(xs) {
+		return 0, errors.New("stats: order statistic index out of range")
+	}
+	selectKth(xs, k)
+	return xs[k], nil
+}
+
+// selectKth partially orders xs so that xs[k] holds the k-th order
+// statistic, with xs[:k] ≤ xs[k] ≤ xs[k+1:] (Hoare quickselect with a
+// median-of-three pivot; small ranges fall back to insertion sort).
+func selectKth(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 12 {
+		p := medianOf3(xs[lo], xs[lo+(hi-lo)/2], xs[hi])
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return // xs[k] == p, already in place
+		}
+	}
+	// Insertion sort of the remaining window.
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func medianOf3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
 // Summary holds the descriptive statistics of one sample.
 type Summary struct {
 	N      int
@@ -112,6 +218,34 @@ func Summarize(xs []float64) (Summary, error) {
 		P95:    percentileSorted(sorted, 95),
 		P99:    percentileSorted(sorted, 99),
 	}, nil
+}
+
+// SummarizeInPlace computes the same Summary as Summarize without sorting
+// a copy: Mean and StdDev are taken in the original order first (identical
+// float summation), then the percentiles are selected in place. xs is
+// reordered; use when the caller owns the sample and will not read it
+// again in order. NaN-free samples only.
+func SummarizeInPlace(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	min, max := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	s.Min, s.Max = min, max
+	// The error paths cannot trigger: xs is non-empty and the percentile
+	// arguments are in range.
+	s.P50, _ = PercentileInPlace(xs, 50)
+	s.P95, _ = PercentileInPlace(xs, 95)
+	s.P99, _ = PercentileInPlace(xs, 99)
+	return s, nil
 }
 
 // Interval is a symmetric confidence interval around a mean.
