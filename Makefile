@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-compare profile cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet lint test test-short race bench bench-compare loadtest loadtest-compare profile cover experiments figure5 figure6 table1 theorem2 fmt
 
 all: build vet lint test
 
@@ -50,6 +50,22 @@ bench:
 BENCH_THRESHOLD ?= 0.20
 bench-compare: bench
 	$(GO) run ./cmd/cubefit-bench -compare BENCH_pr4.json BENCH_pr5.json -threshold $(BENCH_THRESHOLD)
+
+# Closed-loop admission load harness: single vs batched admission over
+# loopback HTTP, per-tenant throughput and P50/P99 latency. LOAD_OPS
+# bounds the run for CI smoke; LOAD_MINSPEEDUP fails (exit 2) when the
+# batch path is not at least that many times faster per admitted tenant —
+# conservative because CI runners are slow, shared, and often single-core
+# (the batch endpoint's measured advantage grows with cores and ops).
+LOAD_OPS ?= 10000
+LOAD_MINSPEEDUP ?= 3
+loadtest:
+	$(GO) run ./cmd/cubefit-load -ops $(LOAD_OPS) -minspeedup $(LOAD_MINSPEEDUP) -o LOAD_pr6.json
+
+# Diff the fresh load report against the committed baseline: per-tenant
+# ns/op regressions beyond the threshold fail like bench regressions.
+loadtest-compare: loadtest
+	$(GO) run ./cmd/cubefit-bench -compare LOAD_baseline.json LOAD_pr6.json -threshold $(BENCH_THRESHOLD)
 
 # CPU and allocation profiles of a representative consolidation run;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -1,0 +1,413 @@
+// Command cubefit-load is a closed-loop admission load harness: a fixed
+// pool of workers drives the service admission path as fast as responses
+// come back — each worker issues a request, waits for the ack, and
+// immediately issues the next — so the measured throughput is the
+// sustained, acknowledged rate rather than an open-loop send rate.
+//
+// Usage:
+//
+//	cubefit-load [-mode both] [-workers 4] [-ops 30000] [-batch 64]
+//	             [-gamma 2] [-k 10] [-wal path] [-url http://host:8080]
+//	             [-o report.json] [-minspeedup 0]
+//
+// By default the harness is self-contained: it builds the same controller
+// cubefit-server serves, exposes it on a loopback listener, and drives it
+// over real HTTP with connection reuse — so the single-vs-batch comparison
+// includes the per-request transport and handler costs that batching
+// amortizes, exactly as a deployment would see them. With -url it instead
+// drives an already-running server. With -wal the self-hosted controller
+// group-commits every admission to a write-ahead log, measuring the
+// durable path.
+//
+// Modes: "single" admits one tenant per POST /v1/tenants request, "batch"
+// admits -batch tenants per POST /v1/tenants:batch request, and "both"
+// runs single then batch on fresh controllers and reports the per-tenant
+// speedup. -minspeedup N fails the run (exit 2) when batch admission is
+// not at least N× the single-request rate, so CI can gate the pipeline's
+// reason to exist.
+//
+// -o writes a JSON report in the cubefit-bench format — per-mode ns/op
+// (mean wall time per admitted tenant) plus P50/P99 request latency — so
+// `cubefit-bench -compare old.json new.json` diffs load-harness runs
+// exactly like microbenchmarks.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubefit/internal/api"
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/stats"
+	"cubefit/internal/workload"
+)
+
+// ErrGate is returned when -minspeedup is not met; main translates it to
+// exit code 2 so CI can tell a gate failure from an operational error.
+var ErrGate = errors.New("batch speedup below gate")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "cubefit-load:", err)
+	if errors.Is(err, ErrGate) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+type config struct {
+	mode       string
+	workers    int
+	ops        int
+	batch      int
+	gamma, k   int
+	wal        string
+	url        string
+	out        string
+	minSpeedup float64
+}
+
+// result is one mode's measurement.
+type result struct {
+	name      string
+	tenants   int           // admitted tenants
+	requests  int           // HTTP round trips
+	elapsed   time.Duration // wall clock, first send to last ack
+	latencies []float64     // per-request ns
+}
+
+func (r result) perTenantNs() float64 {
+	return float64(r.elapsed.Nanoseconds()) / float64(r.tenants)
+}
+
+func (r result) throughput() float64 {
+	return float64(r.tenants) / r.elapsed.Seconds()
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cubefit-load", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.mode, "mode", "both", "single, batch, or both")
+	fs.IntVar(&cfg.workers, "workers", 4, "closed-loop workers")
+	fs.IntVar(&cfg.ops, "ops", 30000, "tenants to admit per mode")
+	fs.IntVar(&cfg.batch, "batch", 64, "tenants per batch request")
+	fs.IntVar(&cfg.gamma, "gamma", 2, "replicas per tenant")
+	fs.IntVar(&cfg.k, "k", 10, "CubeFit classes")
+	fs.StringVar(&cfg.wal, "wal", "", "write-ahead log path for the in-process controller (measures the durable path)")
+	fs.StringVar(&cfg.url, "url", "", "drive a live server at this base URL instead of in process")
+	fs.StringVar(&cfg.out, "o", "", "write a cubefit-bench JSON report here")
+	fs.Float64Var(&cfg.minSpeedup, "minspeedup", 0, "fail unless batch is at least this many times faster per tenant (mode both)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch cfg.mode {
+	case "single", "batch", "both":
+	default:
+		return fmt.Errorf("unknown -mode %q", cfg.mode)
+	}
+	if cfg.workers < 1 || cfg.ops < 1 || cfg.batch < 1 {
+		return errors.New("-workers, -ops and -batch must be positive")
+	}
+	if cfg.minSpeedup > 0 && cfg.mode != "both" {
+		return errors.New("-minspeedup requires -mode both")
+	}
+
+	var results []result
+	if cfg.mode == "single" || cfg.mode == "both" {
+		r, err := runMode(cfg, false)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	if cfg.mode == "batch" || cfg.mode == "both" {
+		r, err := runMode(cfg, true)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	for _, r := range results {
+		p50, p99 := latencyPercentiles(r.latencies)
+		fmt.Fprintf(stdout, "%-12s %8d tenants %8d requests  %10.0f tenants/s  p50 %8s  p99 %8s\n",
+			r.name, r.tenants, r.requests, r.throughput(),
+			time.Duration(p50), time.Duration(p99))
+	}
+	if cfg.out != "" {
+		if err := writeReport(cfg.out, results); err != nil {
+			return err
+		}
+	}
+	if len(results) == 2 {
+		speedup := results[0].perTenantNs() / results[1].perTenantNs()
+		fmt.Fprintf(stdout, "batch speedup: %.1fx per admitted tenant\n", speedup)
+		if cfg.minSpeedup > 0 && speedup < cfg.minSpeedup {
+			return fmt.Errorf("%w: %.1fx < %.1fx", ErrGate, speedup, cfg.minSpeedup)
+		}
+	}
+	return nil
+}
+
+// target abstracts where requests go: an in-process handler or a live
+// server. do returns the response status and, for batches, the number of
+// failed items.
+type target interface {
+	do(path string, body []byte) (status, failed int, err error)
+	close() error
+}
+
+// selfhosted serves a fresh controller on a loopback listener and drives
+// it over HTTP like any client would.
+type selfhosted struct {
+	remote
+	srv  *httptest.Server
+	ctrl *api.Controller
+}
+
+func newSelfhosted(cfg config) (*selfhosted, error) {
+	cf, err := core.New(core.Config{Gamma: cfg.gamma, K: cfg.k})
+	if err != nil {
+		return nil, err
+	}
+	var opts []api.Option
+	if cfg.wal != "" {
+		w, err := obs.OpenWAL(cfg.wal)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, api.WithWAL(w))
+	}
+	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(ctrl.Handler())
+	s := &selfhosted{srv: srv, ctrl: ctrl}
+	s.remote = *newRemote(config{url: srv.URL, workers: cfg.workers})
+	return s, nil
+}
+
+func (s *selfhosted) close() error {
+	s.srv.Close()
+	return s.ctrl.Close()
+}
+
+// remote drives a live server over HTTP with connection reuse.
+type remote struct {
+	base   string
+	client *http.Client
+}
+
+func newRemote(cfg config) *remote {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = cfg.workers * 2
+	return &remote{base: cfg.url, client: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+func (r *remote) do(path string, body []byte) (int, int, error) {
+	resp, err := r.client.Post(r.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeOutcome(resp.StatusCode, data)
+}
+
+func (r *remote) close() error { return nil }
+
+// decodeOutcome extracts per-item failures from a batch response; single
+// responses report via status alone.
+func decodeOutcome(status int, body []byte) (int, int, error) {
+	if status != http.StatusOK {
+		return status, 0, nil
+	}
+	var br struct {
+		Failed int `json:"failed"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		return status, 0, err
+	}
+	return status, br.Failed, nil
+}
+
+// runMode measures one mode on a fresh target (in-process) or the shared
+// live server (-url).
+func runMode(cfg config, batched bool) (result, error) {
+	var tgt target
+	if cfg.url != "" {
+		tgt = newRemote(cfg)
+	} else {
+		s, err := newSelfhosted(cfg)
+		if err != nil {
+			return result{}, err
+		}
+		tgt = s
+	}
+	defer tgt.close()
+
+	name := "single"
+	if batched {
+		name = "batch"
+	}
+	// Unique IDs per run; a live server keeps state across modes, so salt
+	// with the current time to avoid 409s between invocations.
+	var base int64
+	if cfg.url != "" {
+		base = time.Now().UnixNano() % (1 << 40)
+	}
+	var next atomic.Int64
+	next.Store(base)
+	admitted := base + int64(cfg.ops)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		requests atomic.Int64
+		fails    atomic.Int64
+		lats     = make([][]float64, cfg.workers)
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, 0, cfg.ops/cfg.workers+1)
+			defer func() { lats[w] = local }()
+			for {
+				var take int64 = 1
+				if batched {
+					take = int64(cfg.batch)
+				}
+				lo := next.Add(take) - take
+				if lo >= admitted {
+					return
+				}
+				hi := lo + take
+				if hi > admitted {
+					hi = admitted
+				}
+				body, path := encodeRequest(lo, hi, batched)
+				t0 := time.Now()
+				status, failed, err := tgt.do(path, body)
+				local = append(local, float64(time.Since(t0).Nanoseconds()))
+				requests.Add(1)
+				if err != nil {
+					fail(err)
+					return
+				}
+				wantStatus := http.StatusCreated
+				if batched {
+					wantStatus = http.StatusOK
+				}
+				if status != wantStatus || failed > 0 {
+					fails.Add(hi - lo)
+					fail(fmt.Errorf("%s admission failed: status %d, %d failed items", name, status, failed))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return result{}, firstErr
+	}
+	var merged []float64
+	for _, l := range lats {
+		merged = append(merged, l...)
+	}
+	return result{
+		name:      name,
+		tenants:   cfg.ops,
+		requests:  int(requests.Load()),
+		elapsed:   elapsed,
+		latencies: merged,
+	}, nil
+}
+
+// encodeRequest builds the admission body for tenant IDs [lo, hi). Client
+// counts cycle 1..15, deriving loads well inside (0,1] under the default
+// model.
+func encodeRequest(lo, hi int64, batched bool) ([]byte, string) {
+	var buf bytes.Buffer
+	if !batched {
+		fmt.Fprintf(&buf, `{"id":%d,"clients":%d}`, lo, 1+lo%15)
+		return buf.Bytes(), "/v1/tenants"
+	}
+	buf.WriteString(`{"tenants":[`)
+	for id := lo; id < hi; id++ {
+		if id > lo {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"id":%d,"clients":%d}`, id, 1+id%15)
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes(), "/v1/tenants:batch"
+}
+
+func latencyPercentiles(ns []float64) (p50, p99 float64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	p50, _ = stats.PercentileInPlace(ns, 50)
+	p99, _ = stats.P99InPlace(ns)
+	return p50, p99
+}
+
+// report mirrors the cubefit-bench JSON shape so -compare diffs load runs
+// like benchmark runs.
+type report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func writeReport(path string, results []result) error {
+	rep := report{Goos: runtime.GOOS, Goarch: runtime.GOARCH, Pkg: "cubefit/cmd/cubefit-load"}
+	for _, r := range results {
+		p50, p99 := latencyPercentiles(r.latencies)
+		rep.Benchmarks = append(rep.Benchmarks, benchmark{
+			Name:       "Load/" + r.name,
+			Iterations: int64(r.tenants),
+			Metrics: map[string]float64{
+				"ns/op":     r.perTenantNs(),
+				"p50-ns":    p50,
+				"p99-ns":    p99,
+				"tenants/s": r.throughput(),
+			},
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBothWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	err := run([]string{"-ops", "300", "-batch", "16", "-workers", "2", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "batch speedup:") {
+		t.Fatalf("missing speedup line:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("report has %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	for i, name := range []string{"Load/single", "Load/batch"} {
+		b := rep.Benchmarks[i]
+		if b.Name != name || b.Iterations != 300 {
+			t.Fatalf("benchmark %d = %+v", i, b)
+		}
+		for _, unit := range []string{"ns/op", "p50-ns", "p99-ns", "tenants/s"} {
+			if b.Metrics[unit] <= 0 {
+				t.Fatalf("%s metric %s = %v", name, unit, b.Metrics[unit])
+			}
+		}
+	}
+}
+
+func TestRunSingleMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "single", "-ops", "200", "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "speedup") {
+		t.Fatal("single mode printed a speedup")
+	}
+}
+
+func TestRunWALMode(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "batch", "-ops", "200", "-batch", "16", "-wal", walPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("durable mode left the WAL empty")
+	}
+}
+
+func TestRunGateFails(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-ops", "200", "-batch", "16", "-minspeedup", "1e9"}, &buf)
+	if !errors.Is(err, ErrGate) {
+		t.Fatalf("impossible gate passed: %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "bogus"},
+		{"-ops", "0"},
+		{"-workers", "0"},
+		{"-batch", "0"},
+		{"-mode", "single", "-minspeedup", "2"},
+	} {
+		if err := run(args, new(bytes.Buffer)); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestEncodeRequest(t *testing.T) {
+	body, path := encodeRequest(5, 6, false)
+	if path != "/v1/tenants" || !json.Valid(body) {
+		t.Fatalf("single: path %q body %s", path, body)
+	}
+	body, path = encodeRequest(0, 3, true)
+	if path != "/v1/tenants:batch" || !json.Valid(body) {
+		t.Fatalf("batch: path %q body %s", path, body)
+	}
+	var br struct {
+		Tenants []struct {
+			ID      int `json:"id"`
+			Clients int `json:"clients"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Tenants) != 3 || br.Tenants[2].ID != 2 || br.Tenants[2].Clients != 3 {
+		t.Fatalf("batch body decoded to %+v", br)
+	}
+}

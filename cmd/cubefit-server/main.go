@@ -2,11 +2,12 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-pprof] [-drain 10s]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
 //	POST   /v1/tenants       {"id":1,"load":0.3} or {"id":1,"clients":8}
+//	POST   /v1/tenants:batch {"tenants":[...]} batched admission
 //	GET    /v1/tenants/{id}
 //	DELETE /v1/tenants/{id}
 //	GET    /v1/placement
@@ -33,9 +34,18 @@
 // robustness headroom auditor: GET /debug/headroom reports every server's
 // worst-case failover slack and arg-max failure set, and the
 // cubefit_headroom_* gauges track the minimum/median slack plus the
-// servers below the -redline threshold. On SIGINT/SIGTERM it stops
-// accepting new connections and drains in-flight requests for up to
-// -drain before exiting.
+// servers below the -redline threshold.
+//
+// Durability: with -wal the decision stream doubles as a write-ahead log.
+// At boot the server replays the log into a fresh engine, cross-checks the
+// rebuilt placement against an independent event-level replay and the
+// robustness validator, and refuses to serve from a log that does not
+// replay cleanly. Admissions and departures are group-committed (flushed
+// and fsynced) to the log before they are acked; if the log cannot commit,
+// mutations fail closed with 503. On SIGINT/SIGTERM the server stops
+// accepting new connections, drains in-flight requests for up to -drain,
+// then drains the admission pipeline and performs the WAL's final commit
+// before exiting.
 package main
 
 import (
@@ -56,6 +66,8 @@ import (
 	"cubefit/internal/core"
 	"cubefit/internal/headroom"
 	"cubefit/internal/metrics"
+	"cubefit/internal/obs"
+	"cubefit/internal/recovery"
 	"cubefit/internal/workload"
 )
 
@@ -67,11 +79,13 @@ func main() {
 }
 
 // options carries the operational settings parsed from flags alongside
-// the algorithm configuration.
+// the algorithm configuration and the controller owning the admission
+// pipeline (closed after the HTTP drain completes).
 type options struct {
 	cfg   core.Config
 	drain time.Duration
 	pprof bool
+	ctrl  *api.Controller
 }
 
 func run(args []string) error {
@@ -88,7 +102,13 @@ func run(args []string) error {
 	slog.Info("cubefit-server listening",
 		"addr", ln.Addr().String(), "gamma", opts.cfg.Gamma, "k", opts.cfg.K,
 		"pprof", opts.pprof, "drain", opts.drain)
-	return serve(ctx, ln, srv, opts.drain)
+	err = serve(ctx, ln, srv, opts.drain)
+	// Once no handler can enqueue new work, drain the admission pipeline
+	// and commit the write-ahead log's final batch.
+	if cerr := opts.ctrl.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("closing admission pipeline: %w", cerr)
+	}
+	return err
 }
 
 // serve runs srv on ln until it fails or ctx is cancelled, then shuts
@@ -129,19 +149,51 @@ func newServer(args []string) (*http.Server, options, error) {
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		redline   = fs.Float64("redline", headroom.DefaultRedLine,
 			"headroom red-line: slack below this counts a server in cubefit_headroom_below_redline")
+		walPath = fs.String("wal", "", "write-ahead log path: replay at boot, group-commit admissions before ack")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
 	}
 	opts := options{cfg: core.Config{Gamma: *gamma, K: *k}, drain: *drain, pprof: *withPprof}
-	cf, err := core.New(opts.cfg)
+	var (
+		cf       *core.CubeFit
+		err      error
+		ctrlOpts []api.Option
+	)
+	if *walPath != "" {
+		var rstats recovery.Stats
+		cf, rstats, err = recovery.FromFile(*walPath, opts.cfg)
+		if err != nil {
+			return nil, options{}, fmt.Errorf("wal recovery: %w", err)
+		}
+		slog.Info("wal recovered", "path", *walPath,
+			"events", rstats.Events, "admitted", rstats.Admitted,
+			"rejected", rstats.Rejected, "departed", rstats.Departed,
+			"dropped", rstats.Dropped, "torn", rstats.Torn,
+			"tenants", cf.Placement().NumTenants())
+		// Cut any torn tail before appending: new records glued onto a
+		// partial line would read back as mid-file corruption next boot.
+		if trimmed, terr := obs.RepairWAL(*walPath); terr != nil {
+			return nil, options{}, fmt.Errorf("wal repair: %w", terr)
+		} else if trimmed > 0 {
+			slog.Info("wal torn tail truncated", "path", *walPath, "bytes", trimmed)
+		}
+		wal, werr := obs.OpenWAL(*walPath)
+		if werr != nil {
+			return nil, options{}, fmt.Errorf("wal open: %w", werr)
+		}
+		ctrlOpts = append(ctrlOpts, api.WithWAL(wal))
+	} else {
+		cf, err = core.New(opts.cfg)
+		if err != nil {
+			return nil, options{}, err
+		}
+	}
+	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), ctrlOpts...)
 	if err != nil {
 		return nil, options{}, err
 	}
-	ctrl, err := api.NewController(cf, workload.DefaultLoadModel())
-	if err != nil {
-		return nil, options{}, err
-	}
+	opts.ctrl = ctrl
 	ctrl.SetHeadroomRedLine(*redline)
 	mux := http.NewServeMux()
 	mux.Handle("/", ctrl.Handler())

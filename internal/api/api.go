@@ -5,11 +5,24 @@
 // item 18).
 //
 // Concurrency: the controller guards the algorithm with a sync.RWMutex.
-// Read-only endpoints (stats, servers, placement, validate, tenant lookup,
-// drills, repack plans) take the read lock and run concurrently; only
-// admissions and departures take the write lock. The placement snapshot
-// served by GET /v1/placement is cached between mutations so hot readers
-// do not rebuild it per request.
+// Read-only endpoints (stats, servers, placement, validate, tenant lookup)
+// take the read lock and run concurrently; admissions flow through a
+// batched pipeline (see pipeline.go): every request — POST /v1/tenants and
+// POST /v1/tenants:batch alike — enqueues a job resolved by one placer
+// goroutine that coalesces waiting jobs into a single write-lock
+// acquisition, preserving exact serial placement order while amortizing
+// lock traffic, snapshot invalidation, and headroom refresh across the
+// batch. Exhaustive analyses (drills, repack plans) run on a lock-free
+// clone of the cached snapshot so they never stall admissions. The
+// placement snapshot served by GET /v1/placement is cached between
+// mutations so hot readers do not rebuild it per request.
+//
+// Durability: with a write-ahead log attached (WithWAL), the decision
+// event stream is group-committed — buffered, flushed, and synced once
+// per coalesced batch — before any admission in the batch is acked, and
+// internal/recovery rebuilds the exact acked state from the log on boot.
+// A log error fails the admission path closed (503) rather than acking
+// unlogged placements.
 //
 // Observability: every route is instrumented with request counters (by
 // method and status class) and latency histograms, and admissions are
@@ -32,7 +45,11 @@
 // outside (0,1], negative clients/failures, missing load and clients),
 // 404 for unknown tenants, 405 for unsupported operations, 409 for
 // duplicate admissions and failed audits, 422 for well-formed admissions
-// the algorithm cannot place, 500 for internal failures.
+// the algorithm cannot place (including client counts whose model-derived
+// load falls outside (0,1]), 500 for internal failures, 503 when the
+// write-ahead log is unavailable or the server is shutting down. Batch
+// admissions report these same codes per item with partial-failure
+// semantics.
 package api
 
 import (
@@ -98,18 +115,49 @@ type Controller struct {
 	// feeds the cubefit_headroom_* gauges and the /debug/headroom routes.
 	auditor   *headroom.Auditor
 	headroomM *headroomMetrics
+
+	// wal, when attached, receives the decision event stream and is
+	// group-committed by the placer before admissions are acked; a WAL
+	// error fails the admission path closed (see placeJobs).
+	wal *obs.WAL
+	// Admission pipeline (see pipeline.go): queue feeds the single placer
+	// goroutine, sendMu+closed gate producers during shutdown, placerDone
+	// closes when the placer has drained.
+	queue      chan *admitJob
+	sendMu     sync.RWMutex
+	closed     bool
+	placerDone chan struct{}
+}
+
+// Option configures a Controller beyond its required dependencies.
+type Option func(*Controller)
+
+// WithWAL attaches a write-ahead log: the decision event stream is
+// recorded to it and group-committed before admissions are acked, and a
+// sink error disables the admission path (fail closed) instead of
+// dropping events. Requires a recordable algorithm. The controller takes
+// ownership: Close performs the final commit and closes the log.
+func WithWAL(w *obs.WAL) Option {
+	return func(c *Controller) { c.wal = w }
 }
 
 // NewController wraps an algorithm. The load model translates
 // client-count admissions into loads.
-func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller, error) {
+func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Option) (*Controller, error) {
 	if alg == nil {
 		return nil, errors.New("api: nil algorithm")
 	}
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Controller{alg: alg, model: model, registry: metrics.NewRegistry()}
+	c := &Controller{
+		alg: alg, model: model, registry: metrics.NewRegistry(),
+		queue:      make(chan *admitJob, admitQueueDepth),
+		placerDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
 	c.httpM = metrics.NewHTTPMetrics(c.registry)
 	c.admissions = c.registry.NewCounterVec("cubefit_admissions_total",
 		"Tenant admissions by outcome path.", "outcome")
@@ -120,19 +168,28 @@ func NewController(alg packing.Algorithm, model workload.LoadModel) (*Controller
 			c.admissions.With(p.String()).Inc()
 		})
 	}
-	if rec, ok := alg.(recordable); ok {
+	rec, canRecord := alg.(recordable)
+	if c.wal != nil && !canRecord {
+		return nil, fmt.Errorf("api: %s does not record decision events; cannot attach a WAL", alg.Name())
+	}
+	if canRecord {
 		// Flight recorder: one stamped stream tees into the in-memory
 		// ring (for /debug/events and /explain), the engine metric sink
-		// (gauges + per-path latency histograms on /metrics), and the
+		// (gauges + per-path latency histograms on /metrics), the
 		// incremental headroom auditor (/debug/headroom and the
-		// cubefit_headroom_* gauges).
+		// cubefit_headroom_* gauges), and — when attached — the
+		// write-ahead log.
 		c.ring = obs.NewRing(eventRingCapacity)
 		c.auditor = headroom.New(alg.Placement(), 0)
 		c.headroomM = newHeadroomMetrics(c.registry)
-		rec.SetRecorder(obs.Stamp(clock.Real(),
-			obs.Tee(c.ring, metrics.NewEngineSink(c.registry), c.auditor)))
+		sinks := []obs.Recorder{c.ring, metrics.NewEngineSink(c.registry), c.auditor}
+		if c.wal != nil {
+			sinks = append(sinks, c.wal)
+		}
+		rec.SetRecorder(obs.Stamp(clock.Real(), obs.Tee(sinks...)))
 		c.refreshHeadroom()
 	}
+	go c.runPlacer()
 	return c, nil
 }
 
@@ -158,6 +215,7 @@ func (c *Controller) Handler() http.Handler {
 		mux.Handle(pattern, c.httpM.Instrument(name, h))
 	}
 	route("POST /v1/tenants", "place", c.handlePlace)
+	route("POST /v1/tenants:batch", "place_batch", c.handlePlaceBatch)
 	route("GET /v1/tenants/{id}", "get_tenant", c.handleGetTenant)
 	route("DELETE /v1/tenants/{id}", "remove_tenant", c.handleRemoveTenant)
 	route("GET /v1/placement", "placement", c.handlePlacement)
@@ -204,11 +262,14 @@ func (c *Controller) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	events := c.ring.Last(n)
+	// One lock acquisition for the pair: Total() and Last(n) read
+	// separately can interleave with a concurrent admission and report a
+	// total that disagrees with the returned events.
+	total, events := c.ring.Snapshot(n)
 	if events == nil {
 		events = []obs.Event{}
 	}
-	writeJSON(w, http.StatusOK, eventsResponse{Total: c.ring.Total(), Events: events})
+	writeJSON(w, http.StatusOK, eventsResponse{Total: total, Events: events})
 }
 
 // explainReplica is one replica row of GET /explain/tenants/{id}: where
@@ -322,28 +383,32 @@ func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	t := packing.Tenant{ID: packing.TenantID(req.ID), Load: req.Load, Clients: req.Clients}
-	if req.Load == 0 {
-		t.Load = c.model.Load(req.Clients)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.alg.Placement().Tenant(t.ID); exists {
-		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("tenant %d already placed", t.ID)})
+	t, err := c.resolve(req)
+	if err != nil {
+		// A well-formed request whose derived load cannot be placed: the
+		// unclamped linear model maps large client counts above 1.
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}
-	c.snap = nil // even a failed admission may open servers
-	err := c.alg.Place(t)
-	c.refreshHeadroom() // failed admissions can still shift headroom
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	// Single admissions ride the same pipeline as batches: the placer
+	// coalesces concurrent requests into one lock acquisition and one WAL
+	// group commit while preserving exact serial placement order.
+	job := &admitJob{items: []admitItem{{tenant: t}}, done: make(chan struct{})}
+	if !c.enqueue(job) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
+		return
+	}
+	<-job.done
+	it := &job.items[0]
+	if it.status != http.StatusCreated {
+		writeJSON(w, it.status, errorResponse{Error: it.err})
 		return
 	}
 	writeJSON(w, http.StatusCreated, placeResponse{
 		ID:      req.ID,
 		Load:    t.Load,
 		Clients: t.Clients,
-		Servers: c.alg.Placement().TenantHosts(t.ID),
+		Servers: it.servers,
 	})
 }
 
@@ -383,8 +448,19 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := rem.Remove(id); err != nil {
+	if c.wal != nil && c.wal.Err() != nil {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "write-ahead log unavailable; mutations disabled"})
+		return
+	}
+	err := rem.Remove(id)
+	if err == nil {
+		c.snap = nil
+		c.refreshHeadroom()
+	}
+	c.mu.Unlock()
+	if err != nil {
 		if errors.Is(err, packing.ErrUnknownTenant) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
@@ -392,12 +468,27 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	c.snap = nil
-	c.refreshHeadroom()
+	// Departures are durable before they are acked, like admissions.
+	if c.wal != nil {
+		if werr := c.wal.Sync(); werr != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "write-ahead log sync failed: " + werr.Error()})
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Controller) handlePlacement(w http.ResponseWriter, _ *http.Request) {
+	// The snapshot is immutable once cached; encoding it outside the lock
+	// is safe and keeps the critical section short.
+	writeJSON(w, http.StatusOK, c.snapshot())
+}
+
+// snapshot returns the cached placement snapshot, capturing it under the
+// write lock when a mutation has invalidated it. The returned value is
+// immutable and safe to read without holding any lock.
+func (c *Controller) snapshot() *trace.Snapshot {
 	c.mu.RLock()
 	snap := c.snap
 	c.mu.RUnlock()
@@ -410,9 +501,15 @@ func (c *Controller) handlePlacement(w http.ResponseWriter, _ *http.Request) {
 		snap = c.snap
 		c.mu.Unlock()
 	}
-	// The snapshot is immutable once cached; encoding it outside the lock
-	// is safe and keeps the critical section short.
-	writeJSON(w, http.StatusOK, snap)
+	return snap
+}
+
+// clonePlacement rebuilds an independent placement from the snapshot so
+// exhaustive analyses (failure drills, repack planning) run without
+// holding the controller lock: a long computation on a large fleet must
+// not stall admissions behind Go's writer-preferring RWMutex.
+func (c *Controller) clonePlacement() (*packing.Placement, error) {
+	return trace.Restore(*c.snapshot())
 }
 
 // serverSummary is the per-server row of GET /v1/servers.
@@ -511,9 +608,14 @@ func (c *Controller) handleDrill(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("failures %d must be non-negative", req.Failures)})
 		return
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	p := c.alg.Placement()
+	// WorstCase is exhaustive; run it on a lock-free clone so a long
+	// drill never stalls admissions (the lock is held only to capture
+	// the snapshot, and usually not even that).
+	p, err := c.clonePlacement()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
 	plan, err := failure.WorstCase(p, req.Failures)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
@@ -542,9 +644,15 @@ type repackResponse struct {
 }
 
 func (c *Controller) handleRepack(w http.ResponseWriter, _ *http.Request) {
-	c.mu.RLock()
-	_, plan, err := rebalance.Repack(c.alg.Placement())
-	c.mu.RUnlock()
+	// Like drills, repack planning runs on a lock-free clone: the offline
+	// FFD pass is far too slow to sit inside the read lock on a large
+	// fleet.
+	p, err := c.clonePlacement()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	_, plan, err := rebalance.Repack(p)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return

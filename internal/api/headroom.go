@@ -11,8 +11,8 @@ import (
 
 // headroomMetrics bundles the robustness headroom gauges the controller
 // refreshes after every mutation. All values come from the incremental
-// auditor, so a refresh is O(servers changed since the last one) plus the
-// O(n log n) median.
+// auditor's Summary, so a refresh is O(servers changed since the last
+// one) plus an O(servers) allocation-free median selection.
 type headroomMetrics struct {
 	minSlack *metrics.FGauge
 	p50Slack *metrics.FGauge
@@ -48,17 +48,16 @@ func (c *Controller) refreshHeadroom() {
 	if c.auditor == nil {
 		return
 	}
-	rep := c.auditor.Report()
-	_, _, _, events := c.auditor.Aggregates()
+	s := c.auditor.Summary()
 	m := c.headroomM
-	m.minSlack.Set(rep.MinSlack)
-	m.p50Slack.Set(rep.P50Slack)
-	m.redline.Set(rep.RedLine)
-	m.below.Set(int64(rep.BelowRedLine))
-	m.overload.Set(int64(rep.Overloaded))
-	if events > m.lastOverload {
-		m.overloadTotal.Add(events - m.lastOverload)
-		m.lastOverload = events
+	m.minSlack.Set(s.MinSlack)
+	m.p50Slack.Set(s.P50Slack)
+	m.redline.Set(s.RedLine)
+	m.below.Set(int64(s.BelowRedLine))
+	m.overload.Set(int64(s.Overloaded))
+	if s.OverloadEvents > m.lastOverload {
+		m.overloadTotal.Add(s.OverloadEvents - m.lastOverload)
+		m.lastOverload = s.OverloadEvents
 	}
 }
 

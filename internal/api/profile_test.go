@@ -1,0 +1,39 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cubefit/internal/core"
+	"cubefit/internal/workload"
+)
+
+func BenchmarkBatchAdmission(b *testing.B) {
+	cf, _ := core.New(core.DefaultConfig())
+	ctrl, _ := NewController(cf, workload.DefaultLoadModel())
+	defer ctrl.Close()
+	h := ctrl.Handler()
+	id := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		sb.WriteString(`{"tenants":[`)
+		for j := 0; j < 64; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `{"id":%d,"clients":%d}`, id, 1+id%15)
+			id++
+		}
+		sb.WriteString(`]}`)
+		req := httptest.NewRequest(http.MethodPost, "/v1/tenants:batch", strings.NewReader(sb.String()))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatal(rec.Code)
+		}
+	}
+}

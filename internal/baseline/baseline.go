@@ -119,6 +119,7 @@ func (b *Baseline) Place(t packing.Tenant) error {
 		e := obs.NewEvent(obs.KindAttempt)
 		e.Tenant = int(t.ID)
 		e.Size = t.Load
+		e.Clients = t.Clients
 		b.emit(e)
 	}
 	if err := b.p.AddTenant(t); err != nil {

@@ -235,6 +235,7 @@ func (cf *CubeFit) Place(t packing.Tenant) error {
 		e := obs.AcquireEvent(obs.KindAttempt)
 		e.Tenant = int(t.ID)
 		e.Size = t.Load
+		e.Clients = t.Clients
 		cf.emit(e)
 	}
 	if _, exists := cf.p.Tenant(t.ID); exists {

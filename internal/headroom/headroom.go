@@ -34,6 +34,7 @@ import (
 
 	"cubefit/internal/obs"
 	"cubefit/internal/packing"
+	"cubefit/internal/stats"
 )
 
 // DefaultRedLine is the default slack threshold below which a server is
@@ -106,6 +107,9 @@ type Auditor struct {
 	// the cache may be stale (the arg-min entry itself changed).
 	minServer int
 	minValid  bool
+
+	// scratch is reused by Summary for the median selection.
+	scratch []float64
 }
 
 // New creates an auditor over the placement with the given red-line
@@ -339,6 +343,50 @@ func (a *Auditor) Aggregates() (min Entry, below, overloaded int, overloadEvents
 	return cloneEntry(min), a.below, a.overloaded, a.overloadEvents
 }
 
+// Summary is the aggregate slice of a Report: the gauges the service
+// layer exports after every mutation, without the per-server entries.
+type Summary struct {
+	MinServer      int
+	MinSlack       float64
+	P50Slack       float64
+	RedLine        float64
+	BelowRedLine   int
+	Overloaded     int
+	OverloadEvents uint64
+}
+
+// Summary returns the placement-wide aggregates without materializing or
+// cloning per-server entries. The median runs over a reused scratch
+// buffer with an O(n) selection, so calling it once per admission group
+// commit stays off the hot path's allocation profile (unlike Report,
+// which builds the full per-server view).
+func (a *Auditor) Summary() Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drainLocked()
+	s := Summary{
+		MinServer:      -1,
+		MinSlack:       1,
+		P50Slack:       1,
+		RedLine:        a.redline,
+		BelowRedLine:   a.below,
+		Overloaded:     a.overloaded,
+		OverloadEvents: a.overloadEvents,
+	}
+	min, ok := a.minLocked()
+	if !ok {
+		return s
+	}
+	s.MinServer = min.Server
+	s.MinSlack = min.Slack
+	a.scratch = a.scratch[:0]
+	for i := range a.entries {
+		a.scratch = append(a.scratch, a.entries[i].Slack)
+	}
+	s.P50Slack = p50InPlace(a.scratch)
+	return s
+}
+
 // Report audits every queued server and returns the consistent
 // placement-wide view.
 func (a *Auditor) Report() Report {
@@ -397,6 +445,28 @@ func sortBySlack(entries []Entry) {
 		}
 		return entries[i].Server < entries[j].Server
 	})
+}
+
+// p50InPlace returns the median with the same tie semantics as p50 but
+// via O(n) selection, reordering xs.
+func p50InPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	mid := len(xs) / 2
+	hi, _ := stats.OrderStatInPlace(xs, mid)
+	if len(xs)%2 == 1 {
+		return hi
+	}
+	// After selection, xs[:mid] holds every element at or below the mid
+	// order statistic, so its maximum is the (mid−1)-th.
+	lo := xs[0]
+	for _, v := range xs[1:mid] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
 }
 
 // p50 returns the median slack of the entries (1 when empty).

@@ -363,3 +363,50 @@ func TestContributors(t *testing.T) {
 		t.Fatal("Contributors with absent peer should fail")
 	}
 }
+
+// TestSummaryMatchesReport: the allocation-light Summary the service
+// layer polls after every group commit must agree with the full Report
+// at every step of a mixed admit/depart run.
+func TestSummaryMatchesReport(t *testing.T) {
+	cf, err := core.New(core.Config{Gamma: 3, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := headroom.New(cf.Placement(), 0)
+	cf.SetRecorder(a)
+
+	r := rng.New(20260808)
+	var live []packing.TenantID
+	next := packing.TenantID(1)
+	for op := 0; op < 300; op++ {
+		if len(live) > 0 && r.Float64() < 0.35 {
+			i := r.Intn(len(live))
+			if err := cf.Remove(live[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			id := next
+			next++
+			if err := cf.Place(packing.Tenant{ID: id, Load: 0.01 + 0.94*r.Float64(), Clients: 8}); err == nil {
+				live = append(live, id)
+			}
+		}
+		s := a.Summary()
+		rep := a.Report()
+		_, _, _, events := a.Aggregates()
+		want := headroom.Summary{
+			MinServer:      rep.MinServer,
+			MinSlack:       rep.MinSlack,
+			P50Slack:       rep.P50Slack,
+			RedLine:        rep.RedLine,
+			BelowRedLine:   rep.BelowRedLine,
+			Overloaded:     rep.Overloaded,
+			OverloadEvents: events,
+		}
+		if s != want {
+			t.Fatalf("op %d: Summary %+v, Report-derived %+v", op, s, want)
+		}
+	}
+}

@@ -107,10 +107,11 @@ func Replay(events []obs.Event, gamma int, redline float64, fn func(Point)) (*pa
 func applyEvent(p *packing.Placement, e obs.Event) error {
 	switch e.Kind {
 	case obs.KindAttempt:
-		// Size on the attempt is the tenant load. Re-registration of an
-		// identical tenant (a duplicate admission attempt) is idempotent;
-		// the engine's reject closes it without further mutation.
-		t := packing.Tenant{ID: packing.TenantID(e.Tenant), Load: e.Size}
+		// Size on the attempt is the tenant load, Clients its client count.
+		// Re-registration of an identical tenant (a duplicate admission
+		// attempt) is idempotent; the engine's reject closes it without
+		// further mutation.
+		t := packing.Tenant{ID: packing.TenantID(e.Tenant), Load: e.Size, Clients: e.Clients}
 		if _, known := p.Tenant(t.ID); known {
 			return nil
 		}
@@ -132,10 +133,18 @@ func applyEvent(p *packing.Placement, e obs.Event) error {
 		for p.NumServers() <= e.Server {
 			p.OpenServer()
 		}
+		// Place events carry no client count; recover it from the attempt's
+		// registration with the engines' round-robin split, so replayed
+		// placements match live trace.Capture snapshots byte for byte.
+		clients := 0
+		if t, ok := p.Tenant(packing.TenantID(e.Tenant)); ok {
+			clients = packing.ReplicaClients(t.Clients, p.Gamma(), e.Replica)
+		}
 		return p.Place(e.Server, packing.Replica{
-			Tenant: packing.TenantID(e.Tenant),
-			Index:  e.Replica,
-			Size:   e.Size,
+			Tenant:  packing.TenantID(e.Tenant),
+			Index:   e.Replica,
+			Size:    e.Size,
+			Clients: clients,
 		})
 	case obs.KindRollback:
 		// A rollback only unplaces: a first-stage retreat keeps the

@@ -106,10 +106,13 @@ type Event struct {
 	Counter int       `json:"counter"`
 	Digits  []int     `json:"digits,omitempty"`
 	Size    float64   `json:"size,omitempty"`
-	Level   float64   `json:"level,omitempty"`
-	Probes  int       `json:"probes,omitempty"`
-	Path    string    `json:"path,omitempty"`
-	Reason  string    `json:"reason,omitempty"`
+	// Clients is the tenant's concurrent client count, carried on attempt
+	// events so a replayed log reconstructs client routing exactly.
+	Clients int     `json:"clients,omitempty"`
+	Level   float64 `json:"level,omitempty"`
+	Probes  int     `json:"probes,omitempty"`
+	Path    string  `json:"path,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
 }
 
 // NewEvent returns an event of the given kind with every identity field

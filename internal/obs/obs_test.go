@@ -61,6 +61,45 @@ func TestRingWraparound(t *testing.T) {
 	}
 }
 
+// TestRingSnapshotConsistent races a writer against Snapshot readers: the
+// returned total must always match the newest returned event, which two
+// separate Total/Last lock acquisitions cannot guarantee.
+func TestRingSnapshotConsistent(t *testing.T) {
+	r := NewRing(16)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := NewEvent(KindProbe)
+			e.Seq = uint64(i) // stand-in for the Stamp wrapper
+			r.Record(e)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		total, events := r.Snapshot(4)
+		if total == 0 {
+			if len(events) != 0 {
+				t.Fatalf("total 0 with %d events", len(events))
+			}
+			continue
+		}
+		if len(events) == 0 {
+			t.Fatalf("total %d with no events", total)
+		}
+		if newest := events[len(events)-1].Seq; newest != total {
+			t.Fatalf("snapshot skewed: total %d, newest seq %d", total, newest)
+		}
+	}
+	close(stop)
+	<-done
+}
+
 func TestRingBeforeWrap(t *testing.T) {
 	r := NewRing(8)
 	for i := 0; i < 3; i++ {

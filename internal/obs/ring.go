@@ -48,6 +48,19 @@ func (r *Ring) Events() []Event {
 func (r *Ring) Last(n int) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.lastLocked(n)
+}
+
+// Snapshot returns the all-time event total together with up to n of the
+// most recent events, read under one lock acquisition so the pair is
+// mutually consistent even while writers are recording.
+func (r *Ring) Snapshot(n int) (total uint64, events []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.lastLocked(n)
+}
+
+func (r *Ring) lastLocked(n int) []Event {
 	stored := len(r.buf)
 	if n < 0 || n > stored {
 		n = stored

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// walBufferSize is the in-memory staging buffer of a WAL. Events are
+// encoded into it as they are recorded and reach the underlying writer in
+// one burst per Sync (group commit); bufio flushes early only when a
+// batch outgrows the buffer.
+const walBufferSize = 1 << 20
+
+// ErrWALClosed is the sticky error of a WAL that was closed; admissions
+// recorded afterwards are rejected, not silently dropped.
+var ErrWALClosed = errors.New("obs: wal closed")
+
+// Syncer is the durability hook of a WAL's underlying writer. *os.File
+// implements it; writers without a Sync method (buffers in tests) are
+// treated as durable on flush.
+type Syncer interface {
+	Sync() error
+}
+
+// WAL is a write-ahead sink for the decision event stream: events are
+// JSON-encoded into an in-memory buffer as the engines emit them, and a
+// group commit (Sync) pushes the accumulated batch to the underlying
+// writer and fsyncs it before the admissions it covers are acked.
+//
+// Error handling is sticky and fail-closed: after the first write, flush,
+// or sync error every subsequent Record is dropped and every Sync returns
+// the original error, so a full disk surfaces as failed admissions rather
+// than an event log silently missing its tail. Err exposes the state for
+// callers that want to refuse work before mutating anything.
+//
+// WAL is safe for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	sync Syncer // nil when the writer has no Sync method
+	cl   io.Closer
+	// n counts events accepted into the buffer; synced counts events
+	// covered by a completed Sync, i.e. durable.
+	n      uint64
+	synced uint64
+	err    error
+}
+
+// NewWAL returns a write-ahead sink over w. If w implements Syncer
+// (*os.File does), Sync pushes flushed bytes to stable storage; if it
+// implements io.Closer, Close closes it after the final flush.
+func NewWAL(w io.Writer) *WAL {
+	wal := &WAL{bw: bufio.NewWriterSize(w, walBufferSize)}
+	if s, ok := w.(Syncer); ok {
+		wal.sync = s
+	}
+	if c, ok := w.(io.Closer); ok {
+		wal.cl = c
+	}
+	return wal
+}
+
+// OpenWAL opens (creating if needed) the write-ahead log at path for
+// appending. Recovery reads the existing contents before the server
+// starts appending new events to the same file.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open wal: %w", err)
+	}
+	return NewWAL(f), nil
+}
+
+// Record implements Recorder: the event is encoded into the staging
+// buffer. It only becomes durable once a subsequent Sync completes.
+func (w *WAL) Record(e Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := encodeEvent(w.bw, e); err != nil {
+		w.err = fmt.Errorf("obs: wal write: %w", err)
+		return
+	}
+	w.n++
+}
+
+// encodeEvent writes one event as a JSON line. A fresh json.Encoder per
+// call would allocate; the WAL is not on the engines' allocation-free
+// path (it exists for durability, and encoding dominates), so the
+// straightforward form is fine.
+func encodeEvent(bw *bufio.Writer, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.WriteByte('\n')
+}
+
+// Sync is the group commit: it flushes the staging buffer and syncs the
+// underlying writer, making every previously recorded event durable. It
+// returns the sticky error, if any, so callers can refuse to ack
+// admissions whose events may not have reached stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("obs: wal flush: %w", err)
+		return w.err
+	}
+	if w.sync != nil {
+		if err := w.sync.Sync(); err != nil {
+			w.err = fmt.Errorf("obs: wal sync: %w", err)
+			return w.err
+		}
+	}
+	w.synced = w.n
+	return nil
+}
+
+// Err returns the sticky error, if any. A non-nil value means events have
+// been or would be dropped: callers on the admission path must fail
+// closed rather than proceed unlogged.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Count returns the number of events accepted into the log, durable or
+// still staged.
+func (w *WAL) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Synced returns the number of events made durable by a completed Sync.
+func (w *WAL) Synced() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
+}
+
+// maxWALLine bounds one encoded event when scanning a log back in; events
+// are a few hundred bytes, so 1 MiB leaves generous slack for long Reason
+// strings and digit expansions.
+const maxWALLine = 1 << 20
+
+// ReadWAL decodes a write-ahead log, tolerating a torn final record: a
+// crash (or a buffer flush racing a kill) can leave the last line
+// truncated mid-JSON, and that tail belongs to an admission that was
+// never acked, so it is dropped rather than failing recovery. torn
+// reports whether a tail was discarded. Malformed records anywhere before
+// the final line still fail, because they indicate corruption rather
+// than a clean truncation.
+func ReadWAL(r io.Reader) (events []Event, torn bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxWALLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if uerr := json.Unmarshal(raw, &e); uerr != nil {
+			// A parse failure on the final line is a torn tail; anywhere
+			// earlier it is corruption.
+			if sc.Scan() {
+				return nil, false, fmt.Errorf("obs: wal record %d: %w", line, uerr)
+			}
+			if serr := sc.Err(); serr != nil {
+				return nil, false, fmt.Errorf("obs: wal read: %w", serr)
+			}
+			return events, true, nil
+		}
+		events = append(events, e)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, false, fmt.Errorf("obs: wal read: %w", serr)
+	}
+	return events, false, nil
+}
+
+// RepairWAL truncates a torn tail off the log at path, returning the
+// number of bytes removed. Encoded events never contain a raw newline, so
+// a torn record is exactly the suffix after the last newline; cutting it
+// lets a recovered server append fresh records without gluing them onto
+// the partial line (which would read back as mid-file corruption). A
+// missing file repairs to nothing.
+func RepairWAL(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("obs: repair wal: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, fmt.Errorf("obs: repair wal: %w", err)
+	}
+	// Scan backwards for the last newline in chunks.
+	buf := make([]byte, 64*1024)
+	end := size
+	for end > 0 {
+		start := end - int64(len(buf))
+		if start < 0 {
+			start = 0
+		}
+		n := int(end - start)
+		if _, err := f.ReadAt(buf[:n], start); err != nil {
+			return 0, fmt.Errorf("obs: repair wal: %w", err)
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep := start + int64(i) + 1
+				if keep == size {
+					return 0, nil
+				}
+				if err := f.Truncate(keep); err != nil {
+					return 0, fmt.Errorf("obs: repair wal: %w", err)
+				}
+				return size - keep, f.Sync()
+			}
+		}
+		end = start
+	}
+	// No newline at all: the whole file is one torn record.
+	if size == 0 {
+		return 0, nil
+	}
+	if err := f.Truncate(0); err != nil {
+		return 0, fmt.Errorf("obs: repair wal: %w", err)
+	}
+	return size, f.Sync()
+}
+
+// Close performs a final group commit and closes the underlying writer
+// (when it is closable). Further records are dropped and syncs report
+// ErrWALClosed; the first close's outcome is returned to every caller.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if errors.Is(w.err, ErrWALClosed) {
+		return nil
+	}
+	err := w.syncLocked()
+	if w.cl != nil {
+		if cerr := w.cl.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("obs: wal close: %w", cerr)
+		}
+	}
+	if w.err == nil || err == nil {
+		w.err = ErrWALClosed
+	}
+	return err
+}

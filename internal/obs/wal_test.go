@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// walEvent builds a minimal admit-shaped event for WAL tests.
+func walEvent(tenant int) Event {
+	e := NewEvent(KindAdmit)
+	e.Tenant = tenant
+	e.Path = "regular"
+	return e
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for i := 0; i < 5; i++ {
+		w.Record(walEvent(i))
+	}
+	if got := w.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := w.Synced(); got != 0 {
+		t.Fatalf("Synced = %d before Sync, want 0", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Synced(); got != 5 {
+		t.Fatalf("Synced = %d, want 5", got)
+	}
+	events, torn, err := ReadWAL(&buf)
+	if err != nil || torn {
+		t.Fatalf("ReadWAL: events=%d torn=%v err=%v", len(events), torn, err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("read %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Tenant != i || e.Kind != KindAdmit {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+// failAfter fails every write once n bytes have been accepted.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWALStickyError(t *testing.T) {
+	w := NewWAL(&failAfter{n: 64})
+	// Overflow the 1 MiB staging buffer so the failing writer is reached.
+	big := walEvent(1)
+	big.Reason = strings.Repeat("x", walBufferSize)
+	w.Record(big)
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync on a full disk succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err is nil after failed sync")
+	}
+	// Sticky: later records are dropped and later syncs keep failing.
+	before := w.Count()
+	w.Record(walEvent(2))
+	if w.Count() != before {
+		t.Fatal("Record accepted an event after a sticky error")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync cleared a sticky error")
+	}
+}
+
+// syncCounter counts Sync calls to prove group commit batches them.
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncCounter) Sync() error {
+	s.syncs++
+	return nil
+}
+
+func TestWALSyncsUnderlyingWriter(t *testing.T) {
+	var sc syncCounter
+	w := NewWAL(&sc)
+	for i := 0; i < 100; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.syncs != 1 {
+		t.Fatalf("underlying Sync called %d times for one group commit", sc.syncs)
+	}
+	events, _, err := ReadWAL(&sc.Buffer)
+	if err != nil || len(events) != 100 {
+		t.Fatalf("read back %d events, err=%v", len(events), err)
+	}
+}
+
+func TestWALConcurrentRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Record(walEvent(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	events, torn, err := ReadWAL(&buf)
+	if err != nil || torn {
+		t.Fatalf("ReadWAL: torn=%v err=%v", torn, err)
+	}
+	if len(events) != 8*200 {
+		t.Fatalf("read %d events, want %d", len(events), 8*200)
+	}
+}
+
+func TestReadWALTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for i := 0; i < 3; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: truncate the log inside the last record.
+	data := buf.Bytes()
+	data = data[:len(data)-10]
+	events, torn, err := ReadWAL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("truncated tail not reported as torn")
+	}
+	if len(events) != 2 {
+		t.Fatalf("recovered %d events from torn log, want 2", len(events))
+	}
+}
+
+func TestReadWALCorruptionMidFile(t *testing.T) {
+	log := `{"kind":"admit","tenant":1}
+not json at all
+{"kind":"admit","tenant":2}
+`
+	if _, _, err := ReadWAL(strings.NewReader(log)); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestWALFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is sticky too: the file must not accept unlogged admissions.
+	w.Record(walEvent(99))
+	if err := w.Sync(); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Sync after Close = %v, want ErrWALClosed", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, torn, err := ReadWAL(f)
+	if err != nil || torn {
+		t.Fatalf("ReadWAL: torn=%v err=%v", torn, err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("read %d events, want 10", len(events))
+	}
+	// Reopening appends rather than truncating.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Record(walEvent(10))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	events, _, err = ReadWAL(f2)
+	if err != nil || len(events) != 11 {
+		t.Fatalf("after append: %d events, err=%v", len(events), err)
+	}
+}
+
+func TestRepairWAL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for i := 0; i < 3; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+
+	// A clean log repairs to itself.
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := RepairWAL(path); err != nil || n != 0 {
+		t.Fatalf("clean log: trimmed %d, err %v", n, err)
+	}
+
+	// A torn tail is cut at the last newline, leaving a parseable log the
+	// server can append to.
+	if err := os.WriteFile(path, whole[:len(whole)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := RepairWAL(path); err != nil || n == 0 {
+		t.Fatalf("torn log: trimmed %d, err %v", n, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, torn, err := ReadWAL(bytes.NewReader(data))
+	if err != nil || torn || len(events) != 2 {
+		t.Fatalf("after repair: %d events, torn=%v, err=%v", len(events), torn, err)
+	}
+
+	// A file that is one giant torn record repairs to empty; a missing
+	// file repairs to nothing.
+	if err := os.WriteFile(path, []byte(`{"kind":"adm`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := RepairWAL(path); err != nil || n != 12 {
+		t.Fatalf("headless log: trimmed %d, err %v", n, err)
+	}
+	if n, err := RepairWAL(filepath.Join(t.TempDir(), "absent")); err != nil || n != 0 {
+		t.Fatalf("missing log: trimmed %d, err %v", n, err)
+	}
+}

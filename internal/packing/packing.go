@@ -344,16 +344,25 @@ func (p *Placement) Replicas(t Tenant) []Replica {
 func (p *Placement) ReplicasInto(t Tenant, buf []Replica) []Replica {
 	size := p.ReplicaSize(t)
 	out := buf[:0]
-	base := t.Clients / p.gamma
-	extra := t.Clients % p.gamma
 	for i := 0; i < p.gamma; i++ {
-		c := base
-		if i < extra {
-			c++
-		}
-		out = append(out, Replica{Tenant: t.ID, Index: i, Size: size, Clients: c})
+		out = append(out, Replica{
+			Tenant: t.ID, Index: i, Size: size,
+			Clients: ReplicaClients(t.Clients, p.gamma, i),
+		})
 	}
 	return out
+}
+
+// ReplicaClients returns the client count routed to replica index of a
+// tenant with the given total clients under γ-replication: clients are
+// distributed round-robin, so the first clients%gamma replicas carry one
+// extra. Event-log replay uses it to reconstruct routing exactly.
+func ReplicaClients(clients, gamma, index int) int {
+	c := clients / gamma
+	if index < clients%gamma {
+		c++
+	}
+	return c
 }
 
 // Place puts replica r of a registered tenant onto server sid. It enforces

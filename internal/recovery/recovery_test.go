@@ -1,0 +1,229 @@
+package recovery
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cubefit/internal/clock"
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+	"cubefit/internal/trace"
+	"cubefit/internal/workload"
+)
+
+// driveEngine runs a deterministic mixed workload — client-derived loads,
+// explicit loads, a duplicate admission, an invalid load, departures —
+// against a fresh engine, recording into rec when non-nil.
+func driveEngine(t *testing.T, cfg core.Config, rec obs.Recorder) *core.CubeFit {
+	t.Helper()
+	cf, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		cf.SetRecorder(rec)
+	}
+	model := workload.DefaultLoadModel()
+	id := 0
+	for i := 1; i <= 30; i++ {
+		clients := 1 + (i*7)%15
+		tn := packing.Tenant{ID: packing.TenantID(id), Load: model.Load(clients), Clients: clients}
+		if err := cf.Place(tn); err != nil {
+			t.Fatalf("place %d: %v", id, err)
+		}
+		id++
+	}
+	for i := 0; i < 10; i++ {
+		tn := packing.Tenant{ID: packing.TenantID(id), Load: 0.05 + float64(i)*0.07}
+		if err := cf.Place(tn); err != nil {
+			t.Fatalf("place %d: %v", id, err)
+		}
+		id++
+	}
+	// A duplicate admission and an invalid load: both rejected, both logged.
+	if err := cf.Place(packing.Tenant{ID: 0, Load: 0.3}); err == nil {
+		t.Fatal("duplicate admission succeeded")
+	}
+	if err := cf.Place(packing.Tenant{ID: packing.TenantID(id), Load: 1.5}); err == nil {
+		t.Fatal("overload admission succeeded")
+	}
+	id++
+	for _, victim := range []int{3, 17, 31} {
+		if err := cf.Remove(packing.TenantID(victim)); err != nil {
+			t.Fatalf("remove %d: %v", victim, err)
+		}
+	}
+	// Refill after departures so recovery exercises slot reuse.
+	for i := 0; i < 5; i++ {
+		tn := packing.Tenant{ID: packing.TenantID(id), Load: 0.11, Clients: 4}
+		if err := cf.Place(tn); err != nil {
+			t.Fatalf("place %d: %v", id, err)
+		}
+		id++
+	}
+	return cf
+}
+
+func TestRebuildReproducesExactState(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	var buf bytes.Buffer
+	wal := obs.NewWAL(&buf)
+	live := driveEngine(t, cfg, obs.Stamp(clock.NewFake(time.Unix(0, 0)), wal))
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, torn, err := obs.ReadWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil || torn {
+		t.Fatalf("ReadWAL: torn=%v err=%v", torn, err)
+	}
+	rebuilt, st, err := Rebuild(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 45 || st.Rejected != 2 || st.Departed != 3 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got, want := trace.Capture(rebuilt.Placement()), trace.Capture(live.Placement()); !reflect.DeepEqual(got, want) {
+		t.Fatal("rebuilt snapshot differs from live snapshot")
+	}
+	if got, want := rebuilt.Stats(), live.Stats(); got != want {
+		t.Fatalf("rebuilt Stats %+v, live %+v", got, want)
+	}
+	if err := Verify(rebuilt, events); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuilt engine must keep behaving identically: admitting the
+	// same next tenant lands it on the same servers.
+	next := packing.Tenant{ID: 999, Load: 0.21, Clients: 6}
+	if err := live.Place(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Place(next); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.Placement().TenantHosts(999), live.Placement().TenantHosts(999); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery placement diverged: %v vs %v", got, want)
+	}
+}
+
+func TestRebuildDropsUncommittedTail(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	var buf bytes.Buffer
+	wal := obs.NewWAL(&buf)
+	live := driveEngine(t, cfg, obs.Stamp(clock.NewFake(time.Unix(0, 0)), wal))
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := obs.ReadWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-admission: the attempt (and a partial placement) hit the
+	// log but the closing admit never did. Recovery must not ack it.
+	open := obs.NewEvent(obs.KindAttempt)
+	open.Tenant = 777
+	open.Size = 0.4
+	place := obs.NewEvent(obs.KindStage1Place)
+	place.Tenant = 777
+	place.Replica = 0
+	place.Server = 0
+	place.Size = 0.2
+	tail := append(append([]obs.Event{}, events...), open, place)
+
+	rebuilt, st, err := Rebuild(tail, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", st.Dropped)
+	}
+	if _, exists := rebuilt.Placement().Tenant(777); exists {
+		t.Fatal("uncommitted admission resurrected by recovery")
+	}
+	if got, want := trace.Capture(rebuilt.Placement()), trace.Capture(live.Placement()); !reflect.DeepEqual(got, want) {
+		t.Fatal("rebuilt snapshot differs after dropping uncommitted tail")
+	}
+	if err := Verify(rebuilt, tail); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFileTornTail(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	var buf bytes.Buffer
+	wal := obs.NewWAL(&buf)
+	driveEngine(t, cfg, obs.Stamp(clock.NewFake(time.Unix(0, 0)), wal))
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	// Tear the final record in half, as an interrupted write would.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, st, err := FromFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFileMissingLogIsFresh(t *testing.T) {
+	cfg := core.Config{Gamma: 3, K: 10}
+	cf, st, err := FromFile(filepath.Join(t.TempDir(), "absent.jsonl"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (Stats{}) {
+		t.Fatalf("stats = %+v, want zero", st)
+	}
+	if cf.Placement().NumTenants() != 0 {
+		t.Fatal("fresh engine is not empty")
+	}
+}
+
+func TestRebuildRejectsGammaMismatch(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	var buf bytes.Buffer
+	wal := obs.NewWAL(&buf)
+	driveEngine(t, cfg, wal)
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := obs.ReadWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Rebuild(events, core.Config{Gamma: 3, K: 10}); err == nil ||
+		!strings.Contains(err.Error(), "γ=2") {
+		t.Fatalf("gamma mismatch not detected: %v", err)
+	}
+}
+
+func TestExtractOpsRejectsInterleavedLog(t *testing.T) {
+	a1 := obs.NewEvent(obs.KindAttempt)
+	a1.Tenant = 1
+	a1.Size = 0.2
+	a2 := obs.NewEvent(obs.KindAttempt)
+	a2.Tenant = 2
+	a2.Size = 0.2
+	closeBoth := obs.NewEvent(obs.KindAdmit)
+	closeBoth.Tenant = 1
+	if _, err := extractOps([]obs.Event{a1, a2, closeBoth}); err == nil {
+		t.Fatal("interleaved attempts accepted")
+	}
+}

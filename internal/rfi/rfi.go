@@ -153,6 +153,7 @@ func (a *RFI) Place(t packing.Tenant) error {
 		e := obs.NewEvent(obs.KindAttempt)
 		e.Tenant = int(t.ID)
 		e.Size = t.Load
+		e.Clients = t.Clients
 		a.emit(e)
 	}
 	if err := a.p.AddTenant(t); err != nil {
