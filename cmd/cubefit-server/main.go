@@ -171,12 +171,16 @@ func newServer(args []string) (*http.Server, options, error) {
 			"rejected", rstats.Rejected, "departed", rstats.Departed,
 			"dropped", rstats.Dropped, "torn", rstats.Torn,
 			"tenants", cf.Placement().NumTenants())
-		// Cut any torn tail before appending: new records glued onto a
-		// partial line would read back as mid-file corruption next boot.
-		if trimmed, terr := obs.RepairWAL(*walPath); terr != nil {
-			return nil, options{}, fmt.Errorf("wal repair: %w", terr)
+		// Cut the uncommitted suffix before appending. Complete event
+		// lines past the last committed admit/reject/depart (left by a
+		// bufio auto-flush that outran its group commit) and any torn
+		// partial record were dropped by recovery; left in the file, fresh
+		// records would append after them and the next boot would read an
+		// interleaved, unreplayable log.
+		if trimmed, terr := obs.TruncateWAL(*walPath, rstats.CommittedBytes); terr != nil {
+			return nil, options{}, fmt.Errorf("wal truncate: %w", terr)
 		} else if trimmed > 0 {
-			slog.Info("wal torn tail truncated", "path", *walPath, "bytes", trimmed)
+			slog.Info("wal uncommitted suffix truncated", "path", *walPath, "bytes", trimmed)
 		}
 		wal, werr := obs.OpenWAL(*walPath)
 		if werr != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"cubefit/internal/obs"
 )
 
 func TestNewServerDefaults(t *testing.T) {
@@ -262,6 +265,99 @@ func TestWALBootCycle(t *testing.T) {
 	}
 	if vresp := getOK(t, ts2, "/v1/validate"); !strings.Contains(vresp, "true") {
 		t.Fatalf("recovered placement invalid: %s", vresp)
+	}
+}
+
+// TestWALBootCycleAfterUncommittedSuffix is the crash-then-restart-twice
+// regression: a crash can leave complete-but-uncommitted event lines in
+// the log (a bufio auto-flush without its closing admit). The first boot
+// must drop AND truncate them — if it only dropped them, its own appended
+// records would land after the stale suffix and the second boot would
+// read an interleaved log and refuse to start.
+func TestWALBootCycleAfterUncommittedSuffix(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.jsonl")
+	args := []string{"-wal", walPath, "-gamma", "2", "-k", "10"}
+
+	srv1, opts1, err := newServer(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler)
+	for i := 0; i < 10; i++ {
+		body := strings.NewReader(fmt.Sprintf(`{"id":%d,"load":0.2}`, i))
+		resp, err := ts1.Client().Post(ts1.URL+"/v1/tenants", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 201 {
+			t.Fatalf("place %d: status %d", i, resp.StatusCode)
+		}
+	}
+	ts1.Close()
+	if err := opts1.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: an attempt and a partial placement reached the
+	// file as complete lines, the closing admit never did.
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := obs.NewEvent(obs.KindAttempt)
+	open.Tenant = 777
+	open.Size = 0.4
+	place := obs.NewEvent(obs.KindStage1Place)
+	place.Tenant = 777
+	place.Replica = 0
+	place.Server = 0
+	place.Size = 0.4
+	enc := json.NewEncoder(f)
+	for _, e := range []obs.Event{open, place} {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2 recovers (dropping the suffix) and keeps admitting.
+	srv2, opts2, err := newServer(args)
+	if err != nil {
+		t.Fatalf("boot after crash: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	resp, err := ts2.Client().Post(ts2.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"id":100,"load":0.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("post-recovery admission status %d", resp.StatusCode)
+	}
+	snap2 := getOK(t, ts2, "/v1/placement")
+	ts2.Close()
+	if err := opts2.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 3 is the regression: the log must still replay cleanly after
+	// boot 2 appended past the (now truncated) uncommitted suffix.
+	srv3, opts3, err := newServer(args)
+	if err != nil {
+		t.Fatalf("second restart refused the log: %v", err)
+	}
+	ts3 := httptest.NewServer(srv3.Handler)
+	defer ts3.Close()
+	defer opts3.ctrl.Close()
+	if snap3 := getOK(t, ts3, "/v1/placement"); snap3 != snap2 {
+		t.Fatalf("recovered placement differs:\nbefore: %s\nafter:  %s", snap2, snap3)
+	}
+	if strings.Contains(snap2, "\"id\":777") {
+		t.Fatal("uncommitted admission resurrected")
 	}
 }
 

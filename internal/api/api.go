@@ -135,7 +135,8 @@ type Option func(*Controller)
 // WithWAL attaches a write-ahead log: the decision event stream is
 // recorded to it and group-committed before admissions are acked, and a
 // sink error disables the admission path (fail closed) instead of
-// dropping events. Requires a recordable algorithm. The controller takes
+// dropping events. Requires a recordable algorithm that also implements
+// Remover, so a failed commit can be rolled back. The controller takes
 // ownership: Close performs the final commit and closes the log.
 func WithWAL(w *obs.WAL) Option {
 	return func(c *Controller) { c.wal = w }
@@ -169,8 +170,17 @@ func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Opti
 		})
 	}
 	rec, canRecord := alg.(recordable)
-	if c.wal != nil && !canRecord {
-		return nil, fmt.Errorf("api: %s does not record decision events; cannot attach a WAL", alg.Name())
+	if c.wal != nil {
+		if !canRecord {
+			return nil, fmt.Errorf("api: %s does not record decision events; cannot attach a WAL", alg.Name())
+		}
+		// A failed group commit is rolled back by removing the tenants the
+		// batch placed (placeJobs) or re-admitting a departed one
+		// (handleRemoveTenant); without Remove the 503s would lie about
+		// the in-memory state, so refuse the attachment up front.
+		if _, ok := alg.(Remover); !ok {
+			return nil, fmt.Errorf("api: %s does not support tenant removal; cannot attach a WAL (commit-failure rollback requires it)", alg.Name())
+		}
 	}
 	if canRecord {
 		// Flight recorder: one stamped stream tees into the in-memory
@@ -454,6 +464,8 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 			errorResponse{Error: "write-ahead log unavailable; mutations disabled"})
 		return
 	}
+	// Captured before removal so a failed WAL commit can re-admit it.
+	t, _ := c.alg.Placement().Tenant(id)
 	err := rem.Remove(id)
 	if err == nil {
 		c.snap = nil
@@ -471,6 +483,17 @@ func (c *Controller) handleRemoveTenant(w http.ResponseWriter, r *http.Request) 
 	// Departures are durable before they are acked, like admissions.
 	if c.wal != nil {
 		if werr := c.wal.Sync(); werr != nil {
+			// The depart event may not have reached stable storage, so the
+			// removal cannot be acked: re-admit the tenant and report 503,
+			// mirroring placeJobs' rollback, so reads keep serving the state
+			// the client was told. (If the flush landed but the fsync
+			// failed, recovery may still replay the departure — durability
+			// errs toward the log, never the ack.)
+			c.mu.Lock()
+			_ = c.alg.Place(t)
+			c.snap = nil
+			c.refreshHeadroom()
+			c.mu.Unlock()
 			writeJSON(w, http.StatusServiceUnavailable,
 				errorResponse{Error: "write-ahead log sync failed: " + werr.Error()})
 			return

@@ -162,7 +162,9 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 		// fsync failed, recovery may still resurrect these admissions from
 		// the log — durability errs toward the log, never the ack.)
 		msg := "write-ahead log sync failed: " + err.Error()
-		rem, canRemove := c.alg.(Remover)
+		// NewController refuses WAL attachment on algorithms without
+		// Remove, so the rollback is always available here.
+		rem := c.alg.(Remover)
 		c.mu.Lock()
 		for _, job := range jobs {
 			for i := range job.items {
@@ -171,9 +173,7 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 					it.status = http.StatusServiceUnavailable
 					it.err = msg
 					it.servers = nil
-					if canRemove {
-						_ = rem.Remove(it.tenant.ID)
-					}
+					_ = rem.Remove(it.tenant.ID)
 				}
 			}
 		}

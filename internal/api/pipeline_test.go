@@ -15,6 +15,7 @@ import (
 
 	"cubefit/internal/core"
 	"cubefit/internal/obs"
+	"cubefit/internal/packing"
 	"cubefit/internal/recovery"
 	"cubefit/internal/trace"
 	"cubefit/internal/workload"
@@ -328,6 +329,65 @@ func TestWALFailClosed(t *testing.T) {
 	}
 	if code := doJSON(t, "GET", srv.URL+"/v1/stats", nil, nil); code != 200 {
 		t.Fatalf("stats status %d", code)
+	}
+}
+
+// TestRemoveTenantWALSyncFailureRollsBack: a departure whose group commit
+// fails must be rolled back like a failed batch — the client gets 503 and
+// the tenant stays admitted, so reads never serve unacked state (and a
+// restart, which replays the log without the depart, agrees).
+func TestRemoveTenantWALSyncFailureRollsBack(t *testing.T) {
+	fw := &flakyWriter{}
+	srv, cf, _ := newEngineServer(t, WithWAL(obs.NewWAL(fw)))
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "clients": 5}, nil); code != 201 {
+		t.Fatalf("admission status %d", code)
+	}
+	fw.trip()
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/tenants/1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("delete status %d, want 503", resp.StatusCode)
+	}
+	// The unacked removal was rolled back: the tenant is still placed,
+	// with its load and client count intact, and the state validates.
+	tn, exists := cf.Placement().Tenant(1)
+	if !exists {
+		t.Fatal("tenant removed although the departure was acked 503")
+	}
+	if tn.Clients != 5 {
+		t.Fatalf("rolled-back tenant lost its shape: %+v", tn)
+	}
+	if err := cf.Placement().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/tenants/1", nil, nil); code != 200 {
+		t.Fatalf("read-your-503: GET tenant status %d, want 200", code)
+	}
+}
+
+// noDepart is recordable but cannot remove tenants: attaching a WAL to it
+// must be refused at construction, because the commit-failure rollback
+// depends on Remove.
+type noDepart struct{ cf *core.CubeFit }
+
+func (n noDepart) Name() string                  { return "no-depart" }
+func (n noDepart) Place(t packing.Tenant) error  { return n.cf.Place(t) }
+func (n noDepart) Placement() *packing.Placement { return n.cf.Placement() }
+func (n noDepart) SetRecorder(r obs.Recorder)    { n.cf.SetRecorder(r) }
+
+func TestWALRequiresRemover(t *testing.T) {
+	cf, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = NewController(noDepart{cf}, workload.DefaultLoadModel(), WithWAL(obs.NewWAL(&buf)))
+	if err == nil {
+		t.Fatal("WAL attached to an algorithm without Remove")
 	}
 }
 

@@ -49,6 +49,10 @@ type WAL struct {
 	n      uint64
 	synced uint64
 	err    error
+	// closed is tracked separately from the sticky err: a write error
+	// must not make Close lose its run-once guarantee (double-closing
+	// the underlying file) just because err already holds something.
+	closed bool
 }
 
 // NewWAL returns a write-ahead sink over w. If w implements Syncer
@@ -165,112 +169,118 @@ const maxWALLine = 1 << 20
 
 // ReadWAL decodes a write-ahead log, tolerating a torn final record: a
 // crash (or a buffer flush racing a kill) can leave the last line
-// truncated mid-JSON, and that tail belongs to an admission that was
-// never acked, so it is dropped rather than failing recovery. torn
-// reports whether a tail was discarded. Malformed records anywhere before
-// the final line still fail, because they indicate corruption rather
-// than a clean truncation.
+// truncated mid-JSON or missing its terminating newline, and that tail
+// belongs to an admission that was never acked, so it is dropped rather
+// than failing recovery. torn reports whether a tail was discarded.
+// Malformed records anywhere before the final line still fail, because
+// they indicate corruption rather than a clean truncation.
 func ReadWAL(r io.Reader) (events []Event, torn bool, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), maxWALLine)
+	events, _, torn, err = ReadWALOffsets(r)
+	return events, torn, err
+}
+
+// ReadWALOffsets decodes a write-ahead log like ReadWAL and additionally
+// reports each record's end position: ends[i] is the byte offset just
+// past event i's terminating newline, i.e. the size the file would have
+// if truncated immediately after that record. Recovery uses the offsets
+// to cut an uncommitted suffix at a record boundary (see TruncateWAL).
+//
+// The newline is part of the record: a final line without one — even a
+// tail that happens to parse as complete JSON — was torn mid-write and
+// is dropped, never trusted.
+func ReadWALOffsets(r io.Reader) (events []Event, ends []int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var off int64
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, false, fmt.Errorf("obs: wal read: %w", rerr)
+		}
 		if len(raw) == 0 {
+			// Clean EOF exactly at a record boundary.
+			return events, ends, false, nil
+		}
+		line++
+		if len(raw) > maxWALLine {
+			return nil, nil, false, fmt.Errorf("obs: wal record %d exceeds %d bytes", line, maxWALLine)
+		}
+		if rerr == io.EOF {
+			// Unterminated final chunk: torn regardless of content.
+			return events, ends, true, nil
+		}
+		off += int64(len(raw))
+		data := raw[:len(raw)-1]
+		if len(data) == 0 {
 			continue
 		}
 		var e Event
-		if uerr := json.Unmarshal(raw, &e); uerr != nil {
+		if uerr := json.Unmarshal(data, &e); uerr != nil {
 			// A parse failure on the final line is a torn tail; anywhere
 			// earlier it is corruption.
-			if sc.Scan() {
-				return nil, false, fmt.Errorf("obs: wal record %d: %w", line, uerr)
+			if _, perr := br.Peek(1); perr == io.EOF {
+				return events, ends, true, nil
 			}
-			if serr := sc.Err(); serr != nil {
-				return nil, false, fmt.Errorf("obs: wal read: %w", serr)
-			}
-			return events, true, nil
+			return nil, nil, false, fmt.Errorf("obs: wal record %d: %w", line, uerr)
 		}
 		events = append(events, e)
+		ends = append(ends, off)
 	}
-	if serr := sc.Err(); serr != nil {
-		return nil, false, fmt.Errorf("obs: wal read: %w", serr)
-	}
-	return events, false, nil
 }
 
-// RepairWAL truncates a torn tail off the log at path, returning the
-// number of bytes removed. Encoded events never contain a raw newline, so
-// a torn record is exactly the suffix after the last newline; cutting it
-// lets a recovered server append fresh records without gluing them onto
-// the partial line (which would read back as mid-file corruption). A
-// missing file repairs to nothing.
-func RepairWAL(path string) (int64, error) {
+// TruncateWAL cuts the log at path down to size bytes — the committed
+// prefix reported by recovery — and returns the number of bytes removed.
+// Cutting at the committed record boundary (not merely at the last
+// newline) discards complete-but-uncommitted event lines, e.g. an open
+// attempt left behind when a bufio auto-flush outran its group commit,
+// along with any torn partial record: appending fresh records after such
+// a suffix would read back as an interleaved (corrupt) log on the next
+// boot. A missing file is fine when size is 0; a file shorter than size
+// is an error, since the committed prefix must still be present.
+func TruncateWAL(path string, size int64) (int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if errors.Is(err, os.ErrNotExist) {
+	if errors.Is(err, os.ErrNotExist) && size == 0 {
 		return 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("obs: repair wal: %w", err)
+		return 0, fmt.Errorf("obs: truncate wal: %w", err)
 	}
 	defer f.Close()
-	size, err := f.Seek(0, io.SeekEnd)
+	cur, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
-		return 0, fmt.Errorf("obs: repair wal: %w", err)
+		return 0, fmt.Errorf("obs: truncate wal: %w", err)
 	}
-	// Scan backwards for the last newline in chunks.
-	buf := make([]byte, 64*1024)
-	end := size
-	for end > 0 {
-		start := end - int64(len(buf))
-		if start < 0 {
-			start = 0
-		}
-		n := int(end - start)
-		if _, err := f.ReadAt(buf[:n], start); err != nil {
-			return 0, fmt.Errorf("obs: repair wal: %w", err)
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				keep := start + int64(i) + 1
-				if keep == size {
-					return 0, nil
-				}
-				if err := f.Truncate(keep); err != nil {
-					return 0, fmt.Errorf("obs: repair wal: %w", err)
-				}
-				return size - keep, f.Sync()
-			}
-		}
-		end = start
+	if cur < size {
+		return 0, fmt.Errorf("obs: truncate wal: %s is %d bytes, shorter than committed prefix %d", path, cur, size)
 	}
-	// No newline at all: the whole file is one torn record.
-	if size == 0 {
+	if cur == size {
 		return 0, nil
 	}
-	if err := f.Truncate(0); err != nil {
-		return 0, fmt.Errorf("obs: repair wal: %w", err)
+	if err := f.Truncate(size); err != nil {
+		return 0, fmt.Errorf("obs: truncate wal: %w", err)
 	}
-	return size, f.Sync()
+	return cur - size, f.Sync()
 }
 
 // Close performs a final group commit and closes the underlying writer
 // (when it is closable). Further records are dropped and syncs report
-// ErrWALClosed; the first close's outcome is returned to every caller.
+// ErrWALClosed; the first Close reports the commit-and-close outcome and
+// later calls return nil — including when a sticky write error predates
+// the close, so a retried shutdown never double-closes the writer.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if errors.Is(w.err, ErrWALClosed) {
+	if w.closed {
 		return nil
 	}
+	w.closed = true
 	err := w.syncLocked()
 	if w.cl != nil {
 		if cerr := w.cl.Close(); err == nil && cerr != nil {
 			err = fmt.Errorf("obs: wal close: %w", cerr)
 		}
 	}
-	if w.err == nil || err == nil {
+	if w.err == nil {
 		w.err = ErrWALClosed
 	}
 	return err

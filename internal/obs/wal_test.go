@@ -225,7 +225,10 @@ func TestWALFileRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRepairWAL(t *testing.T) {
+// TestReadWALOffsets: ends[i] is the exact size the file would have if
+// truncated just past record i, so slicing the raw log at any offset
+// yields a clean prefix of exactly i+1 events.
+func TestReadWALOffsets(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWAL(&buf)
 	for i := 0; i < 3; i++ {
@@ -235,23 +238,76 @@ func TestRepairWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	whole := buf.Bytes()
+	events, ends, torn, err := ReadWALOffsets(bytes.NewReader(whole))
+	if err != nil || torn {
+		t.Fatalf("ReadWALOffsets: torn=%v err=%v", torn, err)
+	}
+	if len(events) != 3 || len(ends) != 3 {
+		t.Fatalf("got %d events, %d offsets, want 3/3", len(events), len(ends))
+	}
+	if ends[2] != int64(len(whole)) {
+		t.Fatalf("final offset %d, file size %d", ends[2], len(whole))
+	}
+	for i, end := range ends {
+		got, _, torn, err := ReadWALOffsets(bytes.NewReader(whole[:end]))
+		if err != nil || torn || len(got) != i+1 {
+			t.Fatalf("prefix to offset %d: %d events, torn=%v, err=%v (want %d)", end, len(got), torn, err, i+1)
+		}
+	}
+}
+
+// TestReadWALUnterminatedTail: the newline is part of the record, so a
+// final line lacking one is torn even when the JSON itself is complete —
+// its group commit never finished, so recovery must not trust it.
+func TestReadWALUnterminatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for i := 0; i < 3; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+	events, torn, err := ReadWAL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(events) != 2 {
+		t.Fatalf("unterminated tail: %d events, torn=%v, want 2 events torn", len(events), torn)
+	}
+}
+
+// TestTruncateWAL: the log is cut at the committed record boundary, so
+// complete-but-uncommitted lines are removed along with any torn tail.
+func TestTruncateWAL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	for i := 0; i < 3; i++ {
+		w.Record(walEvent(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	_, ends, _, err := ReadWALOffsets(bytes.NewReader(whole))
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(t.TempDir(), "wal.jsonl")
 
-	// A clean log repairs to itself.
+	// Truncating to the full size is a no-op.
 	if err := os.WriteFile(path, whole, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := RepairWAL(path); err != nil || n != 0 {
+	if n, err := TruncateWAL(path, int64(len(whole))); err != nil || n != 0 {
 		t.Fatalf("clean log: trimmed %d, err %v", n, err)
 	}
 
-	// A torn tail is cut at the last newline, leaving a parseable log the
-	// server can append to.
-	if err := os.WriteFile(path, whole[:len(whole)-10], 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if n, err := RepairWAL(path); err != nil || n == 0 {
-		t.Fatalf("torn log: trimmed %d, err %v", n, err)
+	// Cutting at the second record's boundary drops the third complete
+	// line, not just a partial tail.
+	if n, err := TruncateWAL(path, ends[1]); err != nil || n != int64(len(whole))-ends[1] {
+		t.Fatalf("trimmed %d, err %v, want %d", n, err, int64(len(whole))-ends[1])
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -259,18 +315,51 @@ func TestRepairWAL(t *testing.T) {
 	}
 	events, torn, err := ReadWAL(bytes.NewReader(data))
 	if err != nil || torn || len(events) != 2 {
-		t.Fatalf("after repair: %d events, torn=%v, err=%v", len(events), torn, err)
+		t.Fatalf("after truncate: %d events, torn=%v, err=%v", len(events), torn, err)
 	}
 
-	// A file that is one giant torn record repairs to empty; a missing
-	// file repairs to nothing.
-	if err := os.WriteFile(path, []byte(`{"kind":"adm`), 0o644); err != nil {
-		t.Fatal(err)
+	// A file shorter than the claimed committed prefix is an error; a
+	// missing file is fine only when nothing was committed.
+	if _, err := TruncateWAL(path, int64(len(whole))+100); err == nil {
+		t.Fatal("short file accepted")
 	}
-	if n, err := RepairWAL(path); err != nil || n != 12 {
-		t.Fatalf("headless log: trimmed %d, err %v", n, err)
-	}
-	if n, err := RepairWAL(filepath.Join(t.TempDir(), "absent")); err != nil || n != 0 {
+	absent := filepath.Join(t.TempDir(), "absent")
+	if n, err := TruncateWAL(absent, 0); err != nil || n != 0 {
 		t.Fatalf("missing log: trimmed %d, err %v", n, err)
+	}
+	if _, err := TruncateWAL(absent, 10); err == nil {
+		t.Fatal("missing log with committed bytes accepted")
+	}
+}
+
+// failingCloser rejects every write and counts closes, to prove Close
+// stays idempotent when a sticky error predates it.
+type failingCloser struct {
+	closes int
+}
+
+func (f *failingCloser) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+func (f *failingCloser) Close() error              { f.closes++; return nil }
+
+func TestWALCloseIdempotentAfterStickyError(t *testing.T) {
+	fc := &failingCloser{}
+	w := NewWAL(fc)
+	w.Record(walEvent(1))
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync on a failing writer succeeded")
+	}
+	// First Close reports the sticky outcome and closes the writer once.
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the sticky error")
+	}
+	if fc.closes != 1 {
+		t.Fatalf("underlying writer closed %d times, want 1", fc.closes)
+	}
+	// Second Close is a no-op: no re-flush, no double-close.
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if fc.closes != 1 {
+		t.Fatalf("underlying writer closed %d times after retry, want 1", fc.closes)
 	}
 }

@@ -45,6 +45,12 @@ type Stats struct {
 	// Torn reports that the log ended in a truncated record (a crash
 	// mid-write); the torn tail is discarded like any uncommitted suffix.
 	Torn bool
+	// CommittedBytes is the byte offset of the end of the last committed
+	// record in the log file (0 when nothing committed). Everything past
+	// it — dropped complete lines and any torn tail — was never acked and
+	// must be truncated (obs.TruncateWAL) before the server appends new
+	// records, or the next boot reads an interleaved log.
+	CommittedBytes int64
 }
 
 // op is one serialized engine operation extracted from the log.
@@ -69,7 +75,7 @@ func FromFile(path string, cfg core.Config) (*core.CubeFit, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("recovery: %w", err)
 	}
 	defer f.Close()
-	events, torn, err := obs.ReadWAL(f)
+	events, ends, torn, err := obs.ReadWALOffsets(f)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("recovery: %w", err)
 	}
@@ -78,6 +84,12 @@ func FromFile(path string, cfg core.Config) (*core.CubeFit, Stats, error) {
 		return nil, Stats{}, err
 	}
 	st.Torn = torn
+	// Rebuild set Events to the committed-prefix length, so the end offset
+	// of the last committed record is the byte size the log must shrink to
+	// before it is reopened for append.
+	if st.Events > 0 {
+		st.CommittedBytes = ends[st.Events-1]
+	}
 	if err := Verify(cf, events); err != nil {
 		return nil, Stats{}, err
 	}

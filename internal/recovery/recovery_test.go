@@ -182,6 +182,71 @@ func TestFromFileTornTail(t *testing.T) {
 	}
 }
 
+// TestFromFileCommittedBytes: recovery reports the byte offset of the
+// committed prefix, and truncating the file there removes an uncommitted
+// suffix of complete event lines (a bufio auto-flush that outran its
+// group commit) so the log replays cleanly on the following boot.
+func TestFromFileCommittedBytes(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	var buf bytes.Buffer
+	wal := obs.NewWAL(&buf)
+	driveEngine(t, cfg, obs.Stamp(clock.NewFake(time.Unix(0, 0)), wal))
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	committedSize := int64(buf.Len())
+	// Crash mid-admission after an auto-flush: the attempt and a partial
+	// placement are complete lines in the file, the closing admit is not.
+	open := obs.NewEvent(obs.KindAttempt)
+	open.Tenant = 777
+	open.Size = 0.4
+	place := obs.NewEvent(obs.KindStage1Place)
+	place.Tenant = 777
+	place.Replica = 0
+	place.Server = 0
+	place.Size = 0.4
+	suffixed := obs.NewWAL(&buf)
+	suffixed.Record(open)
+	suffixed.Record(place)
+	if err := suffixed.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf, st, err := FromFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", st.Dropped)
+	}
+	if st.CommittedBytes != committedSize {
+		t.Fatalf("CommittedBytes = %d, want %d", st.CommittedBytes, committedSize)
+	}
+	if _, exists := cf.Placement().Tenant(777); exists {
+		t.Fatal("uncommitted admission resurrected by recovery")
+	}
+
+	// The boot sequence truncates there; the trimmed log then recovers to
+	// the same state with nothing dropped — the next boot is clean.
+	if trimmed, err := obs.TruncateWAL(path, st.CommittedBytes); err != nil || trimmed == 0 {
+		t.Fatalf("TruncateWAL: trimmed %d, err %v", trimmed, err)
+	}
+	cf2, st2, err := FromFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Dropped != 0 || st2.CommittedBytes != committedSize {
+		t.Fatalf("after truncation: %+v", st2)
+	}
+	if got, want := trace.Capture(cf2.Placement()), trace.Capture(cf.Placement()); !reflect.DeepEqual(got, want) {
+		t.Fatal("truncated log recovers a different state")
+	}
+}
+
 func TestFromFileMissingLogIsFresh(t *testing.T) {
 	cfg := core.Config{Gamma: 3, K: 10}
 	cf, st, err := FromFile(filepath.Join(t.TempDir(), "absent.jsonl"), cfg)
