@@ -86,6 +86,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		//cubefit:vet-allow failclosed -- bench output opened read-only; closing it cannot lose data
 		defer f.Close()
 		in = f
 	}
@@ -99,8 +100,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		out = f
+		// The report is the command's durable artifact; the close error
+		// joins the encode result instead of vanishing.
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(rep)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

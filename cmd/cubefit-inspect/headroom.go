@@ -35,6 +35,7 @@ func runHeadroom(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	//cubefit:vet-allow failclosed -- event log opened read-only; closing it cannot lose data
 	defer f.Close()
 	events, err := obs.ReadJSONL(f)
 	if err != nil {

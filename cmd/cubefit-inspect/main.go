@@ -71,6 +71,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		//cubefit:vet-allow failclosed -- snapshot opened read-only; closing it cannot lose data
 		defer f.Close()
 		in = f
 	}
@@ -169,6 +170,7 @@ func runExplain(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	//cubefit:vet-allow failclosed -- event log opened read-only; closing it cannot lose data
 	defer f.Close()
 	events, err := obs.ReadJSONL(f)
 	if err != nil {
@@ -182,6 +184,7 @@ func runExplain(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		//cubefit:vet-allow failclosed -- snapshot opened read-only; closing it cannot lose data
 		defer sf.Close()
 		s, err := trace.Read(sf)
 		if err != nil {

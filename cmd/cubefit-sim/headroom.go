@@ -19,7 +19,7 @@ import (
 // each engine's placement. The curves contrast how much robustness margin
 // CubeFit's invariant keeps versus RFI's single-failure interleaving as
 // the cluster fills.
-func runHeadroomCurves(out io.Writer, path string, tenants, gamma, k int, mu float64, seed uint64) error {
+func runHeadroomCurves(out io.Writer, path string, tenants, gamma, k int, mu float64, seed uint64) (err error) {
 	model := workload.DefaultLoadModel()
 	cf, err := core.New(tracedConfig(gamma, k, model))
 	if err != nil {
@@ -47,9 +47,17 @@ func runHeadroomCurves(out io.Writer, path string, tenants, gamma, k int, mu flo
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
-	defer w.Flush()
+	defer func() {
+		// The CSV is the run's durable artifact: a dropped flush or close
+		// error would silently truncate it, so both join the result.
+		if ferr := w.Flush(); err == nil && ferr != nil {
+			err = fmt.Errorf("writing %s: %w", path, ferr)
+		}
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("writing %s: %w", path, cerr)
+		}
+	}()
 	if _, err := fmt.Fprintln(w,
 		"arrival,tenant,load,cubefit_min_slack,cubefit_servers,rfi_min_slack,rfi_servers"); err != nil {
 		return err

@@ -223,14 +223,18 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			if cerr := cpuFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "cubefit-sim: cpuprofile:", cerr)
+			}
 			return nil, err
 		}
 	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cubefit-sim: cpuprofile:", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -238,7 +242,11 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, "cubefit-sim: memprofile:", err)
 				return
 			}
-			defer f.Close()
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "cubefit-sim: memprofile:", err)
+				}
+			}()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "cubefit-sim: memprofile:", err)
@@ -264,7 +272,7 @@ func tracedConfig(gamma, k int, model workload.LoadModel) core.Config {
 // the flight recorder attached. eventsPath receives the decision event
 // stream as JSON lines; tracePath (optional) receives the final placement
 // snapshot. Either may be empty.
-func runTraced(out io.Writer, eventsPath, tracePath string, tenants, gamma, k int, seed uint64) error {
+func runTraced(out io.Writer, eventsPath, tracePath string, tenants, gamma, k int, seed uint64) (err error) {
 	model := workload.DefaultLoadModel()
 	cf, err := core.New(tracedConfig(gamma, k, model))
 	if err != nil {
@@ -277,9 +285,18 @@ func runTraced(out io.Writer, eventsPath, tracePath string, tenants, gamma, k in
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		bw := bufio.NewWriter(f)
-		defer bw.Flush()
+		defer func() {
+			// The event stream is the run's durable artifact: a dropped
+			// flush or close error would silently truncate it, so both
+			// join the function result.
+			if ferr := bw.Flush(); err == nil && ferr != nil {
+				err = fmt.Errorf("writing %s: %w", eventsPath, ferr)
+			}
+			if cerr := f.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("writing %s: %w", eventsPath, cerr)
+			}
+		}()
 		sink = obs.NewJSONL(bw)
 		cf.SetRecorder(obs.Stamp(clock.Real(), sink))
 	}
@@ -316,9 +333,13 @@ func runTraced(out io.Writer, eventsPath, tracePath string, tenants, gamma, k in
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := trace.Write(f, cf.Placement()); err != nil {
-			return fmt.Errorf("writing %s: %w", tracePath, err)
+		werr := trace.Write(f, cf.Placement())
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", tracePath, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("writing %s: %w", tracePath, cerr)
 		}
 		fmt.Fprintf(out, "  snapshot -> %s\n", tracePath)
 	}

@@ -10,17 +10,23 @@
 //
 // Usage:
 //
-//	cubefit-vet [-list] [-only name[,name]] [packages...]
+//	cubefit-vet [-list] [-only name[,name]] [-skip name[,name]] [-json] [-counts] [packages...]
 //
 // Patterns default to ./... and follow the go tool's directory syntax
-// (testdata and hidden directories are never matched). Findings can be
-// suppressed line-by-line with a `//cubefit:vet-allow analyzer -- reason`
-// comment on the finding's line or the line above.
+// (testdata and hidden directories are never matched). -json replaces the
+// plain-text findings with a single machine-readable report on stdout
+// (schema documented in API.md); -counts adds a per-analyzer finding
+// tally on stderr, which the CI lint job lifts into its summary. Findings
+// can be suppressed line-by-line with a
+// `//cubefit:vet-allow analyzer -- reason` comment on the finding's line
+// or the line above.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,16 +36,43 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// vetReport is the -json document. Counts carries an entry for every
+// analyzer that ran, including zeroes, so dashboards can distinguish "ran
+// clean" from "not selected".
+type vetReport struct {
+	Version   int            `json:"version"`
+	Analyzers []vetAnalyzer  `json:"analyzers"`
+	Packages  int            `json:"packages"`
+	Findings  []vetFinding   `json:"findings"`
+	Counts    map[string]int `json:"counts"`
+}
+
+type vetAnalyzer struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+type vetFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cubefit-vet", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to exclude")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON report on stdout instead of plain findings")
+	counts := fs.Bool("counts", false, "print per-analyzer finding counts on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cubefit-vet [-list] [-only name[,name]] [packages...]")
+		fmt.Fprintln(stderr, "usage: cubefit-vet [-list] [-only name[,name]] [-skip name[,name]] [-json] [-counts] [packages...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -49,55 +82,150 @@ func run(args []string) int {
 	suite := analyzers.All()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
-	if *only != "" {
-		byName := make(map[string]*analysis.Analyzer, len(suite))
-		for _, a := range suite {
-			byName[a.Name] = a
+	suite, err := selectAnalyzers(suite, *only, *skip, stderr)
+	if err != nil {
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "cubefit-vet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cubefit-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(suite, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "cubefit-vet: %v\n", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(cwd, diags[i].Pos.Filename)
+	}
+
+	if *jsonOut {
+		if err := writeReport(stdout, suite, pkgs, diags); err != nil {
+			fmt.Fprintf(stderr, "cubefit-vet: %v\n", err)
+			return 2
 		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if *counts {
+		tally := countByAnalyzer(suite, diags)
+		for _, a := range suite {
+			fmt.Fprintf(stderr, "%-11s %d\n", a.Name, tally[a.Name])
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cubefit-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -only then -skip to the suite, rejecting names
+// that match no analyzer (a typo must not silently disable a gate).
+func selectAnalyzers(suite []*analysis.Analyzer, only, skip string, stderr io.Writer) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	if only != "" {
 		var picked []*analysis.Analyzer
-		for _, n := range strings.Split(*only, ",") {
-			n = strings.TrimSpace(n)
+		for _, n := range splitNames(only) {
 			a, ok := byName[n]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "cubefit-vet: unknown analyzer %q (see -list)\n", n)
-				return 2
+				fmt.Fprintf(stderr, "cubefit-vet: unknown analyzer %q (see -list)\n", n)
+				return nil, fmt.Errorf("unknown analyzer %q", n)
 			}
 			picked = append(picked, a)
 		}
 		suite = picked
 	}
-
-	loader, err := analysis.NewLoader(".")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cubefit-vet: %v\n", err)
-		return 2
-	}
-	pkgs, err := loader.Load(fs.Args()...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cubefit-vet: %v\n", err)
-		return 2
-	}
-	diags, err := analysis.Run(suite, pkgs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cubefit-vet: %v\n", err)
-		return 2
-	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+	if skip != "" {
+		drop := make(map[string]bool)
+		for _, n := range splitNames(skip) {
+			if _, ok := byName[n]; !ok {
+				fmt.Fprintf(stderr, "cubefit-vet: unknown analyzer %q (see -list)\n", n)
+				return nil, fmt.Errorf("unknown analyzer %q", n)
+			}
+			drop[n] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range suite {
+			if !drop[a.Name] {
+				kept = append(kept, a)
 			}
 		}
-		fmt.Println(d)
+		suite = kept
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cubefit-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		return 1
+	return suite, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
 	}
-	return 0
+	return out
+}
+
+// relPath shortens an absolute finding path to be cwd-relative when it
+// lies under the working directory.
+func relPath(cwd, name string) string {
+	if cwd == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+func countByAnalyzer(suite []*analysis.Analyzer, diags []analysis.Diagnostic) map[string]int {
+	tally := make(map[string]int, len(suite))
+	for _, a := range suite {
+		tally[a.Name] = 0
+	}
+	for _, d := range diags {
+		tally[d.Analyzer]++
+	}
+	return tally
+}
+
+func writeReport(w io.Writer, suite []*analysis.Analyzer, pkgs []*analysis.Package, diags []analysis.Diagnostic) error {
+	rep := vetReport{
+		Version:  1,
+		Packages: len(pkgs),
+		Findings: make([]vetFinding, 0, len(diags)),
+		Counts:   countByAnalyzer(suite, diags),
+	}
+	for _, a := range suite {
+		rep.Analyzers = append(rep.Analyzers, vetAnalyzer{Name: a.Name, Doc: a.Doc})
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, vetFinding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

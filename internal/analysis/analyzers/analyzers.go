@@ -17,6 +17,24 @@
 //     is rejected, and every Lock/RLock needs a flavor-matched
 //     Unlock/RUnlock on the same receiver in the same function.
 //
+// and the type- and flow-aware invariant checks encoding the contracts
+// PRs 3–6 introduced:
+//
+//   - maprange: no `for range` over a map in the determinism-critical
+//     packages (core, packing, sim, headroom, recovery) unless the body
+//     is argued order-insensitive in a vet-allow.
+//   - eventpool: every obs.AcquireEvent is paired with ReleaseEvent (or
+//     an ownership transfer) on every path; leaks and double releases
+//     are rejected.
+//   - failclosed: no discarded error from Sync/Flush/Close/Write on the
+//     obs sinks or the raw handles beneath them (the WAL fail-closed
+//     contract).
+//   - guardedby: //cubefit:guarded-by annotated struct fields are only
+//     accessed in functions that lock the named mutex.
+//   - hotpath: //cubefit:hotpath annotated functions stay free of
+//     allocation-introducing constructs (fmt, capturing closures,
+//     non-scratch append, &T{}, make/new, interface boxing).
+//
 // Every analyzer honors the //cubefit:vet-allow suppression directive of
 // the framework; see README.md "Static analysis" for how to add a new
 // check.
@@ -36,8 +54,13 @@ const packingPath = "cubefit/internal/packing"
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Epsconst,
+		Eventpool,
+		Failclosed,
 		Floatcmp,
+		Guardedby,
+		Hotpath,
 		Lockpair,
+		Maprange,
 		Randsource,
 		Wallclock,
 	}

@@ -8,8 +8,8 @@ import (
 
 func TestAllIsComplete(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d analyzers, want 10", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -56,4 +56,34 @@ func TestWallclock(t *testing.T) {
 func TestLockpair(t *testing.T) {
 	analysistest.Run(t, Lockpair, "testdata/lockpair/flagged", "cubefit/fixture/lockpair")
 	analysistest.RunClean(t, Lockpair, "testdata/lockpair/clean", "cubefit/fixture/lockpair")
+}
+
+// TestMaprange loads the flagged and clean fixtures under a real
+// determinism-critical import path (the analyzer is keyed on the package
+// path) and the third fixture under a neutral path, where map iteration
+// is unrestricted.
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, Maprange, "testdata/maprange/flagged", "cubefit/internal/core")
+	analysistest.RunClean(t, Maprange, "testdata/maprange/clean", "cubefit/internal/core")
+	analysistest.RunClean(t, Maprange, "testdata/maprange/other", "cubefit/fixture/maprange")
+}
+
+func TestEventpool(t *testing.T) {
+	analysistest.Run(t, Eventpool, "testdata/eventpool/flagged", "cubefit/fixture/eventpool")
+	analysistest.RunClean(t, Eventpool, "testdata/eventpool/clean", "cubefit/fixture/eventpool")
+}
+
+func TestFailclosed(t *testing.T) {
+	analysistest.Run(t, Failclosed, "testdata/failclosed/flagged", "cubefit/fixture/failclosed")
+	analysistest.RunClean(t, Failclosed, "testdata/failclosed/clean", "cubefit/fixture/failclosed")
+}
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, Guardedby, "testdata/guardedby/flagged", "cubefit/fixture/guardedby")
+	analysistest.RunClean(t, Guardedby, "testdata/guardedby/clean", "cubefit/fixture/guardedby")
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, Hotpath, "testdata/hotpath/flagged", "cubefit/fixture/hotpath")
+	analysistest.RunClean(t, Hotpath, "testdata/hotpath/clean", "cubefit/fixture/hotpath")
 }

@@ -1,0 +1,400 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cubefit/internal/analysis"
+)
+
+// Eventpool pairs obs.AcquireEvent with obs.ReleaseEvent (PR 5's pooled
+// emission protocol): every event acquired from the pool must, on every
+// path through the acquiring function, either be released or have its
+// ownership transferred (passed as a pointer to another function — the
+// engines' emit helpers release for their callers — returned, or stored).
+// A pooled struct that leaks silently re-allocates the hot path the pool
+// exists to keep allocation-free; a double release poisons the pool with
+// an aliased struct.
+//
+// The analysis is intra-procedural and branch-aware over the acquiring
+// function's statement tree: both arms of an if/switch must settle the
+// event, a release inside a loop body counts as conditional (the loop may
+// run zero times), and a second release after a path already settled the
+// event is a double release. Reads through the pointer (e.Field loads and
+// stores, *e copies) do not transfer ownership. Helpers with intentional
+// asymmetric ownership can suppress with
+// //cubefit:vet-allow eventpool -- <why>.
+var Eventpool = &analysis.Analyzer{
+	Name: "eventpool",
+	Doc:  "obs.AcquireEvent without a matching ReleaseEvent (or ownership transfer) on every path",
+	Run:  runEventpool,
+}
+
+// obsPath is the package owning the event pool.
+const obsPath = "cubefit/internal/obs"
+
+// Release status of a statement (or statement sequence) with respect to
+// one acquired event.
+const (
+	relNone  = iota // the event is untouched
+	relMaybe        // released/transferred on some paths only
+	relAll          // released/transferred on every path
+)
+
+func runEventpool(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEventBodies(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkEventBodies analyzes a function body and, recursively, every
+// function literal nested in it (each literal is its own ownership
+// scope: an event acquired inside a closure must settle inside it).
+func checkEventBodies(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkEventBody(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkEventBodies(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkEventBody runs the pairing analysis on one function body,
+// excluding nested literals (they are analyzed separately).
+func checkEventBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ev := &eventPass{pass: pass}
+	// Bare acquires whose result is discarded leak immediately; acquires
+	// feeding directly into a call transfer ownership to the callee.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := st.X.(*ast.CallExpr); ok && ev.isPoolCall(call, "AcquireEvent") {
+			pass.Reportf(call.Pos(), "result of obs.AcquireEvent discarded; the pooled event leaks")
+		}
+		return true
+	})
+	// Tracked acquires: `e := obs.AcquireEvent(...)` binding a local.
+	ev.walkAcquires(body, body.List)
+}
+
+// eventPass carries the per-function analysis state.
+type eventPass struct {
+	pass *analysis.Pass
+}
+
+// walkAcquires finds tracked acquire statements in stmts (recursing into
+// nested blocks) and evaluates the release status of the remainder of
+// their enclosing statement list.
+func (ev *eventPass) walkAcquires(body *ast.BlockStmt, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if obj, pos := ev.acquireBinding(s); obj != nil {
+			ev.checkFrom(obj, pos, stmts[i+1:])
+		}
+		// Recurse into compound statements to find acquires at any depth.
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			ev.walkAcquires(body, s.List)
+		case *ast.IfStmt:
+			ev.walkAcquires(body, s.Body.List)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				ev.walkAcquires(body, blk.List)
+			} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+				ev.walkAcquires(body, []ast.Stmt{elif})
+			}
+		case *ast.ForStmt:
+			ev.walkAcquires(body, s.Body.List)
+		case *ast.RangeStmt:
+			ev.walkAcquires(body, s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					ev.walkAcquires(body, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					ev.walkAcquires(body, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					ev.walkAcquires(body, cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			ev.walkAcquires(body, []ast.Stmt{s.Stmt})
+		}
+	}
+}
+
+// acquireBinding recognizes `x := obs.AcquireEvent(...)` (or `x = ...`)
+// with a single non-blank identifier target, returning the bound object.
+func (ev *eventPass) acquireBinding(s ast.Stmt) (types.Object, token.Pos) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, token.NoPos
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !ev.isPoolCall(call, "AcquireEvent") {
+		return nil, token.NoPos
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		ev.pass.Reportf(as.Pos(), "result of obs.AcquireEvent discarded; the pooled event leaks")
+		return nil, token.NoPos
+	}
+	obj := ev.pass.Info.Defs[id]
+	if obj == nil {
+		obj = ev.pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return nil, token.NoPos
+	}
+	return obj, as.Pos()
+}
+
+// checkFrom evaluates the statements following an acquire and reports a
+// leak when no path (or only some paths) settle the event.
+func (ev *eventPass) checkFrom(obj types.Object, acquirePos token.Pos, rest []ast.Stmt) {
+	switch ev.seqStatus(obj, rest) {
+	case relAll:
+	case relMaybe:
+		ev.pass.Reportf(acquirePos,
+			"pooled event %s is released on some paths only; every path must ReleaseEvent or transfer ownership", obj.Name())
+	default:
+		ev.pass.Reportf(acquirePos,
+			"pooled event %s is never released; call obs.ReleaseEvent or transfer ownership", obj.Name())
+	}
+}
+
+// seqStatus folds the release status over a statement sequence, reporting
+// double releases along the way.
+func (ev *eventPass) seqStatus(obj types.Object, stmts []ast.Stmt) int {
+	status := relNone
+	for _, s := range stmts {
+		st := ev.stmtStatus(obj, s)
+		if st == relNone {
+			continue
+		}
+		if status == relAll {
+			if pos, isRelease := ev.explicitRelease(obj, s); isRelease {
+				ev.pass.Reportf(pos, "pooled event %s already released on this path; double release poisons the pool", obj.Name())
+			}
+			continue
+		}
+		if st == relAll {
+			status = relAll
+		} else if status == relNone {
+			status = relMaybe
+		}
+	}
+	return status
+}
+
+// stmtStatus evaluates one statement's release effect for obj.
+func (ev *eventPass) stmtStatus(obj types.Object, s ast.Stmt) int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if ev.transfers(obj, s.X) {
+			return relAll
+		}
+	case *ast.DeferStmt:
+		// A deferred release (or deferred transfer) runs on every exit.
+		if ev.transfers(obj, s.Call) {
+			return relAll
+		}
+	case *ast.GoStmt:
+		if ev.transfers(obj, s.Call) {
+			return relAll
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if ev.transfers(obj, rhs) {
+				return relAll
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if ev.transfers(obj, r) {
+				return relAll
+			}
+		}
+	case *ast.BlockStmt:
+		return ev.seqStatus(obj, s.List)
+	case *ast.LabeledStmt:
+		return ev.stmtStatus(obj, s.Stmt)
+	case *ast.IfStmt:
+		then := ev.seqStatus(obj, s.Body.List)
+		els := relNone
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			els = ev.seqStatus(obj, e.List)
+		case *ast.IfStmt:
+			els = ev.stmtStatus(obj, e)
+		}
+		return branchJoin(then, els)
+	case *ast.ForStmt:
+		// The body may run zero times: any release inside is conditional.
+		return condStatus(ev.seqStatus(obj, s.Body.List))
+	case *ast.RangeStmt:
+		return condStatus(ev.seqStatus(obj, s.Body.List))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return ev.clausesStatus(obj, s)
+	}
+	return relNone
+}
+
+// clausesStatus joins the release status across switch/select clauses: all
+// paths release only when every clause does and (for switches) a default
+// clause exists.
+func (ev *eventPass) clausesStatus(obj types.Object, s ast.Stmt) int {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	collect := func(body *ast.BlockStmt) {
+		for _, c := range body.List {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				clauses = append(clauses, c.Body)
+				if c.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				clauses = append(clauses, c.Body)
+				if c.Comm == nil {
+					hasDefault = true
+				}
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		collect(s.Body)
+	case *ast.TypeSwitchStmt:
+		collect(s.Body)
+	case *ast.SelectStmt:
+		collect(s.Body)
+		hasDefault = true // a select blocks until some clause runs
+	}
+	if len(clauses) == 0 {
+		return relNone
+	}
+	all, any := true, false
+	for _, body := range clauses {
+		switch ev.seqStatus(obj, body) {
+		case relAll:
+			any = true
+		case relMaybe:
+			any = true
+			all = false
+		default:
+			all = false
+		}
+	}
+	switch {
+	case all && hasDefault:
+		return relAll
+	case any:
+		return relMaybe
+	}
+	return relNone
+}
+
+// transfers reports whether the expression settles the event: an explicit
+// ReleaseEvent call, or the bare pointer escaping into a call, another
+// value, or a composite literal. Reads through the pointer (selector and
+// dereference) do not settle it.
+func (ev *eventPass) transfers(obj types.Object, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return ev.pass.Info.Uses[e] == obj
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			if ev.transfers(obj, arg) {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if ev.transfers(obj, el) {
+				return true
+			}
+		}
+		return false
+	case *ast.ParenExpr:
+		return ev.transfers(obj, e.X)
+	}
+	return false
+}
+
+// explicitRelease reports whether the statement is a direct
+// obs.ReleaseEvent(obj) call (used to position double-release findings).
+func (ev *eventPass) explicitRelease(obj types.Object, s ast.Stmt) (token.Pos, bool) {
+	st, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return token.NoPos, false
+	}
+	call, ok := st.X.(*ast.CallExpr)
+	if !ok || !ev.isPoolCall(call, "ReleaseEvent") || len(call.Args) != 1 {
+		return token.NoPos, false
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok && ev.pass.Info.Uses[id] == obj {
+		return call.Pos(), true
+	}
+	return token.NoPos, false
+}
+
+// isPoolCall recognizes calls to the named function of internal/obs.
+func (ev *eventPass) isPoolCall(call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := ev.pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == obsPath
+}
+
+// branchJoin combines the status of two exclusive branches.
+func branchJoin(a, b int) int {
+	switch {
+	case a == relAll && b == relAll:
+		return relAll
+	case a == relNone && b == relNone:
+		return relNone
+	}
+	return relMaybe
+}
+
+// condStatus demotes a status to at most conditional (for bodies that may
+// not execute).
+func condStatus(s int) int {
+	if s == relNone {
+		return relNone
+	}
+	return relMaybe
+}

@@ -1,0 +1,266 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cubefit/internal/analysis"
+)
+
+// Hotpath protects PR 5's allocation wins (the 35–54× reductions on the
+// placement and snapshot paths): a function annotated
+//
+//	//cubefit:hotpath
+//
+// in its doc comment declares an allocation-free steady state, and the
+// analyzer flags constructs that would put allocations back:
+//
+//   - fmt calls — every argument escapes through the ...interface{}
+//     boxing, even on paths that never fire;
+//   - function literals that capture enclosing variables — the closure
+//     and its captured cells are heap-allocated at every evaluation;
+//   - append on anything not recognizably a reused scratch buffer (the
+//     slice expression must mention "scratch", "pool", or "buf");
+//   - &T{...} address-of composite literals, make, and new — direct
+//     allocations;
+//   - composite literals passed or assigned into interface positions —
+//     the conversion boxes them onto the heap.
+//
+// Cold sub-paths inside a hot function (error construction, one-time
+// growth) carry //cubefit:vet-allow hotpath -- <why it stays cold>, which
+// doubles as the documentation of where the hot loop's cold edges are.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "allocation-introducing constructs inside //cubefit:hotpath functions",
+	Run:  runHotpath,
+}
+
+// hotpathDirective marks a function as allocation-free.
+const hotpathDirective = "//cubefit:hotpath"
+
+// scratchNames are the substrings that mark a slice expression as a
+// caller-owned reusable buffer, making append amortized-free.
+var scratchNames = []string{"scratch", "pool", "buf"}
+
+// HotpathFunc is one annotated function. Exported so tests can assert
+// that the real tree's hot loops carry the annotation (the negative test:
+// removing the annotation silences the analyzer, so its presence must
+// itself be tested).
+type HotpathFunc struct {
+	Name string // func name, receiver-qualified for methods ("Type.Name")
+	Pos  token.Pos
+}
+
+// CollectHotpathFuncs gathers every hotpath annotation in the pass's
+// files, in declaration order.
+func CollectHotpathFuncs(pass *analysis.Pass) []HotpathFunc {
+	var out []HotpathFunc
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if rn := receiverTypeName(fd.Recv.List[0].Type); rn != "" {
+					name = rn + "." + name
+				}
+			}
+			out = append(out, HotpathFunc{Name: name, Pos: fd.Pos()})
+		}
+	}
+	return out
+}
+
+// hasHotpathDirective reports whether the doc comment carries the marker.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverTypeName extracts the bare type name from a receiver type
+// expression (*T, T, or generic T[...]).
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+func runHotpath(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			hp := &hotpathPass{pass: pass, fn: fd}
+			hp.checkBody(fd.Body)
+		}
+	}
+	return nil
+}
+
+type hotpathPass struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+func (hp *hotpathPass) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			hp.checkCall(n)
+		case *ast.FuncLit:
+			hp.checkFuncLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					hp.report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					hp.checkInterfaceSink(rhs, hp.pass.Info.TypeOf(n.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				hp.checkInterfaceSink(r, hp.pass.Info.TypeOf(r))
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls, make/new, non-scratch append, and composite
+// literals boxed into interface parameters.
+func (hp *hotpathPass) checkCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := hp.pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				hp.report(call.Pos(), "fmt.%s boxes every argument onto the heap", fun.Sel.Name)
+				return
+			}
+		}
+	case *ast.Ident:
+		switch hp.pass.Info.Uses[fun] {
+		case types.Universe.Lookup("append"):
+			hp.checkAppend(call)
+			return
+		case types.Universe.Lookup("make"):
+			hp.report(call.Pos(), "make allocates")
+			return
+		case types.Universe.Lookup("new"):
+			hp.report(call.Pos(), "new allocates")
+			return
+		}
+	}
+	hp.checkArgBoxing(call)
+}
+
+// checkAppend lets appends into recognizable scratch storage through and
+// flags the rest: append on a fresh or caller-visible slice grows the
+// heap on every call, where a scratch buffer amortizes to zero.
+func (hp *hotpathPass) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := strings.ToLower(printExpr(call.Args[0]))
+	for _, s := range scratchNames {
+		if strings.Contains(dst, s) {
+			return
+		}
+	}
+	hp.report(call.Pos(), "append on %s may grow the heap; reuse a scratch buffer (name it *scratch/*pool/*buf)", printExpr(call.Args[0]))
+}
+
+// checkArgBoxing flags composite-literal arguments landing in interface
+// parameters.
+func (hp *hotpathPass) checkArgBoxing(call *ast.CallExpr) {
+	sig, ok := hp.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		hp.checkInterfaceSink(arg, pt)
+	}
+}
+
+// checkInterfaceSink flags a composite literal flowing into an
+// interface-typed destination, where the conversion heap-boxes it.
+func (hp *hotpathPass) checkInterfaceSink(e ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	hp.report(lit.Pos(), "composite literal converted to %s escapes to the heap",
+		types.TypeString(dst, types.RelativeTo(hp.pass.Pkg)))
+}
+
+// checkFuncLit flags literals that capture enclosing variables: the
+// closure header and each captured cell allocate at evaluation time.
+// Capture-free literals compile to plain functions and stay.
+func (hp *hotpathPass) checkFuncLit(lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := hp.pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but not at package level.
+		if v.Parent() == hp.pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		hp.report(lit.Pos(), "closure captures %s and allocates per evaluation", captured)
+	}
+}
+
+func (hp *hotpathPass) report(pos token.Pos, format string, args ...any) {
+	hp.pass.Reportf(pos, "hotpath %s: "+format, append([]any{hp.fn.Name.Name}, args...)...)
+}

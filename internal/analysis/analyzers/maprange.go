@@ -1,0 +1,68 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cubefit/internal/analysis"
+)
+
+// Maprange guards the byte-identical determinism contract (the parity
+// property tests of PR 5): inside the determinism-critical packages —
+// the placement engines, the shared packing state, the simulators, the
+// headroom auditor, and WAL recovery — a `for range` over a map iterates
+// in an order Go randomizes per run, so any map range whose body is
+// order-sensitive (floating-point accumulation, first-match returns,
+// append into an output slice) silently breaks run-to-run and
+// engine-to-engine reproducibility.
+//
+// Every map range in those packages is flagged. Ranges whose bodies are
+// provably order-insensitive (pure counting, max/min of exact values,
+// collect-then-sort) stay, with a
+// //cubefit:vet-allow maprange -- <order-insensitivity argument>
+// carrying the proof obligation into the source. Test files are exempt:
+// subtests and assertions may legitimately iterate fixture maps.
+var Maprange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration in determinism-critical packages breaks byte-identical parity",
+	Run:  runMaprange,
+}
+
+// deterministicPkgs are the packages whose outputs must be a pure
+// function of inputs and seeds, byte for byte.
+var deterministicPkgs = map[string]bool{
+	"cubefit/internal/core":     true, // the CubeFit placement engine
+	"cubefit/internal/packing":  true, // shared placement state and invariant checks
+	"cubefit/internal/sim":      true, // paper experiments (bit-identical across -workers)
+	"cubefit/internal/headroom": true, // incremental==exhaustive equality properties
+	"cubefit/internal/recovery": true, // WAL replay must rebuild the exact acked state
+}
+
+func runMaprange(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over %s iterates in nondeterministic order in a determinism-critical package; iterate sorted keys, or justify order-insensitivity with a vet-allow",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

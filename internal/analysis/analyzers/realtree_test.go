@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"testing"
+
+	"cubefit/internal/analysis"
+)
+
+// The real-tree negative tests: the hotpath and guarded-by analyzers are
+// annotation-driven, so deleting an annotation silences them without any
+// finding. These tests pin the annotations themselves — removing
+// //cubefit:hotpath from a core hot loop or //cubefit:guarded-by from a
+// Controller/WAL/JSONL field fails here — and additionally assert that
+// the annotated real packages analyze clean, so the suppressions in the
+// tree stay honest.
+
+// loadReal loads real repository packages through the module-aware
+// loader. Directories are relative to this package's directory; external
+// test variants are dropped because annotations live in shipped sources.
+func loadReal(t *testing.T, dirs ...string) []*analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := pkgs[:0]
+	for _, p := range pkgs {
+		if !p.ExternalTest {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// collectPass wraps a loaded package for the Collect helpers.
+func collectPass(p *analysis.Package) *analysis.Pass {
+	return &analysis.Pass{Fset: p.Fset, Path: p.Path, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+}
+
+func TestRealTreeHotpathAnnotationsPresent(t *testing.T) {
+	pkgs := loadReal(t, "../../core", "../../obs", "../../packing")
+	got := make(map[string]bool)
+	for _, p := range pkgs {
+		for _, fn := range CollectHotpathFuncs(collectPass(p)) {
+			got[p.Path+"."+fn.Name] = true
+		}
+	}
+	want := []string{
+		// The placement engine's per-admission loops.
+		"cubefit/internal/core.CubeFit.emit",
+		"cubefit/internal/core.CubeFit.tryFirstStage",
+		"cubefit/internal/core.CubeFit.bestMFitIndexed",
+		"cubefit/internal/core.CubeFit.bestMFitScan",
+		"cubefit/internal/core.CubeFit.placedHosts",
+		"cubefit/internal/core.CubeFit.mFits",
+		"cubefit/internal/core.topSharedAdjusted",
+		"cubefit/internal/core.CubeFit.addRef",
+		"cubefit/internal/core.CubeFit.releaseRefs",
+		"cubefit/internal/core.CubeFit.placeAtCursor",
+		"cubefit/internal/core.CubeFit.advance",
+		"cubefit/internal/core.CubeFit.refreshBin",
+		"cubefit/internal/core.levelIndex.insert",
+		"cubefit/internal/core.levelIndex.remove",
+		"cubefit/internal/core.levelIndex.update",
+		// The pooled event seam every emission crosses.
+		"cubefit/internal/obs.AcquireEvent",
+		"cubefit/internal/obs.ReleaseEvent",
+		// The allocation-free placement accessors the engine leans on.
+		"cubefit/internal/packing.Placement.ReplicasInto",
+		"cubefit/internal/packing.Placement.TenantHostsInto",
+		"cubefit/internal/packing.Placement.EachTenantHost",
+		"cubefit/internal/packing.Server.TopShared",
+		"cubefit/internal/packing.Server.EachShared",
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("hot loop %s has lost its //cubefit:hotpath annotation", w)
+		}
+	}
+}
+
+func TestRealTreeGuardedByAnnotationsPresent(t *testing.T) {
+	pkgs := loadReal(t, "../../obs", "../../api")
+	got := make(map[string]string)
+	for _, p := range pkgs {
+		for _, gf := range CollectGuardedFields(collectPass(p)) {
+			got[p.Path+"."+gf.Struct+"."+gf.Field] = gf.Mutex
+		}
+	}
+	want := map[string]string{
+		"cubefit/internal/obs.WAL.bw":            "mu",
+		"cubefit/internal/obs.WAL.n":             "mu",
+		"cubefit/internal/obs.WAL.synced":        "mu",
+		"cubefit/internal/obs.WAL.err":           "mu",
+		"cubefit/internal/obs.WAL.closed":        "mu",
+		"cubefit/internal/obs.JSONL.enc":         "mu",
+		"cubefit/internal/obs.JSONL.n":           "mu",
+		"cubefit/internal/obs.JSONL.err":         "mu",
+		"cubefit/internal/api.Controller.snap":   "mu",
+		"cubefit/internal/api.Controller.closed": "sendMu",
+	}
+	for field, mu := range want {
+		if got[field] != mu {
+			t.Errorf("field %s: guarded-by %q, want %q (annotation removed or retargeted)", field, got[field], mu)
+		}
+	}
+}
+
+// TestRealTreeAnnotatedPackagesClean re-runs the annotation-driven
+// analyzers over the real packages: the annotations must hold, with every
+// cold edge carrying an explicit vet-allow.
+func TestRealTreeAnnotatedPackagesClean(t *testing.T) {
+	pkgs := loadReal(t, "../../core", "../../obs", "../../packing", "../../api")
+	diags, err := analysis.Run([]*analysis.Analyzer{Guardedby, Hotpath}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,63 @@
+// Negative fixture for eventpool: straight-line release, deferred
+// release, ownership transfers, and branch-complete releases.
+package a
+
+import "cubefit/internal/obs"
+
+func sink(e *obs.Event) {}
+
+func releases() {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	e.Tenant = 7
+	obs.ReleaseEvent(e)
+}
+
+func deferred() {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	defer obs.ReleaseEvent(e)
+	e.Replica = 1
+}
+
+func transfers() {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	sink(e) // the callee owns and releases the event
+}
+
+func returned() *obs.Event {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	return e // ownership passes to the caller
+}
+
+func bothBranches(ok bool) {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	if ok {
+		obs.ReleaseEvent(e)
+	} else {
+		sink(e)
+	}
+}
+
+func fullSwitch(k int) {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	switch k {
+	case 0:
+		obs.ReleaseEvent(e)
+	default:
+		sink(e)
+	}
+}
+
+func nested() {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	{
+		obs.ReleaseEvent(e)
+	}
+}
+
+func suppressed(ok bool) {
+	//cubefit:vet-allow eventpool -- fixture hook: the event intentionally leaks when !ok
+	e := obs.AcquireEvent(obs.KindAttempt)
+	if ok {
+		obs.ReleaseEvent(e)
+	}
+}

@@ -1,0 +1,48 @@
+// Positive fixture for eventpool: leaks, conditional releases, double
+// releases, and discarded acquires must all be reported. The fixture
+// imports the real internal/obs so the call matching runs against the
+// genuine pool functions.
+package a
+
+import "cubefit/internal/obs"
+
+func record(e obs.Event) {}
+
+func leak() {
+	e := obs.AcquireEvent(obs.KindAttempt) // want "never released"
+	e.Tenant = 1
+	record(*e) // a value copy does not transfer ownership
+}
+
+func conditional(ok bool) {
+	e := obs.AcquireEvent(obs.KindAttempt) // want "released on some paths only"
+	if ok {
+		obs.ReleaseEvent(e)
+	}
+}
+
+func double() {
+	e := obs.AcquireEvent(obs.KindAttempt)
+	obs.ReleaseEvent(e)
+	obs.ReleaseEvent(e) // want "double release"
+}
+
+func discarded() {
+	obs.AcquireEvent(obs.KindAttempt) // want "discarded"
+}
+
+func loopOnly(n int) {
+	e := obs.AcquireEvent(obs.KindAttempt) // want "released on some paths only"
+	for i := 0; i < n; i++ {
+		obs.ReleaseEvent(e)
+	}
+}
+
+func halfSwitch(k int) {
+	e := obs.AcquireEvent(obs.KindAttempt) // want "released on some paths only"
+	switch k {
+	case 0:
+		obs.ReleaseEvent(e)
+	case 1:
+	}
+}

@@ -1,0 +1,39 @@
+// Negative fixture for failclosed: checked errors, non-sink receivers,
+// methods without error results, and a justified suppression.
+package a
+
+import (
+	"bufio"
+	"os"
+
+	"cubefit/internal/obs"
+)
+
+type quiet struct{}
+
+func (quiet) Close() error { return nil }
+
+func checked(f *os.File, bw *bufio.Writer, w *obs.WAL) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func nonSink(q quiet, w *obs.WAL, e obs.Event) {
+	q.Close()   // not a durability sink type: silent
+	w.Record(e) // returns no error: silent
+}
+
+func consumed(f *os.File) error {
+	err := f.Sync()
+	return err
+}
+
+func suppressed(f *os.File) {
+	//cubefit:vet-allow failclosed -- handle opened read-only; the close error is moot
+	f.Close()
+}

@@ -1,0 +1,23 @@
+// Positive fixture for failclosed: every way of dropping a sink error —
+// expression statement, defer, go, blank assignment — on obs sinks and
+// the raw handles beneath them.
+package a
+
+import (
+	"bufio"
+	"os"
+
+	"cubefit/internal/obs"
+)
+
+func discards(f *os.File, bw *bufio.Writer, w *obs.WAL) {
+	f.Close()      // want "error from .os.File.Close discarded"
+	defer f.Sync() // want "discarded by defer"
+	bw.Flush()     // want "error from .bufio.Writer.Flush discarded"
+	_ = w.Close()  // want "assigned to _"
+	go w.Sync()    // want "discarded by go"
+}
+
+func blankWrite(f *os.File, b []byte) {
+	_, _ = f.Write(b) // want "assigned to _"
+}

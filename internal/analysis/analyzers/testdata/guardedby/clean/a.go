@@ -1,0 +1,50 @@
+// Negative fixture for guardedby: accesses under the right lock (either
+// flavor), construction, the *Locked helper convention, and a justified
+// suppression.
+package a
+
+import "sync"
+
+type ctrl struct {
+	mu sync.RWMutex
+	//cubefit:guarded-by mu
+	snap []int
+
+	sendMu sync.RWMutex
+	//cubefit:guarded-by sendMu
+	closed bool
+}
+
+func (c *ctrl) snapshot() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.snap
+}
+
+func (c *ctrl) set(s []int) {
+	c.mu.Lock()
+	c.snap = s
+	c.mu.Unlock()
+}
+
+func (c *ctrl) enqueue() bool {
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	return !c.closed
+}
+
+// invalidateLocked follows the called-with-lock-held convention: the
+// caller holds c.mu.
+func (c *ctrl) invalidateLocked() {
+	c.snap = nil
+}
+
+func newCtrl() *ctrl {
+	// Keyed construction is not a guarded access.
+	return &ctrl{snap: make([]int, 0, 4)}
+}
+
+func setup(c *ctrl) {
+	//cubefit:vet-allow guardedby -- single-threaded setup before the value is shared
+	c.snap = []int{1}
+}

@@ -1,0 +1,36 @@
+// Positive fixture for guardedby: unlocked reads and writes of annotated
+// fields, locking the wrong mutex, and rotten annotations.
+package a
+
+import "sync"
+
+type ctrl struct {
+	mu sync.RWMutex
+	//cubefit:guarded-by mu
+	snap []int
+	//cubefit:guarded-by gone
+	bad int // want "has no such field"
+	//cubefit:guarded-by snap
+	worse int // want "not a sync.Mutex/RWMutex"
+}
+
+func unlockedRead(c *ctrl) int {
+	return len(c.snap) // want "guarded by mu"
+}
+
+func unlockedWrite(c *ctrl) {
+	c.snap = nil // want "guarded by mu"
+}
+
+type two struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	//cubefit:guarded-by mu
+	n int
+}
+
+func wrongLock(t *two) {
+	t.aux.Lock()
+	defer t.aux.Unlock()
+	t.n++ // want "guarded by mu"
+}

@@ -1,0 +1,33 @@
+// Negative fixture for hotpath: scratch-buffer appends, in-place struct
+// reset, capture-free literals, and a justified cold-edge suppression.
+package a
+
+type counter struct{ n int }
+
+//cubefit:hotpath
+func fill(xs []int, scratch []int) []int {
+	scratch = append(scratch[:0], xs...)
+	return scratch
+}
+
+//cubefit:hotpath
+func reset(c *counter) {
+	*c = counter{} // assignment into existing memory: no allocation
+}
+
+//cubefit:hotpath
+func anyPositive(xs []int) bool {
+	pos := func(v int) bool { return v > 0 } // capture-free: a plain function
+	for _, x := range xs {
+		if pos(x) {
+			return true
+		}
+	}
+	return false
+}
+
+//cubefit:hotpath
+func grow(xs []int) []int {
+	//cubefit:vet-allow hotpath -- one-time growth edge; steady state reuses capacity
+	return append(xs, 0)
+}

@@ -1,0 +1,39 @@
+// Positive fixture for hotpath: every allocation-introducing construct
+// inside an annotated function, and the same constructs staying silent in
+// an unannotated one.
+package a
+
+import "fmt"
+
+type item struct{ v int }
+
+type sink interface{ accept(any) }
+
+//cubefit:hotpath
+func hot(xs []int, out []int, s sink) []int {
+	for _, x := range xs {
+		out = append(out, x) // want "append on out"
+	}
+	fmt.Println(len(xs)) // want "fmt.Println boxes"
+	p := &item{v: 1}     // want "composite literal allocates"
+	_ = p
+	m := make(map[int]int) // want "make allocates"
+	_ = m
+	q := new(item) // want "new allocates"
+	_ = q
+	n := 0
+	f := func() { n++ } // want "closure captures n"
+	f()
+	s.accept(item{v: 2}) // want "escapes to the heap"
+	return out
+}
+
+func cold(xs []int, s sink) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	fmt.Println(len(xs))
+	s.accept(item{v: 2})
+	return out
+}

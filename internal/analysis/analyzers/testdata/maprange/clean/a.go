@@ -1,0 +1,28 @@
+// Negative fixture for maprange under a determinism-critical import
+// path: sorted-key iteration and justified order-insensitive ranges.
+package a
+
+import "sort"
+
+func sumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//cubefit:vet-allow maprange -- collects keys only; sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+func count(m map[string]bool) int {
+	n := 0
+	//cubefit:vet-allow maprange -- pure counting is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+// Positive fixture for maprange, loaded under a determinism-critical
+// import path: every map range is reported; slice ranges stay silent.
+package a
+
+func sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "nondeterministic order"
+		s += v
+	}
+	return s
+}
+
+type index map[string][]int
+
+func first(idx index) []int {
+	for _, v := range idx { // want "nondeterministic order"
+		return v
+	}
+	return nil
+}
+
+func keysOnly(m map[int]bool) int {
+	n := 0
+	for range m { // want "nondeterministic order"
+		n++
+	}
+	return n
+}
+
+func overSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs { // slices iterate in index order: silent
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Negative fixture for maprange under a package outside the
+// determinism-critical set: map iteration is unrestricted.
+package a
+
+func tally(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -101,6 +101,7 @@ type Controller struct {
 	model workload.LoadModel
 	// snap caches the trace.Capture of the current placement; nil after
 	// any mutation (including failed admissions, which may open servers).
+	//cubefit:guarded-by mu
 	snap *trace.Snapshot
 
 	registry   *metrics.Registry
@@ -123,8 +124,9 @@ type Controller struct {
 	// Admission pipeline (see pipeline.go): queue feeds the single placer
 	// goroutine, sendMu+closed gate producers during shutdown, placerDone
 	// closes when the placer has drained.
-	queue      chan *admitJob
-	sendMu     sync.RWMutex
+	queue  chan *admitJob
+	sendMu sync.RWMutex
+	//cubefit:guarded-by sendMu
 	closed     bool
 	placerDone chan struct{}
 }

@@ -111,6 +111,8 @@ func (cf *CubeFit) SetRecorder(r obs.Recorder) { cf.rec = r }
 // with `cf.rec != nil` so the default path pays one nil check and never
 // acquires the event; events are recorded by value, so releasing the
 // struct back to the pool immediately afterwards is safe.
+//
+//cubefit:hotpath
 func (cf *CubeFit) emit(e *obs.Event) {
 	e.Engine = engineName
 	cf.rec.Record(*e)
@@ -370,6 +372,8 @@ func (cf *CubeFit) unwind(id packing.TenantID) {
 
 // addRef records one placed replica for the tenant, recycling a slotRef
 // slice from the pool for the tenant's first replica.
+//
+//cubefit:hotpath
 func (cf *CubeFit) addRef(id packing.TenantID, ref slotRef) {
 	rs, ok := cf.refs[id]
 	if !ok {
@@ -377,14 +381,18 @@ func (cf *CubeFit) addRef(id packing.TenantID, ref slotRef) {
 			rs = cf.refPool[n-1][:0]
 			cf.refPool = cf.refPool[:n-1]
 		} else {
+			//cubefit:vet-allow hotpath -- pool miss only: once departures start returning arrays this branch never runs
 			rs = make([]slotRef, 0, cf.cfg.Gamma)
 		}
 	}
+	//cubefit:vet-allow hotpath -- rs carries γ capacity from the ref pool; append grows it only on the cold pool-miss path
 	cf.refs[id] = append(rs, ref)
 }
 
 // releaseRefs drops the tenant's replica records and returns their backing
 // array to the pool.
+//
+//cubefit:hotpath
 func (cf *CubeFit) releaseRefs(id packing.TenantID) {
 	if rs, ok := cf.refs[id]; ok {
 		delete(cf.refs, id)
@@ -437,6 +445,8 @@ func (cf *CubeFit) tinyClass() int {
 // current counter value: replica j uses the (j)-fold right-cyclic shift of
 // the counter's base-τ digits; the first γ−1 digits select the bin within
 // group j and the last digit the slot within the bin.
+//
+//cubefit:hotpath
 func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 	cb.loadDigits()
 	for j, rep := range reps {
@@ -446,6 +456,7 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 			return err
 		}
 		if !packing.FitsWithin(rep.Size, cb.slotSize) {
+			//cubefit:vet-allow hotpath -- unreachable internal-error edge: ClassOf guarantees the replica fits its class slot
 			return fmt.Errorf("core: internal: replica size %v exceeds slot size %v of class %d",
 				rep.Size, cb.slotSize, cb.tau)
 		}
@@ -455,6 +466,7 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 			}
 		}
 		if err := cf.p.Place(b.server, rep); err != nil {
+			//cubefit:vet-allow hotpath -- cold error edge: cube addressing guarantees distinct servers with free capacity
 			return fmt.Errorf("core: internal: cube placement rejected: %w", err)
 		}
 		b.slotUsed[slotIdx] += rep.Size
@@ -469,6 +481,7 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 			e.Class = cb.tau
 			e.Tiny = cb.tiny
 			e.Counter = cb.cnt
+			//cubefit:vet-allow hotpath -- recorder-only: the recorded event owns its digit trail, so the copy is unavoidable and the path is skipped without a recorder
 			e.Digits = append([]int(nil), cb.digits...)
 			e.Size = rep.Size
 			cf.emit(e)
@@ -488,6 +501,8 @@ func (cf *CubeFit) placeAtCursor(cb *cube, reps []packing.Replica) error {
 
 // advance closes the slots at the current cursor position and moves the
 // counter forward, replacing the groups with fresh bins on wrap-around.
+//
+//cubefit:hotpath
 func (cf *CubeFit) advance(cb *cube) {
 	cb.loadDigits()
 	for j := 0; j < cf.cfg.Gamma; j++ {
@@ -504,6 +519,7 @@ func (cf *CubeFit) advance(cb *cube) {
 	}
 	var closedDigits []int
 	if cf.rec != nil {
+		//cubefit:vet-allow hotpath -- recorder-only: the recorded event owns its digit trail
 		closedDigits = append([]int(nil), cb.digits...)
 	}
 	cb.open = false
@@ -512,6 +528,7 @@ func (cf *CubeFit) advance(cb *cube) {
 	if cb.cnt == cb.size {
 		cb.cnt = 0
 		for j := range cb.groups {
+			//cubefit:vet-allow hotpath -- wrap-around only: a fresh group row is built once per τ^γ placements
 			row := make([]int, cb.rowLen)
 			for i := range row {
 				row[i] = -1
@@ -608,6 +625,8 @@ func (cf *CubeFit) matureBin(b *bin) {
 // refreshBin recomputes the bin's cached failover reserve, level and slack
 // and maintains its membership in the active (first-stage candidate) list
 // and the level index.
+//
+//cubefit:hotpath
 func (cf *CubeFit) refreshBin(b *bin) {
 	srv := cf.p.Server(b.server)
 	b.reserve = srv.TopShared(cf.cfg.Gamma - 1)
@@ -632,6 +651,7 @@ func (cf *CubeFit) refreshBin(b *bin) {
 		}
 		b.retired = false
 		b.activeIdx = len(cf.active)
+		//cubefit:vet-allow hotpath -- activation growth is amortized: steady state reuses the capacity freed by removeActive swap-removes
 		cf.active = append(cf.active, b)
 		cf.index.insert(b)
 	default:
@@ -651,6 +671,7 @@ func (cf *CubeFit) retireBin(b *bin) {
 	b.retired = true
 }
 
+//cubefit:hotpath
 func (cf *CubeFit) removeActive(b *bin) {
 	last := len(cf.active) - 1
 	i := b.activeIdx

@@ -45,14 +45,19 @@ type levelIndex struct {
 }
 
 // insert adds an active bin under its current cached level.
+//
+//cubefit:hotpath
 func (ix *levelIndex) insert(b *bin) {
 	q := levelBucket(b.level)
 	b.bucket = q
 	b.bucketPos = len(ix.buckets[q])
+	//cubefit:vet-allow hotpath -- bucket growth is amortized: remove swap-shrinks without releasing capacity, so steady-state churn reuses it
 	ix.buckets[q] = append(ix.buckets[q], b)
 }
 
 // remove takes the bin out of its bucket (no-op if not indexed).
+//
+//cubefit:hotpath
 func (ix *levelIndex) remove(b *bin) {
 	if b.bucket < 0 {
 		return
@@ -69,6 +74,8 @@ func (ix *levelIndex) remove(b *bin) {
 
 // update repositions the bin after a level change, touching the bucket
 // slices only when the quantized level actually moved.
+//
+//cubefit:hotpath
 func (ix *levelIndex) update(b *bin) {
 	if b.bucket == levelBucket(b.level) {
 		return

@@ -10,6 +10,8 @@ import (
 // placed one by one, each into the eligible mature bin with the highest
 // level; if some replica has no m-fitting bin, all earlier replicas are
 // rolled back and the tenant falls through to the second stage.
+//
+//cubefit:hotpath
 func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool {
 	placed := 0
 	for j := range reps {
@@ -64,6 +66,8 @@ func (cf *CubeFit) tryFirstStage(t packing.Tenant, reps []packing.Replica) bool 
 
 // rollbackFirstStage unplaces the first `placed` replicas of the tenant and
 // restores the reserve caches of every affected bin.
+//
+//cubefit:hotpath
 func (cf *CubeFit) rollbackFirstStage(t packing.Tenant, reps []packing.Replica, placed int) {
 	if placed == 0 {
 		return
@@ -83,6 +87,8 @@ func (cf *CubeFit) rollbackFirstStage(t packing.Tenant, reps []packing.Replica, 
 
 // refreshAfterPlacement refreshes the reserve caches of every server
 // hosting a replica of the tenant (their pairwise shared loads changed).
+//
+//cubefit:hotpath
 func (cf *CubeFit) refreshAfterPlacement(id packing.TenantID) {
 	hosts := cf.p.TenantHostsInto(id, cf.hostScratch)
 	cf.hostScratch = hosts
@@ -118,6 +124,8 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) (best *bin, p
 // maximizes level. Within a bucket the exact cached levels break the
 // order; the cached slack filters bins that cannot possibly m-fit before
 // the server is touched.
+//
+//cubefit:hotpath
 func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
 	earlier := cf.placedHosts(t.ID)
 	for q := levelBuckets - 1; q >= 0; q-- {
@@ -164,6 +172,8 @@ func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best 
 // active mature bins. Kept for differential testing (the parity property
 // test drives both engines over identical workloads) and as the executable
 // specification of the Best Fit tie-break.
+//
+//cubefit:hotpath
 func (cf *CubeFit) bestMFitScan(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
 	earlier := cf.placedHosts(t.ID)
 	bestLevel := -1.0
@@ -204,6 +214,8 @@ func (cf *CubeFit) bestMFitScan(t packing.Tenant, rep packing.Replica) (best *bi
 // placedHosts returns the servers currently hosting replicas of the tenant
 // (empty for the first replica). The result lives in a scratch buffer valid
 // until the next placedHosts call.
+//
+//cubefit:hotpath
 func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
 	raw := cf.p.TenantHostsInto(id, cf.earlierScratch)
 	if raw != nil {
@@ -214,6 +226,7 @@ func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
 	hosts := raw[:0]
 	for _, h := range raw {
 		if h >= 0 {
+			//cubefit:vet-allow hotpath -- in-place filter: hosts aliases the scratch backing array and never outgrows raw
 			hosts = append(hosts, h)
 		}
 	}
@@ -222,6 +235,8 @@ func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
 
 // mFits performs the exact m-fit test for placing rep on srv given the
 // tenant's earlier replicas on `earlier`.
+//
+//cubefit:hotpath
 func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica) bool {
 	k := cf.cfg.Gamma - 1
 	level := srv.Level()
@@ -250,6 +265,8 @@ func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica
 // topSharedAdjusted computes the sum of the k largest shared loads of s
 // after hypothetically adding delta to its shared load with each server in
 // bump (servers absent from the shared map count as delta).
+//
+//cubefit:hotpath
 func topSharedAdjusted(s *packing.Server, k int, bump []int, delta float64) float64 {
 	if k <= 0 {
 		return 0
@@ -258,6 +275,7 @@ func topSharedAdjusted(s *packing.Server, k int, bump []int, delta float64) floa
 	if k > len(top) {
 		k = len(top)
 	}
+	//cubefit:vet-allow hotpath -- push never escapes: it is called directly and from the EachShared literal below, so it stays on the stack (the m-fit benchmark reports 0 allocs/op)
 	push := func(v float64) {
 		for i := 0; i < k; i++ {
 			if v > top[i] {
@@ -268,6 +286,7 @@ func topSharedAdjusted(s *packing.Server, k int, bump []int, delta float64) floa
 		}
 	}
 	seen := 0
+	//cubefit:vet-allow hotpath -- the callback is passed to EachShared, which only invokes it inline over the shared map; it does not escape (0 allocs/op)
 	s.EachShared(func(j int, v float64) {
 		for _, b := range bump {
 			if b == j {

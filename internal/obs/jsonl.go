@@ -12,9 +12,12 @@ import (
 // error is reported by Err, so a full disk does not corrupt the log
 // mid-line or take the engine down.
 type JSONL struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//cubefit:guarded-by mu
 	enc *json.Encoder
-	n   uint64
+	//cubefit:guarded-by mu
+	n uint64
+	//cubefit:guarded-by mu
 	err error
 }
 

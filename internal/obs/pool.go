@@ -13,6 +13,8 @@ var eventPool = sync.Pool{New: func() any { return new(Event) }}
 // AcquireEvent returns a pooled event of the given kind with every field
 // reset (identity fields to Unset, everything else to the zero value).
 // Release it with ReleaseEvent after recording.
+//
+//cubefit:hotpath
 func AcquireEvent(kind Kind) *Event {
 	e := eventPool.Get().(*Event)
 	*e = Event{
@@ -32,6 +34,8 @@ func AcquireEvent(kind Kind) *Event {
 // event, sinks may defer encoding), and the slice header they copied
 // aliases e.Digits — so ownership of the backing array passes to the
 // recorded value and the pooled struct forgets it.
+//
+//cubefit:hotpath
 func ReleaseEvent(e *Event) {
 	e.Digits = nil
 	eventPool.Put(e)

@@ -40,18 +40,23 @@ type Syncer interface {
 //
 // WAL is safe for concurrent use.
 type WAL struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//cubefit:guarded-by mu
 	bw   *bufio.Writer
-	sync Syncer // nil when the writer has no Sync method
+	sync Syncer // nil when the writer has no Sync method; set at construction only
 	cl   io.Closer
 	// n counts events accepted into the buffer; synced counts events
 	// covered by a completed Sync, i.e. durable.
-	n      uint64
+	//cubefit:guarded-by mu
+	n uint64
+	//cubefit:guarded-by mu
 	synced uint64
-	err    error
+	//cubefit:guarded-by mu
+	err error
 	// closed is tracked separately from the sticky err: a write error
 	// must not make Close lose its run-once guarantee (double-closing
 	// the underlying file) just because err already holds something.
+	//cubefit:guarded-by mu
 	closed bool
 }
 
@@ -237,7 +242,7 @@ func ReadWALOffsets(r io.Reader) (events []Event, ends []int64, torn bool, err e
 // a suffix would read back as an interleaved (corrupt) log on the next
 // boot. A missing file is fine when size is 0; a file shorter than size
 // is an error, since the committed prefix must still be present.
-func TruncateWAL(path string, size int64) (int64, error) {
+func TruncateWAL(path string, size int64) (removed int64, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) && size == 0 {
 		return 0, nil
@@ -245,7 +250,13 @@ func TruncateWAL(path string, size int64) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("obs: truncate wal: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		// The handle mutated the log, so a failed close may hide a failed
+		// write-back; it joins the result rather than vanishing.
+		if cerr := f.Close(); err == nil && cerr != nil {
+			removed, err = 0, fmt.Errorf("obs: truncate wal: %w", cerr)
+		}
+	}()
 	cur, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return 0, fmt.Errorf("obs: truncate wal: %w", err)

@@ -28,7 +28,10 @@ func PlaceAll(a Algorithm, tenants []Tenant) error {
 // EachShared calls fn for every server j with |Si ∩ Sj| > 0 for this
 // server Si. Iteration order is unspecified. fn must not mutate the
 // placement.
+//
+//cubefit:hotpath
 func (s *Server) EachShared(fn func(j int, load float64)) {
+	//cubefit:vet-allow maprange -- iteration order is documented unspecified; order-sensitive callers must sort or select (TopShared, TopSharedSet)
 	for j, v := range s.shared {
 		fn(j, v)
 	}

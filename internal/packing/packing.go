@@ -75,6 +75,7 @@ func (s *Server) NumReplicas() int { return len(s.replicas) }
 // Replicas returns a copy of the hosted replicas in tenant order.
 func (s *Server) Replicas() []Replica {
 	out := make([]Replica, 0, len(s.replicas))
+	//cubefit:vet-allow maprange -- collects replicas only; sorted by tenant (unique per server) before returning
 	for _, r := range s.replicas {
 		out = append(out, r)
 	}
@@ -94,21 +95,25 @@ func (s *Server) SharedWith(j int) float64 { return s.shared[j] }
 // TopShared returns the sum of the k largest shared loads with other
 // servers: the worst-case extra load under any simultaneous failure of k
 // other servers (the reserve this server must hold).
+//
+//cubefit:hotpath
 func (s *Server) TopShared(k int) float64 {
 	if k <= 0 || len(s.shared) == 0 {
 		return 0
 	}
-	if k >= len(s.shared) {
-		sum := 0.0
-		for _, v := range s.shared {
-			sum += v
-		}
-		return sum
+	if k > len(s.shared) {
+		// Clamp: failing more peers than exist adds nothing. The clamped k
+		// then routes through one of the order-deterministic paths below —
+		// summing the map directly would add floats in iteration order,
+		// perturbing the last ulp from run to run and breaking the
+		// byte-identical parity contract.
+		k = len(s.shared)
 	}
 	if k <= topSharedFastK {
 		// Single pass keeping the k largest values; γ−1 is 1 or 2 in the
 		// paper's configurations, so this path dominates.
 		var top [topSharedFastK]float64
+		//cubefit:vet-allow maprange -- selects the k largest values; the selected multiset and its descending-order sum are iteration-order independent
 		for _, v := range s.shared {
 			for i := 0; i < k; i++ {
 				if v > top[i] {
@@ -124,9 +129,11 @@ func (s *Server) TopShared(k int) float64 {
 		}
 		return sum
 	}
+	//cubefit:vet-allow hotpath -- k > topSharedFastK only when γ−1 > 4, outside every paper configuration; the fast path above is allocation-free
 	vals := make([]float64, 0, len(s.shared))
+	//cubefit:vet-allow maprange -- collects values only; sorted descending before the sum
 	for _, v := range s.shared {
-		vals = append(vals, v)
+		vals = append(vals, v) //cubefit:vet-allow hotpath -- cold k > topSharedFastK path; vals has full capacity reserved above
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
 	sum := 0.0
@@ -156,6 +163,7 @@ func (s *Server) TopSharedSet(k int) (float64, []int) {
 		v  float64
 	}
 	peers := make([]peerShare, 0, len(s.shared))
+	//cubefit:vet-allow maprange -- collects pairs only; sorted below under a strict total order (load desc, ID asc)
 	for j, v := range s.shared {
 		peers = append(peers, peerShare{id: j, v: v})
 	}
@@ -254,6 +262,7 @@ func (p *Placement) Tenant(id TenantID) (Tenant, bool) {
 // Tenants returns all tenants in ID order.
 func (p *Placement) Tenants() []Tenant {
 	out := make([]Tenant, 0, len(p.tenants))
+	//cubefit:vet-allow maprange -- collects tenants only; sorted by unique ID before returning
 	for _, t := range p.tenants {
 		out = append(out, t)
 	}
@@ -279,6 +288,8 @@ func (p *Placement) TenantHosts(id TenantID) []int {
 // insufficient) and the filled slice is returned. It returns nil for an
 // unknown tenant. The result aliases buf and is only valid until the next
 // call with the same buffer or the next placement mutation.
+//
+//cubefit:hotpath
 func (p *Placement) TenantHostsInto(id TenantID, buf []int) []int {
 	hosts, ok := p.tenantHosts[id]
 	if !ok {
@@ -290,6 +301,8 @@ func (p *Placement) TenantHostsInto(id TenantID, buf []int) []int {
 // EachTenantHost calls fn for every replica of tenant id with the replica
 // index and its hosting server (-1 where unplaced). It visits replicas in
 // index order and allocates nothing. fn must not mutate the placement.
+//
+//cubefit:hotpath
 func (p *Placement) EachTenantHost(id TenantID, fn func(idx, server int)) {
 	for i, h := range p.tenantHosts[id] {
 		fn(i, h)
@@ -341,16 +354,18 @@ func (p *Placement) Replicas(t Tenant) []Replica {
 // ReplicasInto is the allocation-free variant of Replicas: the γ replicas
 // are appended to buf[:0] and the filled slice is returned. The result
 // aliases buf and is only valid until the next call with the same buffer.
+//
+//cubefit:hotpath
 func (p *Placement) ReplicasInto(t Tenant, buf []Replica) []Replica {
 	size := p.ReplicaSize(t)
-	out := buf[:0]
+	buf = buf[:0]
 	for i := 0; i < p.gamma; i++ {
-		out = append(out, Replica{
+		buf = append(buf, Replica{
 			Tenant: t.ID, Index: i, Size: size,
 			Clients: ReplicaClients(t.Clients, p.gamma, i),
 		})
 	}
-	return out
+	return buf
 }
 
 // ReplicaClients returns the client count routed to replica index of a

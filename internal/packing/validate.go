@@ -3,6 +3,7 @@ package packing
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrNotRobust indicates a violated robustness constraint.
@@ -23,7 +24,16 @@ var ErrIncomplete = errors.New("packing: tenant has unplaced replicas")
 // other servers because the left side is maximized by the top γ−1 shared
 // loads (see TestValidateMatchesExhaustive).
 func (p *Placement) Validate() error {
-	for id, hosts := range p.tenantHosts {
+	// Scan tenants in ID order so the first violation reported is a pure
+	// function of the placement, not of map iteration order.
+	ids := make([]TenantID, 0, len(p.tenantHosts))
+	//cubefit:vet-allow maprange -- collects keys only; sorted before the scan
+	for id := range p.tenantHosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		hosts := p.tenantHosts[id]
 		seen := make(map[int]bool, len(hosts))
 		for idx, sid := range hosts {
 			if sid == -1 {
@@ -111,9 +121,17 @@ func (p *Placement) checkSubsets(s *Server, others []int, k int) error {
 // redirected to it if all servers in failed go down simultaneously
 // (Σ_{Sj ∈ failed} |Si ∩ Sj| for surviving Si; 0 for failed servers).
 func (p *Placement) FailureImpact(failed []int) map[int]float64 {
+	// Dedupe the failed set preserving the caller's order: the per-server
+	// sum below adds floats in that order, keeping the result a pure
+	// function of the arguments (summing s.shared in map iteration order
+	// would perturb the last ulp from run to run).
 	down := make(map[int]bool, len(failed))
+	uniq := make([]int, 0, len(failed))
 	for _, f := range failed {
-		down[f] = true
+		if !down[f] {
+			down[f] = true
+			uniq = append(uniq, f)
+		}
 	}
 	impact := make(map[int]float64, len(p.servers))
 	for _, s := range p.servers {
@@ -121,10 +139,8 @@ func (p *Placement) FailureImpact(failed []int) map[int]float64 {
 			continue
 		}
 		extra := 0.0
-		for j, v := range s.shared {
-			if down[j] {
-				extra += v
-			}
+		for _, j := range uniq {
+			extra += s.shared[j]
 		}
 		impact[s.id] = extra
 	}
@@ -136,6 +152,7 @@ func (p *Placement) FailureImpact(failed []int) map[int]float64 {
 func (p *Placement) MaxPostFailureLoad(failed []int) float64 {
 	impact := p.FailureImpact(failed)
 	maxLoad := 0.0
+	//cubefit:vet-allow maprange -- max selection yields the same value in any iteration order
 	for id, extra := range impact {
 		if l := p.servers[id].level + extra; l > maxLoad {
 			maxLoad = l

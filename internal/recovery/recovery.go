@@ -74,6 +74,7 @@ func FromFile(path string, cfg core.Config) (*core.CubeFit, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("recovery: %w", err)
 	}
+	//cubefit:vet-allow failclosed -- handle opened read-only; closing it cannot lose acknowledged bytes
 	defer f.Close()
 	events, ends, torn, err := obs.ReadWALOffsets(f)
 	if err != nil {
