@@ -17,6 +17,12 @@
 // tightest servers with their arg-max failure sets attributed to the
 // tenants causing them.
 //
+// The latency subcommand replays an admission span log (the JSONL written
+// by `cubefit-server -spans` or `cubefit-load -spans`) and decomposes
+// end-to-end admission latency into pipeline stages — queue, place, WAL
+// stage, fsync, ack — with per-stage P50/P99, the telescoping
+// reconciliation check, and fsync amortization versus group-commit size.
+//
 // Usage:
 //
 //	cubefit-inspect placement.json
@@ -25,6 +31,7 @@
 //	cubefit-inspect explain -events events.jsonl [placement.json]
 //	cubefit-inspect explain -events events.jsonl -tenant 42 placement.json
 //	cubefit-inspect headroom -events events.jsonl [-redline 0.05] [-top 5] [-csv]
+//	cubefit-inspect latency -spans spans.jsonl [-json]
 package main
 
 import (
@@ -55,6 +62,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "headroom" {
 		return runHeadroom(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "latency" {
+		return runLatency(args[1:], out)
 	}
 	fs := flag.NewFlagSet("cubefit-inspect", flag.ContinueOnError)
 	var (

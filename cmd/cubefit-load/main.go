@@ -8,7 +8,7 @@
 //
 //	cubefit-load [-mode both] [-workers 4] [-ops 30000] [-batch 64]
 //	             [-gamma 2] [-k 10] [-wal path] [-url http://host:8080]
-//	             [-o report.json] [-minspeedup 0]
+//	             [-o report.json] [-minspeedup 0] [-trace=false] [-spans path]
 //
 // By default the harness is self-contained: it builds the same controller
 // cubefit-server serves, exposes it on a loopback listener, and drives it
@@ -29,7 +29,15 @@
 // -o writes a JSON report in the cubefit-bench format — per-mode ns/op
 // (mean wall time per admitted tenant) plus P50/P99 request latency — so
 // `cubefit-bench -compare old.json new.json` diffs load-harness runs
-// exactly like microbenchmarks.
+// exactly like microbenchmarks. When the target traces its admission
+// pipeline (the default for the in-process controller), the report also
+// carries server-side stage columns (queue/place/commit P50/P99 from
+// GET /debug/pipeline), so -compare gates stage regressions too.
+//
+// -trace=false disables span tracing on the in-process controller, which
+// CI uses to measure tracing overhead (tracing-off vs tracing-on ns/op);
+// -spans captures the admission span log (JSONL) for
+// `cubefit-inspect latency`.
 package main
 
 import (
@@ -80,6 +88,11 @@ type config struct {
 	url        string
 	out        string
 	minSpeedup float64
+	trace      bool
+	spans      string
+	// spanSink is shared across modes so -spans captures one contiguous
+	// log per invocation.
+	spanSink *obs.SpanJSONL
 }
 
 // result is one mode's measurement.
@@ -89,6 +102,10 @@ type result struct {
 	requests  int           // HTTP round trips
 	elapsed   time.Duration // wall clock, first send to last ack
 	latencies []float64     // per-request ns
+	// stages holds server-side per-stage percentiles (queue/place/commit
+	// P50/P99 in ns) pulled from GET /debug/pipeline; empty when the
+	// target does not trace.
+	stages map[string]float64
 }
 
 func (r result) perTenantNs() float64 {
@@ -99,7 +116,7 @@ func (r result) throughput() float64 {
 	return float64(r.tenants) / r.elapsed.Seconds()
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("cubefit-load", flag.ContinueOnError)
 	cfg := config{}
 	fs.StringVar(&cfg.mode, "mode", "both", "single, batch, or both")
@@ -112,6 +129,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.StringVar(&cfg.url, "url", "", "drive a live server at this base URL instead of in process")
 	fs.StringVar(&cfg.out, "o", "", "write a cubefit-bench JSON report here")
 	fs.Float64Var(&cfg.minSpeedup, "minspeedup", 0, "fail unless batch is at least this many times faster per tenant (mode both)")
+	fs.BoolVar(&cfg.trace, "trace", true, "enable pipeline span tracing on the in-process controller")
+	fs.StringVar(&cfg.spans, "spans", "", "export admission spans (JSONL) from the in-process controller here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +144,30 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if cfg.minSpeedup > 0 && cfg.mode != "both" {
 		return errors.New("-minspeedup requires -mode both")
+	}
+	if cfg.url != "" && (!cfg.trace || cfg.spans != "") {
+		return errors.New("-trace and -spans configure the in-process controller; they cannot apply to -url targets")
+	}
+	if cfg.spans != "" && !cfg.trace {
+		return errors.New("-spans requires tracing (-trace)")
+	}
+	if cfg.spans != "" {
+		f, err := os.Create(cfg.spans)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewSpanJSONL(f)
+		cfg.spanSink = sink
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		defer func() {
+			if serr := sink.Err(); serr != nil && err == nil {
+				err = fmt.Errorf("span export: %w", serr)
+			}
+		}()
 	}
 
 	var results []result
@@ -147,6 +190,15 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-12s %8d tenants %8d requests  %10.0f tenants/s  p50 %8s  p99 %8s\n",
 			r.name, r.tenants, r.requests, r.throughput(),
 			time.Duration(p50), time.Duration(p99))
+		if len(r.stages) > 0 {
+			fmt.Fprintf(stdout, "  stages:")
+			for _, st := range stageNames {
+				fmt.Fprintf(stdout, "  %s p50 %s p99 %s", st,
+					time.Duration(r.stages[st+"-p50-ns"]),
+					time.Duration(r.stages[st+"-p99-ns"]))
+			}
+			fmt.Fprintln(stdout)
+		}
 	}
 	if cfg.out != "" {
 		if err := writeReport(cfg.out, results); err != nil {
@@ -168,6 +220,7 @@ func run(args []string, stdout io.Writer) error {
 // failed items.
 type target interface {
 	do(path string, body []byte) (status, failed int, err error)
+	pipelineStages() (map[string]float64, bool)
 	close() error
 }
 
@@ -191,6 +244,12 @@ func newSelfhosted(cfg config) (*selfhosted, error) {
 			return nil, err
 		}
 		opts = append(opts, api.WithWAL(w))
+	}
+	if !cfg.trace {
+		opts = append(opts, api.WithoutSpanTracing())
+	}
+	if cfg.spanSink != nil {
+		opts = append(opts, api.WithSpanSink(cfg.spanSink))
 	}
 	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), opts...)
 	if err != nil {
@@ -233,6 +292,45 @@ func (r *remote) do(path string, body []byte) (int, int, error) {
 }
 
 func (r *remote) close() error { return nil }
+
+// stageNames are the pipeline stages exported as report columns: queue
+// wait, in-batch placement, and the combined WAL-stage+fsync commit cost.
+var stageNames = []string{"queue", "place", "commit"}
+
+// pipelineStages pulls per-stage P50/P99 (ns) from GET /debug/pipeline,
+// reporting ok=false when the target does not trace (404 or any error) so
+// untraced runs simply omit the columns.
+func (r *remote) pipelineStages() (map[string]float64, bool) {
+	resp, err := r.client.Get(r.base + "/debug/pipeline")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var debug struct {
+		Spans struct {
+			Stages map[string]struct {
+				P50Ns float64 `json:"p50Ns"`
+				P99Ns float64 `json:"p99Ns"`
+			} `json:"stages"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&debug); err != nil {
+		return nil, false
+	}
+	out := make(map[string]float64, 2*len(stageNames))
+	for _, name := range stageNames {
+		s, ok := debug.Spans.Stages[name]
+		if !ok {
+			return nil, false
+		}
+		out[name+"-p50-ns"] = s.P50Ns
+		out[name+"-p99-ns"] = s.P99Ns
+	}
+	return out, true
+}
 
 // decodeOutcome extracts per-item failures from a batch response; single
 // responses report via status alone.
@@ -337,12 +435,17 @@ func runMode(cfg config, batched bool) (result, error) {
 	for _, l := range lats {
 		merged = append(merged, l...)
 	}
+	// Server-side stage attribution, when the target traces. On a shared
+	// -url target the window spans every mode driven so far; self-hosted
+	// targets are fresh per mode.
+	stages, _ := tgt.pipelineStages()
 	return result{
 		name:      name,
 		tenants:   cfg.ops,
 		requests:  int(requests.Load()),
 		elapsed:   elapsed,
 		latencies: merged,
+		stages:    stages,
 	}, nil
 }
 
@@ -394,15 +497,22 @@ func writeReport(path string, results []result) error {
 	rep := report{Goos: runtime.GOOS, Goarch: runtime.GOARCH, Pkg: "cubefit/cmd/cubefit-load"}
 	for _, r := range results {
 		p50, p99 := latencyPercentiles(r.latencies)
+		metrics := map[string]float64{
+			"ns/op":     r.perTenantNs(),
+			"p50-ns":    p50,
+			"p99-ns":    p99,
+			"tenants/s": r.throughput(),
+		}
+		// Per-stage breakdown columns (queue/place/commit P50/P99) so
+		// cubefit-bench -compare can gate stage regressions; absent when
+		// the target does not trace, which -compare skips.
+		for k, v := range r.stages {
+			metrics[k] = v
+		}
 		rep.Benchmarks = append(rep.Benchmarks, benchmark{
 			Name:       "Load/" + r.name,
 			Iterations: int64(r.tenants),
-			Metrics: map[string]float64{
-				"ns/op":     r.perTenantNs(),
-				"p50-ns":    p50,
-				"p99-ns":    p99,
-				"tenants/s": r.throughput(),
-			},
+			Metrics:    metrics,
 		})
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

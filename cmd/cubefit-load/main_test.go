@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cubefit/internal/obs"
 )
 
 func TestRunBothWritesReport(t *testing.T) {
@@ -36,10 +38,80 @@ func TestRunBothWritesReport(t *testing.T) {
 		if b.Name != name || b.Iterations != 300 {
 			t.Fatalf("benchmark %d = %+v", i, b)
 		}
-		for _, unit := range []string{"ns/op", "p50-ns", "p99-ns", "tenants/s"} {
-			if b.Metrics[unit] <= 0 {
-				t.Fatalf("%s metric %s = %v", name, unit, b.Metrics[unit])
+		for _, unit := range []string{
+			"ns/op", "p50-ns", "p99-ns", "tenants/s",
+			"queue-p50-ns", "queue-p99-ns", "place-p50-ns", "place-p99-ns",
+			"commit-p50-ns", "commit-p99-ns",
+		} {
+			if _, ok := b.Metrics[unit]; !ok {
+				t.Fatalf("%s missing metric %s", name, unit)
 			}
+		}
+		if b.Metrics["ns/op"] <= 0 || b.Metrics["queue-p99-ns"] < b.Metrics["queue-p50-ns"] {
+			t.Fatalf("%s metrics implausible: %v", name, b.Metrics)
+		}
+	}
+	if !strings.Contains(buf.String(), "stages:") {
+		t.Fatalf("missing stage breakdown line:\n%s", buf.String())
+	}
+}
+
+// TestRunTracingOff: -trace=false still measures, omits the stage
+// columns, and prints no stage line.
+func TestRunTracingOff(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "batch", "-ops", "200", "-batch", "16",
+		"-trace=false", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "stages:") {
+		t.Fatal("tracing-off run printed a stage breakdown")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Benchmarks[0].Metrics["queue-p50-ns"]; ok {
+		t.Fatal("tracing-off report carries stage columns")
+	}
+	if rep.Benchmarks[0].Metrics["ns/op"] <= 0 {
+		t.Fatal("tracing-off report lost the throughput metrics")
+	}
+}
+
+// TestRunSpanExport: -spans captures a JSONL log whose spans cover every
+// admission of the run and telescope.
+func TestRunSpanExport(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "batch", "-ops", "192", "-batch", "16",
+		"-spans", spansPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpanJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 192 {
+		t.Fatalf("exported %d spans, want 192", len(spans))
+	}
+	for _, s := range spans {
+		sum := s.QueueNs() + s.PlaceNs() + s.WalNs() + s.FsyncNs() + s.AckLatencyNs()
+		if sum != s.TotalNs() {
+			t.Fatalf("span does not telescope: %+v", s)
+		}
+		if !s.Batch || s.Status != 201 {
+			t.Fatalf("unexpected span shape: %+v", s)
 		}
 	}
 }
@@ -84,6 +156,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-workers", "0"},
 		{"-batch", "0"},
 		{"-mode", "single", "-minspeedup", "2"},
+		{"-url", "http://localhost:1", "-trace=false"},
+		{"-url", "http://localhost:1", "-spans", "x.jsonl"},
+		{"-spans", "x.jsonl", "-trace=false"},
 	} {
 		if err := run(args, new(bytes.Buffer)); err == nil {
 			t.Fatalf("args %v accepted", args)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-pprof] [-drain 10s]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-trace] [-spans path] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
@@ -21,6 +21,7 @@
 //	GET    /debug/events     last decision events [?n=200]
 //	GET    /debug/headroom   worst-case failover slack per server [?worst=n]
 //	GET    /debug/headroom/servers/{id}  one server's worst set, attributed
+//	GET    /debug/pipeline   admission stage percentiles, queue state, recent group commits
 //	GET    /explain/tenants/{id}  reconstructed decision path + failover
 //	/debug/pprof/*           with -pprof only
 //
@@ -35,6 +36,13 @@
 // worst-case failover slack and arg-max failure set, and the
 // cubefit_headroom_* gauges track the minimum/median slack plus the
 // servers below the -redline threshold.
+//
+// Tracing: the admission pipeline stamps every request with a per-stage
+// span (queue wait, placement, WAL stage, group-commit fsync, ack) and
+// exports stage histograms plus queue gauges on /metrics and live
+// percentiles on GET /debug/pipeline. -trace=false disables the span
+// layer entirely; -spans path additionally streams every finished span
+// as JSONL for offline analysis with `cubefit-inspect latency`.
 //
 // Durability: with -wal the decision stream doubles as a write-ahead log.
 // At boot the server replays the log into a fresh engine, cross-checks the
@@ -86,6 +94,11 @@ type options struct {
 	drain time.Duration
 	pprof bool
 	ctrl  *api.Controller
+	// spanLog/spanSink are set with -spans: the JSONL span export file,
+	// closed (with its sticky encode error surfaced) after the controller
+	// drains so every finished span reaches the file.
+	spanLog  *os.File
+	spanSink *obs.SpanJSONL
 }
 
 func run(args []string) error {
@@ -107,6 +120,14 @@ func run(args []string) error {
 	// and commit the write-ahead log's final batch.
 	if cerr := opts.ctrl.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("closing admission pipeline: %w", cerr)
+	}
+	if opts.spanLog != nil {
+		if serr := opts.spanSink.Err(); serr != nil && err == nil {
+			err = fmt.Errorf("span export: %w", serr)
+		}
+		if cerr := opts.spanLog.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing span log: %w", cerr)
+		}
 	}
 	return err
 }
@@ -150,9 +171,14 @@ func newServer(args []string) (*http.Server, options, error) {
 		redline   = fs.Float64("redline", headroom.DefaultRedLine,
 			"headroom red-line: slack below this counts a server in cubefit_headroom_below_redline")
 		walPath = fs.String("wal", "", "write-ahead log path: replay at boot, group-commit admissions before ack")
+		trace   = fs.Bool("trace", true, "trace admission pipeline stages (/debug/pipeline, cubefit_pipeline_* metrics)")
+		spans   = fs.String("spans", "", "stream finished admission spans to this JSONL file (requires tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
+	}
+	if *spans != "" && !*trace {
+		return nil, options{}, fmt.Errorf("-spans requires tracing; drop -trace=false")
 	}
 	opts := options{cfg: core.Config{Gamma: *gamma, K: *k}, drain: *drain, pprof: *withPprof}
 	var (
@@ -193,8 +219,23 @@ func newServer(args []string) (*http.Server, options, error) {
 			return nil, options{}, err
 		}
 	}
+	if !*trace {
+		ctrlOpts = append(ctrlOpts, api.WithoutSpanTracing())
+	}
+	if *spans != "" {
+		f, ferr := os.Create(*spans)
+		if ferr != nil {
+			return nil, options{}, fmt.Errorf("span log: %w", ferr)
+		}
+		opts.spanLog = f
+		opts.spanSink = obs.NewSpanJSONL(f)
+		ctrlOpts = append(ctrlOpts, api.WithSpanSink(opts.spanSink))
+	}
 	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), ctrlOpts...)
 	if err != nil {
+		if opts.spanLog != nil {
+			err = errors.Join(err, opts.spanLog.Close())
+		}
 		return nil, options{}, err
 	}
 	opts.ctrl = ctrl

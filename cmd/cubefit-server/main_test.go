@@ -72,6 +72,97 @@ func TestNewServerFlagErrors(t *testing.T) {
 	if _, _, err := newServer([]string{"-k", "1"}); err == nil {
 		t.Fatal("invalid K accepted")
 	}
+	if _, _, err := newServer([]string{"-trace=false", "-spans", "x.jsonl"}); err == nil {
+		t.Fatal("-spans without tracing accepted")
+	}
+}
+
+// TestTraceFlag: tracing is on by default (pipeline endpoint + metrics
+// live) and -trace=false removes both.
+func TestTraceFlag(t *testing.T) {
+	srv, opts, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opts.ctrl.Close()
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	if body := getOK(t, ts, "/debug/pipeline"); !strings.Contains(body, `"tracing":true`) {
+		t.Fatalf("/debug/pipeline body:\n%s", body)
+	}
+	if m := getOK(t, ts, "/metrics"); !strings.Contains(m, "cubefit_pipeline_queue_depth") {
+		t.Fatalf("/metrics missing pipeline gauges:\n%s", m)
+	}
+
+	srvOff, optsOff, err := newServer([]string{"-trace=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer optsOff.ctrl.Close()
+	tsOff := httptest.NewServer(srvOff.Handler)
+	defer tsOff.Close()
+	resp, err := tsOff.Client().Get(tsOff.URL + "/debug/pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/debug/pipeline with -trace=false: status %d, want 404", resp.StatusCode)
+	}
+	if m := getOK(t, tsOff, "/metrics"); strings.Contains(m, "cubefit_pipeline_") {
+		t.Fatal("-trace=false still exports pipeline metrics")
+	}
+}
+
+// TestSpansFlag: -spans streams every finished admission span to the
+// JSONL file, flushed and closed by the run() teardown path.
+func TestSpansFlag(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	srv, opts, err := newServer([]string{"-spans", spansPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	for i := 0; i < 8; i++ {
+		body := strings.NewReader(fmt.Sprintf(`{"id":%d,"load":0.1}`, i))
+		resp, err := ts.Client().Post(ts.URL+"/v1/tenants", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 201 {
+			t.Fatalf("place %d: status %d", i, resp.StatusCode)
+		}
+	}
+	ts.Close()
+	// Mirror run()'s teardown: drain the pipeline, then surface the sink
+	// state and close the file.
+	if err := opts.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.spanSink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.spanLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpanJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 8 {
+		t.Fatalf("exported %d spans, want 8", len(spans))
+	}
+	for _, s := range spans {
+		if s.Status != 201 || s.TotalNs() <= 0 {
+			t.Fatalf("unexpected span: %+v", s)
+		}
+	}
 }
 
 func TestNewServerCustomFlags(t *testing.T) {

@@ -42,7 +42,7 @@ func collectPass(p *analysis.Package) *analysis.Pass {
 }
 
 func TestRealTreeHotpathAnnotationsPresent(t *testing.T) {
-	pkgs := loadReal(t, "../../core", "../../obs", "../../packing")
+	pkgs := loadReal(t, "../../core", "../../obs", "../../packing", "../../api")
 	got := make(map[string]bool)
 	for _, p := range pkgs {
 		for _, fn := range CollectHotpathFuncs(collectPass(p)) {
@@ -69,6 +69,16 @@ func TestRealTreeHotpathAnnotationsPresent(t *testing.T) {
 		// The pooled event seam every emission crosses.
 		"cubefit/internal/obs.AcquireEvent",
 		"cubefit/internal/obs.ReleaseEvent",
+		// The pooled admission-span seam and its ring recorder.
+		"cubefit/internal/obs.AcquireSpan",
+		"cubefit/internal/obs.ReleaseSpan",
+		"cubefit/internal/obs.Span.Normalize",
+		"cubefit/internal/obs.SpanRing.RecordSpan",
+		// The pipeline tracer's per-admission instrumentation points.
+		"cubefit/internal/api.pipelineTracer.now",
+		"cubefit/internal/api.pipelineTracer.enqueued",
+		"cubefit/internal/api.pipelineTracer.dequeued",
+		"cubefit/internal/api.pipelineTracer.finish",
 		// The allocation-free placement accessors the engine leans on.
 		"cubefit/internal/packing.Placement.ReplicasInto",
 		"cubefit/internal/packing.Placement.TenantHostsInto",

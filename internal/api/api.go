@@ -117,6 +117,18 @@ type Controller struct {
 	auditor   *headroom.Auditor
 	headroomM *headroomMetrics
 
+	// clk is the time source for pipeline span stamping (and event
+	// stamping); WithClock substitutes a fake in tests.
+	clk clock.Clock
+	// tracer stamps every admission with per-stage timestamps and owns the
+	// pipeline histograms, queue gauges, and GET /debug/pipeline state
+	// (nil when tracing is disabled with WithoutSpanTracing).
+	tracer *pipelineTracer
+	// spanSink, when attached, receives every completed span (span JSONL
+	// export for cubefit-inspect latency).
+	spanSink obs.SpanRecorder
+	tracing  bool
+
 	// wal, when attached, receives the decision event stream and is
 	// group-committed by the placer before admissions are acked; a WAL
 	// error fails the admission path closed (see placeJobs).
@@ -144,6 +156,28 @@ func WithWAL(w *obs.WAL) Option {
 	return func(c *Controller) { c.wal = w }
 }
 
+// WithSpanSink attaches an external consumer for completed admission
+// spans (typically obs.SpanJSONL for offline analysis with
+// `cubefit-inspect latency`). The sink receives every span after the
+// in-memory window and the stage histograms; it must be safe for
+// concurrent use. It is ignored when tracing is disabled.
+func WithSpanSink(s obs.SpanRecorder) Option {
+	return func(c *Controller) { c.spanSink = s }
+}
+
+// WithoutSpanTracing disables admission pipeline span tracing (on by
+// default): no per-stage histograms, no GET /debug/pipeline (404), no
+// span sink. The end-to-end HTTP latency histograms remain.
+func WithoutSpanTracing() Option {
+	return func(c *Controller) { c.tracing = false }
+}
+
+// WithClock substitutes the controller's time source for event and span
+// stamping. Tests use a fake; the default is the monotonic real clock.
+func WithClock(clk clock.Clock) Option {
+	return func(c *Controller) { c.clk = clk }
+}
+
 // NewController wraps an algorithm. The load model translates
 // client-count admissions into loads.
 func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Option) (*Controller, error) {
@@ -155,6 +189,7 @@ func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Opti
 	}
 	c := &Controller{
 		alg: alg, model: model, registry: metrics.NewRegistry(),
+		clk: clock.Real(), tracing: true,
 		queue:      make(chan *admitJob, admitQueueDepth),
 		placerDone: make(chan struct{}),
 	}
@@ -162,6 +197,9 @@ func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Opti
 		opt(c)
 	}
 	c.httpM = metrics.NewHTTPMetrics(c.registry)
+	if c.tracing {
+		c.tracer = newPipelineTracer(c.registry, c.clk, c.spanSink)
+	}
 	c.admissions = c.registry.NewCounterVec("cubefit_admissions_total",
 		"Tenant admissions by outcome path.", "outcome")
 	if ao, ok := alg.(admissionObservable); ok {
@@ -198,7 +236,7 @@ func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Opti
 		if c.wal != nil {
 			sinks = append(sinks, c.wal)
 		}
-		rec.SetRecorder(obs.Stamp(clock.Real(), obs.Tee(sinks...)))
+		rec.SetRecorder(obs.Stamp(c.clk, obs.Tee(sinks...)))
 		c.refreshHeadroom()
 	}
 	go c.runPlacer()
@@ -240,6 +278,7 @@ func (c *Controller) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	route("GET /debug/events", "debug_events", c.handleDebugEvents)
+	route("GET /debug/pipeline", "debug_pipeline", c.handlePipeline)
 	route("GET /debug/headroom", "debug_headroom", c.handleHeadroom)
 	route("GET /debug/headroom/servers/{id}", "debug_headroom_server", c.handleHeadroomServer)
 	route("GET /explain/tenants/{id}", "explain", c.handleExplain)
@@ -265,14 +304,9 @@ func (c *Controller) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("%s does not record decision events", c.alg.Name())})
 		return
 	}
-	n := defaultEventDump
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid n " + raw})
-			return
-		}
-		n = v
+	n, ok := queryNonNegInt(w, r, "n", defaultEventDump)
+	if !ok {
+		return
 	}
 	// One lock acquisition for the pair: Total() and Last(n) read
 	// separately can interleave with a concurrent admission and report a
@@ -406,12 +440,25 @@ func (c *Controller) handlePlace(w http.ResponseWriter, r *http.Request) {
 	// coalesces concurrent requests into one lock acquisition and one WAL
 	// group commit while preserving exact serial placement order.
 	job := &admitJob{items: []admitItem{{tenant: t}}, done: make(chan struct{})}
+	if c.tracer != nil {
+		sp := obs.AcquireSpan()
+		sp.Tenant = req.ID
+		job.items[0].span = sp
+	}
 	if !c.enqueue(job) {
+		if sp := job.items[0].span; sp != nil {
+			obs.ReleaseSpan(sp)
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
 		return
 	}
 	<-job.done
 	it := &job.items[0]
+	if it.span != nil {
+		it.span.Status = it.status
+		c.tracer.finish(it.span)
+		it.span = nil
+	}
 	if it.status != http.StatusCreated {
 		writeJSON(w, it.status, errorResponse{Error: it.err})
 		return
@@ -690,6 +737,23 @@ func (c *Controller) handleRepack(w http.ResponseWriter, _ *http.Request) {
 		MovedLoad:     plan.MovedLoad,
 		Migrations:    plan.Moves,
 	})
+}
+
+// queryNonNegInt parses an optional non-negative integer query parameter,
+// answering def when absent. A negative or non-numeric value is a client
+// error: it writes a 400 and reports ok=false instead of silently
+// coercing.
+func queryNonNegInt(w http.ResponseWriter, r *http.Request, name string, def int) (v int, ok bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid " + name + " " + raw})
+		return 0, false
+	}
+	return v, true
 }
 
 func pathID(w http.ResponseWriter, r *http.Request) (packing.TenantID, bool) {

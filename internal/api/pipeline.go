@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 )
 
@@ -41,6 +42,10 @@ type admitItem struct {
 	status  int
 	err     string
 	servers []int
+	// span carries the item's pipeline trace (nil when tracing is
+	// disabled). The pipeline stamps it in place; the handler that owns
+	// the job completes and releases it after done closes.
+	span *obs.Span
 }
 
 // admitJob is the unit handed to the placer: the items of one request,
@@ -57,6 +62,11 @@ func (c *Controller) enqueue(job *admitJob) bool {
 	defer c.sendMu.RUnlock()
 	if c.closed {
 		return false
+	}
+	if c.tracer != nil {
+		// Stamped before the send so the queue stage includes backpressure
+		// blocking on a full channel.
+		c.tracer.enqueued(job, len(c.queue))
 	}
 	c.queue <- job
 	return true
@@ -102,6 +112,9 @@ func (c *Controller) runPlacer() {
 				break coalesce
 			}
 		}
+		if c.tracer != nil {
+			c.tracer.dequeued(jobs, len(c.queue))
+		}
 		c.placeJobs(jobs)
 		for _, j := range jobs {
 			close(j.done)
@@ -117,9 +130,11 @@ func (c *Controller) runPlacer() {
 // is sticky, so all later admissions fail closed until the operator
 // intervenes.
 func (c *Controller) placeJobs(jobs []*admitJob) {
+	tr := c.tracer
 	c.mu.Lock()
 	walDown := c.wal != nil && c.wal.Err() != nil
 	mutated := false
+	group := 0 // engine admissions the group commit will make durable
 	for _, job := range jobs {
 		for i := range job.items {
 			it := &job.items[i]
@@ -137,13 +152,20 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 				continue
 			}
 			mutated = true // even a failed admission may open servers
+			if tr != nil && it.span != nil {
+				it.span.PlaceStartNs = tr.now()
+			}
 			if err := c.alg.Place(it.tenant); err != nil {
 				it.status = http.StatusUnprocessableEntity
 				it.err = err.Error()
-				continue
+			} else {
+				it.status = http.StatusCreated
+				it.servers = c.alg.Placement().TenantHosts(it.tenant.ID)
+				group++
 			}
-			it.status = http.StatusCreated
-			it.servers = c.alg.Placement().TenantHosts(it.tenant.ID)
+			if tr != nil && it.span != nil {
+				it.span.PlaceEndNs = tr.now()
+			}
 		}
 	}
 	if mutated {
@@ -154,7 +176,24 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 	if c.wal == nil || !mutated {
 		return
 	}
-	if err := c.wal.Sync(); err != nil {
+	// One group commit covers the whole coalesced batch: every span in it
+	// (including rejected items, which wait for the same fsync before
+	// their handler is released) carries the commit identity, so the
+	// fsync's cost is attributable across the admissions it covered.
+	var commitID uint64
+	var commitStart int64
+	if tr != nil {
+		commitID = tr.nextCommit()
+		commitStart = tr.now()
+		stampCommitStart(jobs, commitStart)
+	}
+	syncErr := c.wal.Sync()
+	if tr != nil {
+		commitEnd := tr.now()
+		stampCommitEnd(jobs, commitEnd, commitID, group)
+		tr.commitDone(commitID, group, commitEnd-commitStart, commitEnd, syncErr != nil)
+	}
+	if err := syncErr; err != nil {
 		// The batch's events may not have reached stable storage, so none
 		// of its admissions can be acked. Demote them to 503 and roll the
 		// tenants back out of the engine, keeping the in-memory state
@@ -180,6 +219,32 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 		c.snap = nil
 		c.refreshHeadroom()
 		c.mu.Unlock()
+	}
+}
+
+// stampCommitStart marks the group commit beginning on every traced span
+// of the batch.
+func stampCommitStart(jobs []*admitJob, ns int64) {
+	for _, job := range jobs {
+		for i := range job.items {
+			if sp := job.items[i].span; sp != nil {
+				sp.CommitStartNs = ns
+			}
+		}
+	}
+}
+
+// stampCommitEnd marks the group commit completion and identity (commit
+// sequence number and group size) on every traced span of the batch.
+func stampCommitEnd(jobs []*admitJob, ns int64, commitID uint64, group int) {
+	for _, job := range jobs {
+		for i := range job.items {
+			if sp := job.items[i].span; sp != nil {
+				sp.CommitEndNs = ns
+				sp.Commit = commitID
+				sp.Group = group
+			}
+		}
 	}
 }
 
@@ -241,6 +306,12 @@ func (c *Controller) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	job := &admitJob{items: make([]admitItem, len(req.Tenants)), done: make(chan struct{})}
 	for i, pr := range req.Tenants {
 		it := &job.items[i]
+		if c.tracer != nil {
+			sp := obs.AcquireSpan()
+			sp.Tenant = pr.ID
+			sp.Batch = true
+			it.span = sp
+		}
 		if err := pr.validate(); err != nil {
 			it.status = http.StatusBadRequest
 			it.err = err.Error()
@@ -255,6 +326,11 @@ func (c *Controller) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !c.enqueue(job) {
+		for i := range job.items {
+			if sp := job.items[i].span; sp != nil {
+				obs.ReleaseSpan(sp)
+			}
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
 		return
 	}
@@ -262,6 +338,11 @@ func (c *Controller) handlePlaceBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{Results: make([]batchResult, len(job.items))}
 	for i := range job.items {
 		it := &job.items[i]
+		if it.span != nil {
+			it.span.Status = it.status
+			c.tracer.finish(it.span)
+			it.span = nil
+		}
 		res := batchResult{ID: int(it.tenant.ID), Status: it.status, Error: it.err}
 		if it.status == http.StatusBadRequest {
 			// The id may not have parsed meaningfully; echo the request's.
