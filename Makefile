@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-build lint lint-json test test-short race bench bench-compare loadtest loadtest-compare loadtest-trace profile cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet vet-build lint lint-json test test-short race bench bench-compare loadtest loadtest-compare loadtest-trace loadtest-health healthcheck profile cover experiments figure5 figure6 table1 theorem2 fmt
 
 all: build vet lint test
 
@@ -20,7 +20,7 @@ vet:
 # belongs to exactly one.
 LINT_GROUPS := algorithms runtime sim tools
 LINT_algorithms := ./internal/core/... ./internal/packing/... ./internal/baseline/... ./internal/offline/... ./internal/opt/... ./internal/rebalance/... ./internal/rfi/... ./internal/ratio/...
-LINT_runtime := ./internal/api/... ./internal/obs/... ./internal/recovery/... ./internal/metrics/... ./internal/clock/... ./internal/rng/...
+LINT_runtime := ./internal/api/... ./internal/obs/... ./internal/recovery/... ./internal/metrics/... ./internal/telemetry/... ./internal/clock/... ./internal/rng/...
 LINT_sim := ./internal/sim/... ./internal/eventsim/... ./internal/cluster/... ./internal/workload/... ./internal/trace/... ./internal/tpch/... ./internal/failure/... ./internal/costs/... ./internal/headroom/... ./internal/stats/... ./internal/report/...
 LINT_tools := . ./cmd/... ./internal/analysis/...
 
@@ -106,6 +106,40 @@ loadtest-trace:
 	$(GO) run ./cmd/cubefit-load -ops $(TRACE_OPS) -trace=false -o LOAD_notrace.json
 	$(GO) run ./cmd/cubefit-load -ops $(TRACE_OPS) -o LOAD_trace.json
 	$(GO) run ./cmd/cubefit-bench -compare LOAD_notrace.json LOAD_trace.json -threshold $(TRACE_OVERHEAD)
+
+# Health sampler overhead: the load harness with the telemetry loop off
+# (baseline) and on, diffed like the tracing gate. The sampler scrapes
+# the registry once per -health-interval off the admission path, so the
+# expected cost is noise; the threshold matches the tracing gate's
+# shared-runner headroom.
+HEALTH_OVERHEAD ?= 0.10
+loadtest-health:
+	$(GO) run ./cmd/cubefit-load -ops $(TRACE_OPS) -health=false -o LOAD_nohealth.json
+	$(GO) run ./cmd/cubefit-load -ops $(TRACE_OPS) -o LOAD_health.json
+	$(GO) run ./cmd/cubefit-bench -compare LOAD_nohealth.json LOAD_health.json -threshold $(HEALTH_OVERHEAD)
+
+# End-to-end health smoke: boot a real server with a fast sampling
+# interval and a health log, probe liveness/readiness, admit a tenant,
+# read the timeline, shut down gracefully (SIGTERM → readiness-aware
+# drain), then replay the recorded log offline — `cubefit-inspect
+# health` exits non-zero if the replayed verdict timeline diverges from
+# the live one.
+HEALTH_ADDR ?= 127.0.0.1:18080
+healthcheck:
+	$(GO) build -o bin/cubefit-server ./cmd/cubefit-server
+	$(GO) build -o bin/cubefit-inspect ./cmd/cubefit-inspect
+	@set -e; \
+	./bin/cubefit-server -addr $(HEALTH_ADDR) -health-interval 200ms -health-log HEALTH_smoke.jsonl & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	curl -fsS http://$(HEALTH_ADDR)/healthz; echo; \
+	curl -fsS http://$(HEALTH_ADDR)/readyz; echo; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d '{"id":1,"load":0.4}' http://$(HEALTH_ADDR)/v1/tenants >/dev/null; \
+	curl -fsS 'http://$(HEALTH_ADDR)/debug/health' >/dev/null; \
+	curl -fsS 'http://$(HEALTH_ADDR)/debug/timeline?series=cubefit_wal_sticky_error&window=30s' >/dev/null; \
+	sleep 1; \
+	kill -TERM $$pid; wait $$pid; \
+	./bin/cubefit-inspect health -log HEALTH_smoke.jsonl
 
 # CPU and allocation profiles of a representative consolidation run;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

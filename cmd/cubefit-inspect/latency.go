@@ -53,24 +53,9 @@ func runLatency(args []string, out io.Writer) error {
 	return renderLatencyReport(out, rep)
 }
 
-// latencyStages are the reported stages: the five telescoping pipeline
-// stages, the engine and commit overlays, and the end-to-end total.
-var latencyStages = []struct {
-	name      string
-	canonical bool // part of the telescoping decomposition
-	ns        func(*obs.Span) int64
-}{
-	{"queue", true, (*obs.Span).QueueNs},
-	{"place", true, (*obs.Span).PlaceNs},
-	{"wal", true, (*obs.Span).WalNs},
-	{"fsync", true, (*obs.Span).FsyncNs},
-	{"ack", true, (*obs.Span).AckLatencyNs},
-	{"engine", false, (*obs.Span).EngineNs},
-	{"commit", false, (*obs.Span).CommitNs},
-	{"total", false, (*obs.Span).TotalNs},
-}
-
-// stageStats is one stage's latency distribution over the span log.
+// stageStats is one stage's latency distribution over the span log. The
+// reported stage set is obs.StageExtractors, shared with /debug/pipeline
+// and the telemetry sampler.
 type stageStats struct {
 	P50Ns  float64 `json:"p50Ns"`
 	P99Ns  float64 `json:"p99Ns"`
@@ -110,14 +95,14 @@ func buildLatencyReport(spans []obs.Span) latencyReport {
 	rep := latencyReport{
 		Spans:    len(spans),
 		Statuses: make(map[int]int),
-		Stages:   make(map[string]stageStats, len(latencyStages)),
+		Stages:   make(map[string]stageStats, len(obs.StageExtractors)),
 	}
 	var totalSum float64
 	vals := make([]float64, len(spans))
-	for _, st := range latencyStages {
+	for _, st := range obs.StageExtractors {
 		var s stageStats
 		for i := range spans {
-			v := float64(st.ns(&spans[i]))
+			v := float64(st.Ns(&spans[i]))
 			vals[i] = v
 			s.SumNs += v
 			if v > s.MaxNs {
@@ -127,10 +112,10 @@ func buildLatencyReport(spans []obs.Span) latencyReport {
 		s.P50Ns, _ = stats.PercentileInPlace(vals, 50)
 		s.P99Ns, _ = stats.P99InPlace(vals)
 		s.MeanNs = s.SumNs / float64(len(spans))
-		if st.name == "total" {
+		if st.Name == "total" {
 			totalSum = s.SumNs
 		}
-		rep.Stages[st.name] = s
+		rep.Stages[st.Name] = s
 	}
 	if totalSum > 0 {
 		for name, s := range rep.Stages {
@@ -239,10 +224,10 @@ func renderLatencyReport(out io.Writer, rep latencyReport) error {
 
 	fmt.Fprintln(out, "\nstage latency (canonical stages sum to total; engine ⊂ place, commit = wal+fsync):")
 	tb := report.NewTable("Stage", "P50", "P99", "Mean", "Max", "Share")
-	for _, st := range latencyStages {
-		s := rep.Stages[st.name]
-		name := st.name
-		if !st.canonical && st.name != "total" {
+	for _, st := range obs.StageExtractors {
+		s := rep.Stages[st.Name]
+		name := st.Name
+		if !st.Canonical && st.Name != "total" {
 			name = "  " + name
 		}
 		tb.AddRow(name,

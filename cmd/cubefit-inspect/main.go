@@ -23,6 +23,13 @@
 // stage, fsync, ack — with per-stage P50/P99, the telescoping
 // reconciliation check, and fsync amortization versus group-commit size.
 //
+// The health subcommand replays a health log (the JSONL written by
+// `cubefit-server -health-log`) through a fresh telemetry rule engine
+// and reconstructs the verdict timeline — every healthy/degraded/critical
+// transition with its firing rules and evidence — then checks parity
+// against the transitions the live run recorded; a mismatch exits
+// non-zero.
+//
 // Usage:
 //
 //	cubefit-inspect placement.json
@@ -32,6 +39,7 @@
 //	cubefit-inspect explain -events events.jsonl -tenant 42 placement.json
 //	cubefit-inspect headroom -events events.jsonl [-redline 0.05] [-top 5] [-csv]
 //	cubefit-inspect latency -spans spans.jsonl [-json]
+//	cubefit-inspect health -log health.jsonl [-json]
 package main
 
 import (
@@ -65,6 +73,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "latency" {
 		return runLatency(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "health" {
+		return runHealth(args[1:], out)
 	}
 	fs := flag.NewFlagSet("cubefit-inspect", flag.ContinueOnError)
 	var (

@@ -8,7 +8,7 @@
 //
 //	cubefit-load [-mode both] [-workers 4] [-ops 30000] [-batch 64]
 //	             [-gamma 2] [-k 10] [-wal path] [-url http://host:8080]
-//	             [-o report.json] [-minspeedup 0] [-trace=false] [-spans path]
+//	             [-o report.json] [-minspeedup 0] [-trace=false] [-spans path] [-health=false]
 //
 // By default the harness is self-contained: it builds the same controller
 // cubefit-server serves, exposes it on a loopback listener, and drives it
@@ -38,6 +38,12 @@
 // CI uses to measure tracing overhead (tracing-off vs tracing-on ns/op);
 // -spans captures the admission span log (JSONL) for
 // `cubefit-inspect latency`.
+//
+// When the target serves GET /debug/health (the in-process controller
+// runs the health sampling loop during the run), each mode's report
+// folds the verdict in: the final health state, any state transitions
+// the load provoked (burn-rate breach, queue saturation), and a
+// health-transitions column in the -o report.
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +97,7 @@ type config struct {
 	minSpeedup float64
 	trace      bool
 	spans      string
+	health     bool
 	// spanSink is shared across modes so -spans captures one contiguous
 	// log per invocation.
 	spanSink *obs.SpanJSONL
@@ -106,6 +114,24 @@ type result struct {
 	// P50/P99 in ns) pulled from GET /debug/pipeline; empty when the
 	// target does not trace.
 	stages map[string]float64
+	// health is the target's verdict after the run, pulled from
+	// GET /debug/health; nil when the target does not serve it.
+	health *healthSummary
+}
+
+// healthSummary is the slice of GET /debug/health the harness folds into
+// its report: a run that degraded the server (burn-rate breach, queue
+// saturation, headroom erosion) surfaces next to the numbers that caused
+// it.
+type healthSummary struct {
+	State            string `json:"state"`
+	TransitionsTotal uint64 `json:"transitionsTotal"`
+	Transitions      []struct {
+		TNs   int64    `json:"tNs"`
+		From  string   `json:"from"`
+		To    string   `json:"to"`
+		Rules []string `json:"rules"`
+	} `json:"transitions"`
 }
 
 func (r result) perTenantNs() float64 {
@@ -131,6 +157,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	fs.Float64Var(&cfg.minSpeedup, "minspeedup", 0, "fail unless batch is at least this many times faster per tenant (mode both)")
 	fs.BoolVar(&cfg.trace, "trace", true, "enable pipeline span tracing on the in-process controller")
 	fs.StringVar(&cfg.spans, "spans", "", "export admission spans (JSONL) from the in-process controller here")
+	fs.BoolVar(&cfg.health, "health", true, "run the health sampling loop during the run and fold the verdict into the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +226,13 @@ func run(args []string, stdout io.Writer) (err error) {
 			}
 			fmt.Fprintln(stdout)
 		}
+		if r.health != nil {
+			fmt.Fprintf(stdout, "  health: %s, %d transitions\n", r.health.State, r.health.TransitionsTotal)
+			for _, tr := range r.health.Transitions {
+				fmt.Fprintf(stdout, "    %s %s → %s [%s]\n",
+					time.Duration(tr.TNs), tr.From, tr.To, strings.Join(tr.Rules, ", "))
+			}
+		}
 	}
 	if cfg.out != "" {
 		if err := writeReport(cfg.out, results); err != nil {
@@ -221,6 +255,7 @@ func run(args []string, stdout io.Writer) (err error) {
 type target interface {
 	do(path string, body []byte) (status, failed int, err error)
 	pipelineStages() (map[string]float64, bool)
+	health() (*healthSummary, bool)
 	close() error
 }
 
@@ -250,6 +285,13 @@ func newSelfhosted(cfg config) (*selfhosted, error) {
 	}
 	if cfg.spanSink != nil {
 		opts = append(opts, api.WithSpanSink(cfg.spanSink))
+	}
+	if cfg.health {
+		// Sample health for real during the run, so the report's verdict
+		// reflects what the load did to the server rather than the boot
+		// state. -health=false keeps the loop off, which CI diffs against
+		// to measure the sampler's overhead.
+		opts = append(opts, api.WithHealthLoop())
 	}
 	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), opts...)
 	if err != nil {
@@ -330,6 +372,25 @@ func (r *remote) pipelineStages() (map[string]float64, bool) {
 		out[name+"-p99-ns"] = s.P99Ns
 	}
 	return out, true
+}
+
+// health pulls the target's verdict from GET /debug/health, reporting
+// ok=false when the endpoint is absent (an older or foreign server) so
+// such targets simply omit the health line.
+func (r *remote) health() (*healthSummary, bool) {
+	resp, err := r.client.Get(r.base + "/debug/health")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var hs healthSummary
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		return nil, false
+	}
+	return &hs, true
 }
 
 // decodeOutcome extracts per-item failures from a batch response; single
@@ -439,6 +500,10 @@ func runMode(cfg config, batched bool) (result, error) {
 	// -url target the window spans every mode driven so far; self-hosted
 	// targets are fresh per mode.
 	stages, _ := tgt.pipelineStages()
+	var hs *healthSummary
+	if cfg.health {
+		hs, _ = tgt.health()
+	}
 	return result{
 		name:      name,
 		tenants:   cfg.ops,
@@ -446,6 +511,7 @@ func runMode(cfg config, batched bool) (result, error) {
 		elapsed:   elapsed,
 		latencies: merged,
 		stages:    stages,
+		health:    hs,
 	}, nil
 }
 
@@ -508,6 +574,11 @@ func writeReport(path string, results []result) error {
 		// the target does not trace, which -compare skips.
 		for k, v := range r.stages {
 			metrics[k] = v
+		}
+		// Health verdict column: transitions observed during the run (0 on
+		// a run the server stayed healthy through).
+		if r.health != nil {
+			metrics["health-transitions"] = float64(r.health.TransitionsTotal)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, benchmark{
 			Name:       "Load/" + r.name,

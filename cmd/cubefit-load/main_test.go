@@ -50,9 +50,40 @@ func TestRunBothWritesReport(t *testing.T) {
 		if b.Metrics["ns/op"] <= 0 || b.Metrics["queue-p99-ns"] < b.Metrics["queue-p50-ns"] {
 			t.Fatalf("%s metrics implausible: %v", name, b.Metrics)
 		}
+		if _, ok := b.Metrics["health-transitions"]; !ok {
+			t.Fatalf("%s missing the health-transitions column: %v", name, b.Metrics)
+		}
 	}
 	if !strings.Contains(buf.String(), "stages:") {
 		t.Fatalf("missing stage breakdown line:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "health:") {
+		t.Fatalf("missing health verdict line:\n%s", buf.String())
+	}
+}
+
+// TestRunHealthOff: -health=false keeps the sampling loop off and omits
+// the health line and column (the overhead-measurement baseline).
+func TestRunHealthOff(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "batch", "-ops", "200", "-batch", "16",
+		"-health=false", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "health:") {
+		t.Fatal("health-off run printed a health verdict")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Benchmarks[0].Metrics["health-transitions"]; ok {
+		t.Fatal("health-off report carries the health column")
 	}
 }
 

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-trace] [-spans path] [-pprof] [-drain 10s]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-trace] [-spans path]
+//	               [-slo-latency-p99 100ms] [-health-interval 1s] [-health-log path] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
@@ -17,11 +18,15 @@
 //	POST   /v1/drill         {"failures":2}
 //	POST   /v1/repack
 //	GET    /v1/healthz
+//	GET    /healthz          liveness: 200 while the process serves, verdict in the body
+//	GET    /readyz           readiness: 503 while health is critical or the server drains
 //	GET    /metrics          Prometheus text exposition
 //	GET    /debug/events     last decision events [?n=200]
 //	GET    /debug/headroom   worst-case failover slack per server [?worst=n]
 //	GET    /debug/headroom/servers/{id}  one server's worst set, attributed
 //	GET    /debug/pipeline   admission stage percentiles, queue state, recent group commits
+//	GET    /debug/health     full health verdict, firing rules, rule configuration
+//	GET    /debug/timeline   sampled metric time-series [?series=&window=]
 //	GET    /explain/tenants/{id}  reconstructed decision path + failover
 //	/debug/pprof/*           with -pprof only
 //
@@ -44,16 +49,31 @@
 // layer entirely; -spans path additionally streams every finished span
 // as JSONL for offline analysis with `cubefit-inspect latency`.
 //
+// Health: a telemetry monitor (internal/telemetry) samples the metric
+// registry every -health-interval into bounded ring time-series and
+// evaluates the SLO rules each tick: multi-window burn rate on the
+// admission latency histograms against -slo-latency-p99, the headroom
+// red-line floor (-redline) with erosion projection, queue saturation
+// and oldest-wait bounds, sticky-WAL-error detection, and a placer-stall
+// watchdog. The rules drive a healthy/degraded/critical state machine
+// with de-escalation hysteresis: GET /healthz stays 200 while the
+// process serves (liveness), GET /readyz answers 503 while the state is
+// critical or the server is draining, and GET /debug/health and
+// GET /debug/timeline expose the verdict and the underlying series.
+// -health-log streams every tick's samples and every state transition as
+// JSONL for offline replay with `cubefit-inspect health`.
+//
 // Durability: with -wal the decision stream doubles as a write-ahead log.
 // At boot the server replays the log into a fresh engine, cross-checks the
 // rebuilt placement against an independent event-level replay and the
 // robustness validator, and refuses to serve from a log that does not
 // replay cleanly. Admissions and departures are group-committed (flushed
 // and fsynced) to the log before they are acked; if the log cannot commit,
-// mutations fail closed with 503. On SIGINT/SIGTERM the server stops
-// accepting new connections, drains in-flight requests for up to -drain,
-// then drains the admission pipeline and performs the WAL's final commit
-// before exiting.
+// mutations fail closed with 503. On SIGINT/SIGTERM the server marks
+// itself draining (GET /readyz flips to 503 so load balancers stop
+// routing new traffic), stops accepting new connections, drains
+// in-flight requests for up to -drain, then drains the admission
+// pipeline and performs the WAL's final commit before exiting.
 package main
 
 import (
@@ -76,6 +96,7 @@ import (
 	"cubefit/internal/metrics"
 	"cubefit/internal/obs"
 	"cubefit/internal/recovery"
+	"cubefit/internal/telemetry"
 	"cubefit/internal/workload"
 )
 
@@ -99,6 +120,11 @@ type options struct {
 	// drains so every finished span reaches the file.
 	spanLog  *os.File
 	spanSink *obs.SpanJSONL
+	// healthLog/healthSink are set with -health-log: the JSONL health
+	// export (config, per-tick samples, state transitions), closed after
+	// the controller stops its sampling loop.
+	healthLog  *os.File
+	healthSink *obs.HealthJSONL
 }
 
 func run(args []string) error {
@@ -115,7 +141,7 @@ func run(args []string) error {
 	slog.Info("cubefit-server listening",
 		"addr", ln.Addr().String(), "gamma", opts.cfg.Gamma, "k", opts.cfg.K,
 		"pprof", opts.pprof, "drain", opts.drain)
-	err = serve(ctx, ln, srv, opts.drain)
+	err = serve(ctx, ln, srv, opts.ctrl, opts.drain)
 	// Once no handler can enqueue new work, drain the admission pipeline
 	// and commit the write-ahead log's final batch.
 	if cerr := opts.ctrl.Close(); cerr != nil && err == nil {
@@ -129,13 +155,22 @@ func run(args []string) error {
 			err = fmt.Errorf("closing span log: %w", cerr)
 		}
 	}
+	if opts.healthLog != nil {
+		if serr := opts.healthSink.Err(); serr != nil && err == nil {
+			err = fmt.Errorf("health export: %w", serr)
+		}
+		if cerr := opts.healthLog.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing health log: %w", cerr)
+		}
+	}
 	return err
 }
 
 // serve runs srv on ln until it fails or ctx is cancelled, then shuts
-// down gracefully: the listener closes immediately while in-flight
-// requests get up to drain to complete.
-func serve(ctx context.Context, ln net.Listener, srv *http.Server, drain time.Duration) error {
+// down gracefully: readiness flips to 503 first so load balancers stop
+// routing, the listener closes, and in-flight requests get up to drain
+// to complete.
+func serve(ctx context.Context, ln net.Listener, srv *http.Server, ctrl *api.Controller, drain time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -146,6 +181,10 @@ func serve(ctx context.Context, ln net.Listener, srv *http.Server, drain time.Du
 		return err
 	case <-ctx.Done():
 		slog.Info("shutting down", "drain", drain)
+		// Readiness-aware drain: /readyz answers 503 from here on while
+		// the in-flight requests (and any probe hitting /healthz) still
+		// complete against the live handler.
+		ctrl.SetDraining(true)
 		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
@@ -173,12 +212,24 @@ func newServer(args []string) (*http.Server, options, error) {
 		walPath = fs.String("wal", "", "write-ahead log path: replay at boot, group-commit admissions before ack")
 		trace   = fs.Bool("trace", true, "trace admission pipeline stages (/debug/pipeline, cubefit_pipeline_* metrics)")
 		spans   = fs.String("spans", "", "stream finished admission spans to this JSONL file (requires tracing)")
+		sloP99  = fs.Duration("slo-latency-p99", telemetry.DefaultObjective,
+			"admission latency objective: requests at or under it are \"good\" for the burn-rate rules")
+		healthInterval = fs.Duration("health-interval", telemetry.DefaultInterval,
+			"health sampling period (/healthz, /readyz, /debug/health, /debug/timeline)")
+		healthLog = fs.String("health-log", "",
+			"stream health samples and state transitions to this JSONL file (replay with `cubefit-inspect health`)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, options{}, err
 	}
 	if *spans != "" && !*trace {
 		return nil, options{}, fmt.Errorf("-spans requires tracing; drop -trace=false")
+	}
+	if *sloP99 <= 0 {
+		return nil, options{}, fmt.Errorf("-slo-latency-p99 must be positive, got %v", *sloP99)
+	}
+	if *healthInterval <= 0 {
+		return nil, options{}, fmt.Errorf("-health-interval must be positive, got %v", *healthInterval)
 	}
 	opts := options{cfg: core.Config{Gamma: *gamma, K: *k}, drain: *drain, pprof: *withPprof}
 	var (
@@ -231,12 +282,26 @@ func newServer(args []string) (*http.Server, options, error) {
 		opts.spanSink = obs.NewSpanJSONL(f)
 		ctrlOpts = append(ctrlOpts, api.WithSpanSink(opts.spanSink))
 	}
+	// Health monitor: defaults with the deployment's objective, sampling
+	// period, and headroom red line folded in. The queue capacity stays 0
+	// here — the controller wires its admission queue's real bound.
+	hcfg := telemetry.DefaultConfig()
+	hcfg.Interval = *healthInterval
+	hcfg.Burn.Objective = *sloP99
+	hcfg.Headroom.Floor = *redline
+	ctrlOpts = append(ctrlOpts, api.WithHealthConfig(hcfg), api.WithHealthLoop())
+	if *healthLog != "" {
+		f, ferr := os.Create(*healthLog)
+		if ferr != nil {
+			return nil, options{}, errors.Join(fmt.Errorf("health log: %w", ferr), closeLogs(&opts))
+		}
+		opts.healthLog = f
+		opts.healthSink = obs.NewHealthJSONL(f)
+		ctrlOpts = append(ctrlOpts, api.WithHealthLog(opts.healthSink))
+	}
 	ctrl, err := api.NewController(cf, workload.DefaultLoadModel(), ctrlOpts...)
 	if err != nil {
-		if opts.spanLog != nil {
-			err = errors.Join(err, opts.spanLog.Close())
-		}
-		return nil, options{}, err
+		return nil, options{}, errors.Join(err, closeLogs(&opts))
 	}
 	opts.ctrl = ctrl
 	ctrl.SetHeadroomRedLine(*redline)
@@ -260,6 +325,19 @@ func newServer(args []string) (*http.Server, options, error) {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}, opts, nil
+}
+
+// closeLogs closes whichever export files construction opened, so a
+// refused boot does not leak descriptors.
+func closeLogs(opts *options) error {
+	var err error
+	if opts.spanLog != nil {
+		err = errors.Join(err, opts.spanLog.Close())
+	}
+	if opts.healthLog != nil {
+		err = errors.Join(err, opts.healthLog.Close())
+	}
+	return err
 }
 
 // requestLogging logs one structured line per request. The wrapper

@@ -15,8 +15,28 @@ import (
 	"testing"
 	"time"
 
+	"cubefit/internal/api"
+	"cubefit/internal/core"
 	"cubefit/internal/obs"
+	"cubefit/internal/telemetry"
+	"cubefit/internal/workload"
 )
+
+// newTestController builds a bare controller for serve-level tests that
+// only need the draining switch.
+func newTestController(t *testing.T) *api.Controller {
+	t.Helper()
+	cf, err := core.New(core.Config{Gamma: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := api.NewController(cf, workload.DefaultLoadModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctrl.Close() })
+	return ctrl
+}
 
 func TestNewServerDefaults(t *testing.T) {
 	srv, opts, err := newServer(nil)
@@ -74,6 +94,92 @@ func TestNewServerFlagErrors(t *testing.T) {
 	}
 	if _, _, err := newServer([]string{"-trace=false", "-spans", "x.jsonl"}); err == nil {
 		t.Fatal("-spans without tracing accepted")
+	}
+	if _, _, err := newServer([]string{"-slo-latency-p99", "0s"}); err == nil {
+		t.Fatal("zero SLO objective accepted")
+	}
+	if _, _, err := newServer([]string{"-health-interval", "-1s"}); err == nil {
+		t.Fatal("negative health interval accepted")
+	}
+}
+
+// TestHealthFlags: the health endpoints are served out of the box, the
+// SLO flags land in the effective rule configuration, and -health-log
+// streams a replayable JSONL log through the run() teardown path.
+func TestHealthFlags(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "health.jsonl")
+	srv, opts, err := newServer([]string{
+		"-slo-latency-p99", "250ms", "-health-interval", "100ms",
+		"-redline", "0.1", "-health-log", logPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	if body := getOK(t, ts, "/healthz"); !strings.Contains(body, "healthy") {
+		t.Fatalf("/healthz body: %s", body)
+	}
+	if body := getOK(t, ts, "/readyz"); !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("/readyz body: %s", body)
+	}
+	var dbg struct {
+		State  string `json:"state"`
+		Config struct {
+			Burn struct {
+				ObjectiveNs int64 `json:"objectiveNs"`
+			} `json:"burn"`
+			Headroom struct {
+				Floor float64 `json:"floor"`
+			} `json:"headroom"`
+			IntervalNs int64 `json:"intervalNs"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal([]byte(getOK(t, ts, "/debug/health")), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := time.Duration(dbg.Config.Burn.ObjectiveNs), 250*time.Millisecond; got != want {
+		t.Fatalf("objective %v, want %v", got, want)
+	}
+	if got, want := time.Duration(dbg.Config.IntervalNs), 100*time.Millisecond; got != want {
+		t.Fatalf("interval %v, want %v", got, want)
+	}
+	if dbg.Config.Headroom.Floor != 0.1 {
+		t.Fatalf("headroom floor %v, want 0.1 (the -redline value)", dbg.Config.Headroom.Floor)
+	}
+	// Let the background loop take a few real ticks, then mirror run()'s
+	// teardown and replay the log.
+	time.Sleep(350 * time.Millisecond)
+	ts.Close()
+	if err := opts.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.healthSink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.healthLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadHealthJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := telemetry.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks == 0 {
+		t.Fatal("health log holds no sample records")
+	}
+	if res.Config.Burn.Objective != 250*time.Millisecond {
+		t.Fatalf("replayed objective %v", res.Config.Burn.Objective)
+	}
+	if !res.ParityOK() {
+		t.Fatalf("replay parity failed: replayed %+v, recorded %+v", res.Transitions, res.Recorded)
 	}
 }
 
@@ -206,6 +312,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 		w.Write([]byte("done"))
 	})
 	srv := &http.Server{Handler: mux}
+	ctrl := newTestController(t)
 	ctx, cancel := context.WithCancel(context.Background())
 
 	var wg sync.WaitGroup
@@ -213,7 +320,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		serveErr = serve(ctx, ln, srv, 5*time.Second)
+		serveErr = serve(ctx, ln, srv, ctrl, 5*time.Second)
 	}()
 
 	url := fmt.Sprintf("http://%s/slow", ln.Addr())
@@ -260,7 +367,7 @@ func TestServeListenerError(t *testing.T) {
 	}
 	ln.Close() // force Serve to fail immediately
 	srv := &http.Server{Handler: http.NewServeMux()}
-	if err := serve(context.Background(), ln, srv, time.Second); err == nil {
+	if err := serve(context.Background(), ln, srv, newTestController(t), time.Second); err == nil {
 		t.Fatal("closed listener did not surface an error")
 	}
 }

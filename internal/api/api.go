@@ -59,6 +59,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cubefit/internal/clock"
 	"cubefit/internal/core"
@@ -68,6 +69,7 @@ import (
 	"cubefit/internal/obs"
 	"cubefit/internal/packing"
 	"cubefit/internal/rebalance"
+	"cubefit/internal/telemetry"
 	"cubefit/internal/trace"
 	"cubefit/internal/workload"
 )
@@ -128,6 +130,23 @@ type Controller struct {
 	// export for cubefit-inspect latency).
 	spanSink obs.SpanRecorder
 	tracing  bool
+
+	// monitor is the health sampler and rule engine behind /healthz,
+	// /readyz, /debug/health, and /debug/timeline (see health.go). Always
+	// constructed; the background loop runs only with WithHealthLoop.
+	monitor *telemetry.Monitor
+	// healthCfg/healthCfgSet/healthSink/healthLoop stage the health
+	// options until initHealth builds the monitor.
+	healthCfg    telemetry.Config
+	healthCfgSet bool
+	healthSink   obs.HealthRecorder
+	healthLoop   bool
+	// draining flips /readyz to 503 ahead of graceful shutdown.
+	draining atomic.Bool
+	// walErrG mirrors the WAL's sticky error into a gauge the health
+	// rules sample; procM refreshes the process self-metrics per scrape.
+	walErrG *metrics.Gauge
+	procM   *metrics.ProcessMetrics
 
 	// wal, when attached, receives the decision event stream and is
 	// group-committed by the placer before admissions are acked; a WAL
@@ -239,6 +258,7 @@ func NewController(alg packing.Algorithm, model workload.LoadModel, opts ...Opti
 		rec.SetRecorder(obs.Stamp(c.clk, obs.Tee(sinks...)))
 		c.refreshHeadroom()
 	}
+	c.initHealth()
 	go c.runPlacer()
 	return c, nil
 }
@@ -277,6 +297,10 @@ func (c *Controller) Handler() http.Handler {
 	route("GET /v1/healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	route("GET /healthz", "health", c.handleHealthz)
+	route("GET /readyz", "ready", c.handleReadyz)
+	route("GET /debug/health", "debug_health", c.handleDebugHealth)
+	route("GET /debug/timeline", "debug_timeline", c.handleTimeline)
 	route("GET /debug/events", "debug_events", c.handleDebugEvents)
 	route("GET /debug/pipeline", "debug_pipeline", c.handlePipeline)
 	route("GET /debug/headroom", "debug_headroom", c.handleHeadroom)

@@ -81,6 +81,9 @@ func (c *Controller) Close() error {
 	already := c.closed
 	c.closed = true
 	c.sendMu.Unlock()
+	if c.monitor != nil {
+		c.monitor.Stop()
+	}
 	if !already {
 		close(c.queue)
 	}

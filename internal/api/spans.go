@@ -327,33 +327,19 @@ type pipelineResponse struct {
 	Commits pipelineCommitsStatus `json:"commits"`
 }
 
-// spanStages enumerates every exported stage with its extractor, the five
-// canonical stages first.
-var spanStages = []struct {
-	name string
-	ns   func(*obs.Span) int64
-}{
-	{"queue", (*obs.Span).QueueNs},
-	{"place", (*obs.Span).PlaceNs},
-	{"wal", (*obs.Span).WalNs},
-	{"fsync", (*obs.Span).FsyncNs},
-	{"ack", (*obs.Span).AckLatencyNs},
-	{"engine", (*obs.Span).EngineNs},
-	{"commit", (*obs.Span).CommitNs},
-	{"total", (*obs.Span).TotalNs},
-}
-
 // stageSummaries computes per-stage percentiles over the span window.
+// The stage set is obs.StageExtractors, shared with `cubefit-inspect
+// latency` and the telemetry sampler.
 func stageSummaries(spans []obs.Span) map[string]pipelineStageSummary {
-	out := make(map[string]pipelineStageSummary, len(spanStages))
+	out := make(map[string]pipelineStageSummary, len(obs.StageExtractors))
 	if len(spans) == 0 {
 		return out
 	}
 	vals := make([]float64, len(spans))
-	for _, st := range spanStages {
+	for _, st := range obs.StageExtractors {
 		var sum, max float64
 		for i := range spans {
-			v := float64(st.ns(&spans[i]))
+			v := float64(st.Ns(&spans[i]))
 			vals[i] = v
 			sum += v
 			if v > max {
@@ -363,7 +349,7 @@ func stageSummaries(spans []obs.Span) map[string]pipelineStageSummary {
 		p50, _ := stats.PercentileInPlace(vals, 50)
 		p90, _ := stats.PercentileInPlace(vals, 90)
 		p99, _ := stats.P99InPlace(vals)
-		out[st.name] = pipelineStageSummary{
+		out[st.Name] = pipelineStageSummary{
 			P50Ns: p50, P90Ns: p90, P99Ns: p99,
 			MaxNs: max, MeanNs: sum / float64(len(spans)),
 		}

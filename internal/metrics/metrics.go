@@ -320,13 +320,13 @@ func (r *Registry) NewHistogramVec(name, help string, labels []string, bounds ..
 
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4). Output is deterministic: families in
-// registration order, children sorted by label values.
+// registration order, children sorted by label values. Rendering goes
+// through Registry.Snapshot, so each histogram's bucket, _sum, and _count
+// lines come from one consistent freeze rather than independent atomic
+// loads racing concurrent Observe calls.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	fams := append([]*family(nil), r.families...)
-	r.mu.Unlock()
-	for _, f := range fams {
-		if err := f.write(w); err != nil {
+	for _, fs := range r.Snapshot() {
+		if err := writeFamily(w, fs); err != nil {
 			return err
 		}
 	}
@@ -342,102 +342,46 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-func (f *family) write(w io.Writer) error {
-	kind := "counter"
-	switch {
-	case f.hist != nil || f.histVec != nil:
-		kind = "histogram"
-	case f.gauge != nil || f.gaugeVec != nil || f.fgauge != nil:
-		kind = "gauge"
-	}
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind); err != nil {
+// writeFamily renders one frozen family. Counter and integer-gauge
+// values round-trip through float64; formatFloat renders integral
+// values without a decimal point, matching the previous %d output.
+func writeFamily(w io.Writer, fs FamilySnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fs.Name, fs.Help, fs.Name, fs.Kind); err != nil {
 		return err
 	}
-	switch {
-	case f.counter != nil:
-		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
-		return err
-	case f.counterVec != nil:
-		return f.writeCounterVec(w)
-	case f.gauge != nil:
-		_, err := fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
-		return err
-	case f.gaugeVec != nil:
-		return f.writeGaugeVec(w)
-	case f.fgauge != nil:
-		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
-		return err
-	case f.hist != nil:
-		return writeHistogram(w, f.name, "", f.hist)
-	case f.histVec != nil:
-		return f.writeHistogramVec(w)
-	}
-	return nil
-}
-
-func (f *family) writeGaugeVec(w io.Writer) error {
-	v := f.gaugeVec
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	for _, key := range sortedKeys(v.children) {
-		val := v.children[key].Value()
-		labels := renderLabels(v.labels, strings.Split(key, labelSep))
-		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", f.name, labels, val); err != nil {
+	for _, s := range fs.Samples {
+		if s.Kind == KindHistogramSample {
+			if err := writeHistogram(w, fs.Name, s.Labels, s.Hist); err != nil {
+				return err
+			}
+			continue
+		}
+		curly := ""
+		if s.Labels != "" {
+			curly = "{" + s.Labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", fs.Name, curly, formatFloat(s.Value)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (f *family) writeCounterVec(w io.Writer) error {
-	v := f.counterVec
-	v.mu.RLock()
-	keys := sortedKeys(v.children)
-	for _, key := range keys {
-		val := v.children[key].Value()
-		labels := renderLabels(v.labels, strings.Split(key, labelSep))
-		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", f.name, labels, val); err != nil {
-			v.mu.RUnlock()
-			return err
-		}
-	}
-	v.mu.RUnlock()
-	return nil
-}
-
-func (f *family) writeHistogramVec(w io.Writer) error {
-	v := f.histVec
-	v.mu.RLock()
-	keys := sortedKeys(v.children)
-	children := make([]*Histogram, len(keys))
-	for i, key := range keys {
-		children[i] = v.children[key]
-	}
-	v.mu.RUnlock()
-	for i, key := range keys {
-		labels := renderLabels(v.labels, strings.Split(key, labelSep))
-		if err := writeHistogram(w, f.name, labels, children[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeHistogram renders one histogram child; labels is the pre-rendered
-// `k="v",...` prefix (empty for an unlabelled histogram).
-func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+// writeHistogram renders one frozen histogram child; labels is the
+// pre-rendered `k="v",...` prefix (empty for an unlabelled histogram).
+func writeHistogram(w io.Writer, name, labels string, h HistogramSnapshot) error {
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
 	cum := uint64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
 		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), cum); err != nil {
 			return err
 		}
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += h.Counts[len(h.Bounds)]
 	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
 		return err
 	}
@@ -445,10 +389,10 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
 	if labels == "" {
 		curly = ""
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, curly, formatFloat(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, curly, formatFloat(h.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, curly, h.Count())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, curly, h.Count)
 	return err
 }
 

@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// Snapshot/walk API: a point-in-time, internally consistent view of every
+// registered metric. It exists for two consumers with the same need:
+//
+//   - the Prometheus text exposition (WritePrometheus), whose previous
+//     implementation read histogram buckets, _sum, and _count with
+//     independent atomic loads mid-write and could therefore render a
+//     cumulative +Inf bucket that disagreed with its own _count line; and
+//   - the telemetry sampler (internal/telemetry), which scrapes the whole
+//     registry once per tick into ring time-series and needs every family
+//     observed at one coherent instant per tick.
+//
+// Consistency contract: within one HistogramSnapshot the cumulative
+// bucket counts always sum exactly to Count (the +Inf bucket equals
+// _count by construction). Sum is read in the same pass; under continuous
+// concurrent writes it may trail or lead Count by the handful of
+// observations in flight during the pass, which is the strongest
+// guarantee available without putting a lock on the wait-free Observe
+// path.
+
+// SampleKind discriminates what a Sample carries.
+type SampleKind uint8
+
+const (
+	// KindCounterSample is a monotone counter (Value holds the count).
+	KindCounterSample SampleKind = iota
+	// KindGaugeSample is a gauge or float gauge (Value holds the level).
+	KindGaugeSample
+	// KindHistogramSample is a histogram child (Hist holds the state).
+	KindHistogramSample
+)
+
+// HistogramSnapshot is one histogram child frozen at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the ascending finite bucket upper bounds (+Inf implicit).
+	// The slice aliases the live histogram's immutable bounds; callers
+	// must not mutate it.
+	Bounds []float64
+	// Counts holds len(Bounds)+1 non-cumulative bucket counts; the last
+	// entry is the +Inf bucket.
+	Counts []uint64
+	// Sum is the sum of observed values; Count the number of
+	// observations. Count always equals the sum of Counts.
+	Sum   float64
+	Count uint64
+}
+
+// Sample is one child (labelled or plain) of a metric family.
+type Sample struct {
+	// Labels is the pre-rendered `k="v",...` label set, empty for the
+	// plain (unlabelled) child.
+	Labels string
+	Kind   SampleKind
+	// Value holds the counter or gauge value (unused for histograms).
+	Value float64
+	Hist  HistogramSnapshot
+}
+
+// FamilySnapshot is one registered metric family with its children,
+// sorted by label values.
+type FamilySnapshot struct {
+	Name string
+	Help string
+	// Kind is the Prometheus TYPE: "counter", "gauge", or "histogram".
+	Kind    string
+	Samples []Sample
+}
+
+// Snapshot walks every registered family and freezes its children. Output
+// is deterministic: families in registration order, children sorted by
+// label values — the exact order WritePrometheus renders.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.snapshot())
+	}
+	return out
+}
+
+func (f *family) kind() string {
+	switch {
+	case f.hist != nil || f.histVec != nil:
+		return "histogram"
+	case f.gauge != nil || f.gaugeVec != nil || f.fgauge != nil:
+		return "gauge"
+	}
+	return "counter"
+}
+
+func (f *family) snapshot() FamilySnapshot {
+	fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind()}
+	switch {
+	case f.counter != nil:
+		fs.Samples = []Sample{{Kind: KindCounterSample, Value: float64(f.counter.Value())}}
+	case f.gauge != nil:
+		fs.Samples = []Sample{{Kind: KindGaugeSample, Value: float64(f.gauge.Value())}}
+	case f.fgauge != nil:
+		fs.Samples = []Sample{{Kind: KindGaugeSample, Value: f.fgauge.Value()}}
+	case f.hist != nil:
+		fs.Samples = []Sample{{Kind: KindHistogramSample, Hist: f.hist.Snapshot()}}
+	case f.counterVec != nil:
+		v := f.counterVec
+		v.mu.RLock()
+		for _, key := range sortedKeys(v.children) {
+			fs.Samples = append(fs.Samples, Sample{
+				Labels: renderLabels(v.labels, strings.Split(key, labelSep)),
+				Kind:   KindCounterSample,
+				Value:  float64(v.children[key].Value()),
+			})
+		}
+		v.mu.RUnlock()
+	case f.gaugeVec != nil:
+		v := f.gaugeVec
+		v.mu.RLock()
+		for _, key := range sortedKeys(v.children) {
+			fs.Samples = append(fs.Samples, Sample{
+				Labels: renderLabels(v.labels, strings.Split(key, labelSep)),
+				Kind:   KindGaugeSample,
+				Value:  float64(v.children[key].Value()),
+			})
+		}
+		v.mu.RUnlock()
+	case f.histVec != nil:
+		v := f.histVec
+		v.mu.RLock()
+		keys := sortedKeys(v.children)
+		children := make([]*Histogram, len(keys))
+		for i, key := range keys {
+			children[i] = v.children[key]
+		}
+		v.mu.RUnlock()
+		// Freeze outside the vec lock: Snapshot may retry under write
+		// pressure and must not hold up With on other children.
+		for i, key := range keys {
+			fs.Samples = append(fs.Samples, Sample{
+				Labels: renderLabels(v.labels, strings.Split(key, labelSep)),
+				Kind:   KindHistogramSample,
+				Hist:   children[i].Snapshot(),
+			})
+		}
+	}
+	return fs
+}
+
+// snapshotAttempts bounds the consistent-read retry loop. Observe is three
+// atomic adds, so a stable total across one full bucket pass is the
+// common case; the bound only matters under saturating write pressure.
+const snapshotAttempts = 4
+
+// Snapshot freezes the histogram. The bucket array and Count are always
+// mutually consistent (Count is validated against — and in the contended
+// fallback derived from — the per-bucket counts), fixing the torn
+// exposition where _count disagreed with the cumulative +Inf bucket.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]uint64, len(h.counts))
+	var sum float64
+	var cum uint64
+	for attempt := 0; attempt < snapshotAttempts; attempt++ {
+		before := h.total.Load()
+		cum = 0
+		for i := range h.counts {
+			c := h.counts[i].Load()
+			counts[i] = c
+			cum += c
+		}
+		sum = h.sum.Load()
+		// Stable total across the pass and buckets agreeing with it means
+		// no observation straddled the reads: the view is exact.
+		if h.total.Load() == before && cum == before {
+			return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Sum: sum, Count: cum}
+		}
+	}
+	// Continuously contended: the last pass's buckets are kept and Count
+	// is derived from them, so buckets↔count stay exact; Sum may be off by
+	// the observations in flight during the pass.
+	return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Sum: sum, Count: cum}
+}
+
+// QuantileFromBuckets estimates the q-quantile (q in (0,1], e.g. 0.99)
+// from fixed-bucket histogram state: bounds are ascending finite upper
+// bounds and counts holds len(bounds)+1 non-cumulative bucket counts, the
+// last being the +Inf bucket — exactly the shape of HistogramSnapshot and
+// of a bucket-delta between two snapshots.
+//
+// The estimate interpolates linearly inside the bucket containing the
+// rank, Prometheus histogram_quantile style: the first bucket
+// interpolates from 0 (or from its bound when that is negative), and a
+// rank landing in the +Inf bucket reports the largest finite bound, the
+// tightest defensible value. NaN is returned when there are no
+// observations or the shapes disagree.
+func QuantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		} else if hi < 0 {
+			// All-negative buckets: a zero lower edge would interpolate
+			// upward out of the bucket.
+			return hi
+		}
+		prev := float64(cum - c)
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// SeriesKey renders the canonical series key of a family child: `name`
+// for the plain child, `name{labels}` for a labelled one. The telemetry
+// sampler and /debug/timeline use these keys verbatim, so they are part
+// of the health-log schema.
+func SeriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + len(labels) + 2)
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	sb.WriteString(labels)
+	sb.WriteByte('}')
+	return sb.String()
+}

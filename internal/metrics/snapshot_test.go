@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 10, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got, want := s.Count, uint64(5); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != Count %d", cum, s.Count)
+	}
+	if got, want := s.Sum, 25.0; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if want := []uint64{1, 1, 1, 2}; len(s.Counts) != len(want) {
+		t.Fatalf("Counts = %v, want %v", s.Counts, want)
+	} else {
+		for i := range want {
+			if s.Counts[i] != want[i] {
+				t.Fatalf("Counts = %v, want %v", s.Counts, want)
+			}
+		}
+	}
+}
+
+// TestHistogramSnapshotUnderWrites hammers a histogram from writers while
+// snapshotting: every snapshot must have buckets summing exactly to its
+// Count — the invariant the torn-read exposition violated.
+func TestHistogramSnapshotUnderWrites(t *testing.T) {
+	h := newHistogram([]float64{0.25, 0.5, 0.75})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v)
+				v += 0.13
+				if v > 1 {
+					v -= 1
+				}
+			}
+		}(float64(w) * 0.2)
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var cum uint64
+		for _, c := range s.Counts {
+			cum += c
+		}
+		if cum != s.Count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d: bucket sum %d != Count %d", i, cum, s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrySnapshotWalk(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Add(7)
+	g := r.NewGauge("g", "a gauge")
+	g.Set(-3)
+	fg := r.NewFGauge("fg", "a float gauge")
+	fg.Set(0.25)
+	cv := r.NewCounterVec("cv_total", "labelled counter", "route")
+	cv.With("b").Inc()
+	cv.With("a").Add(2)
+	hv := r.NewHistogramVec("hv_seconds", "labelled histogram", []string{"stage"}, 1, 2)
+	hv.With("place").Observe(1.5)
+
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("families = %d, want 5", len(snap))
+	}
+	order := make([]string, len(snap))
+	for i, fs := range snap {
+		order[i] = fs.Name
+	}
+	if got := strings.Join(order, ","); got != "c_total,g,fg,cv_total,hv_seconds" {
+		t.Fatalf("family order = %s", got)
+	}
+	if v := snap[0].Samples[0].Value; v != 7 {
+		t.Fatalf("counter = %v", v)
+	}
+	if v := snap[1].Samples[0].Value; v != -3 {
+		t.Fatalf("gauge = %v", v)
+	}
+	if k := snap[1].Kind; k != "gauge" {
+		t.Fatalf("gauge kind = %q", k)
+	}
+	// Vec children come back sorted by label values.
+	cvs := snap[3].Samples
+	if len(cvs) != 2 || cvs[0].Labels != `route="a"` || cvs[0].Value != 2 ||
+		cvs[1].Labels != `route="b"` || cvs[1].Value != 1 {
+		t.Fatalf("counter vec samples = %+v", cvs)
+	}
+	hs := snap[4].Samples[0]
+	if hs.Labels != `stage="place"` || hs.Hist.Count != 1 || hs.Hist.Sum != 1.5 {
+		t.Fatalf("hist vec sample = %+v", hs)
+	}
+	if snap[4].Kind != "histogram" {
+		t.Fatalf("hist kind = %q", snap[4].Kind)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	tests := []struct {
+		name   string
+		counts []uint64
+		q      float64
+		want   float64
+	}{
+		// 10 observations all in (1,2]: P50 interpolates to the middle.
+		{"interpolated", []uint64{0, 10, 0, 0}, 0.5, 1.5},
+		// Rank exactly on a bucket edge reports the bound.
+		{"edge", []uint64{5, 5, 0, 0}, 0.5, 1},
+		// Everything in the first bucket interpolates from zero.
+		{"first bucket", []uint64{4, 0, 0, 0}, 0.5, 0.5},
+		// Rank in the +Inf bucket clamps to the largest finite bound.
+		{"inf bucket", []uint64{0, 0, 0, 3}, 0.99, 4},
+		// Mixed: 9 fast, 1 overflow; P99 lands in +Inf.
+		{"tail overflow", []uint64{9, 0, 0, 1}, 0.99, 4},
+		// q=1 is the maximum-rank estimate.
+		{"q one", []uint64{2, 2, 0, 0}, 1, 2},
+	}
+	for _, tc := range tests {
+		if got := QuantileFromBuckets(bounds, tc.counts, tc.q); got != tc.want {
+			t.Errorf("%s: QuantileFromBuckets(%v, %v) = %v, want %v",
+				tc.name, tc.counts, tc.q, got, tc.want)
+		}
+	}
+	if got := QuantileFromBuckets(bounds, []uint64{0, 0, 0, 0}, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram: got %v, want NaN", got)
+	}
+	if got := QuantileFromBuckets(bounds, []uint64{1, 2}, 0.5); !math.IsNaN(got) {
+		t.Errorf("shape mismatch: got %v, want NaN", got)
+	}
+	if got := QuantileFromBuckets(nil, nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("no bounds: got %v, want NaN", got)
+	}
+	// Negative-only first bucket must not interpolate upward past its bound.
+	if got := QuantileFromBuckets([]float64{-2, -1}, []uint64{4, 0, 0}, 0.5); got != -2 {
+		t.Errorf("negative first bucket: got %v, want -2", got)
+	}
+}
+
+func TestSeriesKey(t *testing.T) {
+	if got := SeriesKey("m", ""); got != "m" {
+		t.Fatalf("plain key = %q", got)
+	}
+	if got := SeriesKey("m", `route="place"`); got != `m{route="place"}` {
+		t.Fatalf("labelled key = %q", got)
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	p := NewProcessMetrics(r)
+	p.Update()
+	if g := p.goroutines.Value(); g < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", g)
+	}
+	if b := p.heapInuse.Value(); b <= 0 {
+		t.Fatalf("heap in-use = %d, want > 0", b)
+	}
+	if v := p.gcPauseP99.Value(); v < 0 || math.IsNaN(v) {
+		t.Fatalf("gc pause p99 = %v", v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cubefit_process_goroutines",
+		"cubefit_process_heap_inuse_bytes",
+		"cubefit_process_gc_pause_p99_seconds",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+// StageExtractor names one reportable span stage and extracts its
+// duration. The five canonical stages (queue, place, wal, fsync, ack)
+// telescope to the end-to-end total; the rest are overlays (engine ⊂
+// place, commit = wal+fsync) plus the total itself.
+type StageExtractor struct {
+	Name string
+	// Canonical marks membership in the telescoping decomposition.
+	Canonical bool
+	Ns        func(*Span) int64
+}
+
+// StageExtractors is the single source of truth for the exported stage
+// set, shared by /debug/pipeline, `cubefit-inspect latency`, and the
+// telemetry sampler, canonical stages first in stamp order.
+var StageExtractors = []StageExtractor{
+	{Name: "queue", Canonical: true, Ns: (*Span).QueueNs},
+	{Name: "place", Canonical: true, Ns: (*Span).PlaceNs},
+	{Name: "wal", Canonical: true, Ns: (*Span).WalNs},
+	{Name: "fsync", Canonical: true, Ns: (*Span).FsyncNs},
+	{Name: "ack", Canonical: true, Ns: (*Span).AckLatencyNs},
+	{Name: "engine", Ns: (*Span).EngineNs},
+	{Name: "commit", Ns: (*Span).CommitNs},
+	{Name: "total", Ns: (*Span).TotalNs},
+}

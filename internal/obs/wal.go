@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // walBufferSize is the in-memory staging buffer of a WAL. Events are
@@ -53,6 +54,11 @@ type WAL struct {
 	synced uint64
 	//cubefit:guarded-by mu
 	err error
+	// failed mirrors "err holds a commit error" without the mutex, so
+	// health sampling can observe fail-closed state even while a group
+	// commit is blocked inside the underlying Sync (a hung fsync must not
+	// freeze the monitor). A clean Close does not set it.
+	failed atomic.Bool
 	// closed is tracked separately from the sticky err: a write error
 	// must not make Close lose its run-once guarantee (double-closing
 	// the underlying file) just because err already holds something.
@@ -95,6 +101,7 @@ func (w *WAL) Record(e Event) {
 	}
 	if err := encodeEvent(w.bw, e); err != nil {
 		w.err = fmt.Errorf("obs: wal write: %w", err)
+		w.failed.Store(true)
 		return
 	}
 	w.n++
@@ -131,11 +138,13 @@ func (w *WAL) syncLocked() error {
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.err = fmt.Errorf("obs: wal flush: %w", err)
+		w.failed.Store(true)
 		return w.err
 	}
 	if w.sync != nil {
 		if err := w.sync.Sync(); err != nil {
 			w.err = fmt.Errorf("obs: wal sync: %w", err)
+			w.failed.Store(true)
 			return w.err
 		}
 	}
@@ -292,7 +301,14 @@ func (w *WAL) Close() error {
 		}
 	}
 	if w.err == nil {
+		// A clean close is not a commit failure: Failed stays false.
 		w.err = ErrWALClosed
 	}
 	return err
 }
+
+// Failed reports whether the log carries a sticky commit error (write,
+// flush, or sync failure — not a clean Close). Unlike Err it never takes
+// the WAL lock, so it stays readable while a group commit is blocked
+// inside a hung fsync.
+func (w *WAL) Failed() bool { return w.failed.Load() }
