@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-build lint lint-json test test-short race bench bench-compare loadtest loadtest-compare loadtest-trace loadtest-health healthcheck profile cover experiments figure5 figure6 table1 theorem2 fmt
+.PHONY: all build vet vet-build lint lint-json test test-short race bench bench-compare loadtest loadtest-compare loadtest-sharded loadtest-trace loadtest-health healthcheck profile cover experiments figure5 figure6 table1 theorem2 fmt
 
 all: build vet lint test
 
@@ -60,13 +60,13 @@ race:
 
 # Benchmarks with a machine-readable report: the raw `go test -bench`
 # text lands in bench.out and cmd/cubefit-bench converts it to
-# BENCH_pr5.json for CI archiving and cross-commit diffing. BENCHTIME=1x
+# BENCH_pr10.json for CI archiving and cross-commit diffing. BENCHTIME=1x
 # keeps the default run fast; use BENCHTIME=1s (or more) for stable
 # numbers.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' -benchtime=$(BENCHTIME) . | tee bench.out
-	$(GO) run ./cmd/cubefit-bench -out BENCH_pr5.json bench.out
+	$(GO) run ./cmd/cubefit-bench -out BENCH_pr10.json bench.out
 
 # Diff the fresh benchmark report against the committed previous-PR
 # baseline. Exit code 2 (and a REGRESSION marker) when any ns/op, B/op,
@@ -74,7 +74,7 @@ bench:
 # noisy machines with e.g. `make bench-compare BENCH_THRESHOLD=0.50`.
 BENCH_THRESHOLD ?= 0.20
 bench-compare: bench
-	$(GO) run ./cmd/cubefit-bench -compare BENCH_pr4.json BENCH_pr5.json -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/cubefit-bench -compare BENCH_pr5.json BENCH_pr10.json -threshold $(BENCH_THRESHOLD)
 
 # Closed-loop admission load harness: single vs batched admission over
 # loopback HTTP, per-tenant throughput and P50/P99 latency. LOAD_OPS
@@ -84,13 +84,23 @@ bench-compare: bench
 # (the batch endpoint's measured advantage grows with cores and ops).
 LOAD_OPS ?= 10000
 LOAD_MINSPEEDUP ?= 3
+LOAD_SEGMENTS ?= 4
 loadtest:
-	$(GO) run ./cmd/cubefit-load -ops $(LOAD_OPS) -minspeedup $(LOAD_MINSPEEDUP) -o LOAD_pr6.json
+	$(GO) run ./cmd/cubefit-load -ops $(LOAD_OPS) -minspeedup $(LOAD_MINSPEEDUP) -o LOAD_pr10.json
 
 # Diff the fresh load report against the committed baseline: per-tenant
 # ns/op regressions beyond the threshold fail like bench regressions.
+# This is a blocking CI gate (the loadtest job): the -minspeedup floor
+# inside `make loadtest` plus this regression diff together pin the
+# admission fast path's end-to-end win.
 loadtest-compare: loadtest
-	$(GO) run ./cmd/cubefit-bench -compare LOAD_baseline.json LOAD_pr6.json -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/cubefit-bench -compare LOAD_baseline.json LOAD_pr10.json -threshold $(BENCH_THRESHOLD)
+
+# Same harness against a sharded WAL on a temp file: group commits fsync
+# in parallel across LOAD_SEGMENTS segment files. Smoke for the
+# `-wal-segments` path end to end (admission + recovery-compatible log).
+loadtest-sharded:
+	$(GO) run ./cmd/cubefit-load -ops $(LOAD_OPS) -wal /tmp/cubefit-load-wal.jsonl -wal-segments $(LOAD_SEGMENTS) -o LOAD_sharded.json
 
 # Span-layer overhead gate: the same harness with admission tracing off
 # (baseline) and on, diffed. The acceptance bar is ≥95% of untraced

@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-trace] [-spans path]
-//	               [-slo-latency-p99 100ms] [-health-interval 1s] [-health-log path] [-pprof] [-drain 10s]
+//	cubefit-server [-addr :8080] [-gamma 2] [-k 10] [-redline 0.05] [-wal path] [-wal-segments 1]
+//	               [-trace] [-spans path] [-slo-latency-p99 100ms] [-health-interval 1s]
+//	               [-health-log path] [-pprof] [-drain 10s]
 //
 // Endpoints:
 //
@@ -69,7 +70,14 @@
 // robustness validator, and refuses to serve from a log that does not
 // replay cleanly. Admissions and departures are group-committed (flushed
 // and fsynced) to the log before they are acked; if the log cannot commit,
-// mutations fail closed with 503. On SIGINT/SIGTERM the server marks
+// mutations fail closed with 503. With -wal-segments N (N ≥ 2) the log is
+// sharded over N append-only segment files (<path>.seg0 … segN-1): each
+// coalesced admission batch is sealed into one segment under a monotone
+// commit-sequence record and fsynced on a background goroutine, so
+// independent batches commit in parallel while acks are still released
+// strictly in seal order; recovery merge-replays the segments in
+// commit-sequence order and stops at the first gap, truncating each
+// segment back to its recovered prefix. On SIGINT/SIGTERM the server marks
 // itself draining (GET /readyz flips to 503 so load balancers stop
 // routing new traffic), stops accepting new connections, drains
 // in-flight requests for up to -drain, then drains the admission
@@ -209,10 +217,12 @@ func newServer(args []string) (*http.Server, options, error) {
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		redline   = fs.Float64("redline", headroom.DefaultRedLine,
 			"headroom red-line: slack below this counts a server in cubefit_headroom_below_redline")
-		walPath = fs.String("wal", "", "write-ahead log path: replay at boot, group-commit admissions before ack")
-		trace   = fs.Bool("trace", true, "trace admission pipeline stages (/debug/pipeline, cubefit_pipeline_* metrics)")
-		spans   = fs.String("spans", "", "stream finished admission spans to this JSONL file (requires tracing)")
-		sloP99  = fs.Duration("slo-latency-p99", telemetry.DefaultObjective,
+		walPath     = fs.String("wal", "", "write-ahead log path: replay at boot, group-commit admissions before ack")
+		walSegments = fs.Int("wal-segments", 1,
+			"shard the write-ahead log over this many segment files (<path>.seg0..segN-1) with parallel group commits; 1 keeps the single-file log")
+		trace  = fs.Bool("trace", true, "trace admission pipeline stages (/debug/pipeline, cubefit_pipeline_* metrics)")
+		spans  = fs.String("spans", "", "stream finished admission spans to this JSONL file (requires tracing)")
+		sloP99 = fs.Duration("slo-latency-p99", telemetry.DefaultObjective,
 			"admission latency objective: requests at or under it are \"good\" for the burn-rate rules")
 		healthInterval = fs.Duration("health-interval", telemetry.DefaultInterval,
 			"health sampling period (/healthz, /readyz, /debug/health, /debug/timeline)")
@@ -237,7 +247,47 @@ func newServer(args []string) (*http.Server, options, error) {
 		err      error
 		ctrlOpts []api.Option
 	)
-	if *walPath != "" {
+	if *walSegments < 1 {
+		return nil, options{}, fmt.Errorf("-wal-segments must be at least 1, got %d", *walSegments)
+	}
+	if *walSegments > 1 && *walPath == "" {
+		return nil, options{}, fmt.Errorf("-wal-segments requires -wal")
+	}
+	switch {
+	case *walPath != "" && *walSegments > 1:
+		var rstats recovery.Stats
+		var shard recovery.ShardRecovery
+		cf, rstats, shard, err = recovery.FromSegments(*walPath, *walSegments, opts.cfg)
+		if err != nil {
+			return nil, options{}, fmt.Errorf("wal recovery: %w", err)
+		}
+		slog.Info("sharded wal recovered", "path", *walPath, "segments", *walSegments,
+			"events", rstats.Events, "admitted", rstats.Admitted,
+			"rejected", rstats.Rejected, "departed", rstats.Departed,
+			"dropped", rstats.Dropped, "droppedBatches", shard.DroppedBatches,
+			"torn", rstats.Torn, "nextSeq", shard.NextSeq,
+			"tenants", cf.Placement().NumTenants())
+		// Cut each segment back to its recovered prefix: uncommitted
+		// tails, torn records, and batches stranded past a commit-sequence
+		// gap were never acked, and fresh records must not append after
+		// them.
+		for i := 0; i < *walSegments; i++ {
+			segPath := obs.SegmentPath(*walPath, i)
+			if _, serr := os.Stat(segPath); errors.Is(serr, os.ErrNotExist) {
+				continue
+			}
+			if trimmed, terr := obs.TruncateWAL(segPath, shard.CommittedBytes[i]); terr != nil {
+				return nil, options{}, fmt.Errorf("wal truncate segment %d: %w", i, terr)
+			} else if trimmed > 0 {
+				slog.Info("wal uncommitted suffix truncated", "path", segPath, "bytes", trimmed)
+			}
+		}
+		swal, werr := obs.OpenShardedWAL(*walPath, *walSegments, shard.NextSeq)
+		if werr != nil {
+			return nil, options{}, fmt.Errorf("wal open: %w", werr)
+		}
+		ctrlOpts = append(ctrlOpts, api.WithWAL(swal))
+	case *walPath != "":
 		var rstats recovery.Stats
 		cf, rstats, err = recovery.FromFile(*walPath, opts.cfg)
 		if err != nil {
@@ -264,7 +314,7 @@ func newServer(args []string) (*http.Server, options, error) {
 			return nil, options{}, fmt.Errorf("wal open: %w", werr)
 		}
 		ctrlOpts = append(ctrlOpts, api.WithWAL(wal))
-	} else {
+	default:
 		cf, err = core.New(opts.cfg)
 		if err != nil {
 			return nil, options{}, err

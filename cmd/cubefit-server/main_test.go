@@ -101,6 +101,12 @@ func TestNewServerFlagErrors(t *testing.T) {
 	if _, _, err := newServer([]string{"-health-interval", "-1s"}); err == nil {
 		t.Fatal("negative health interval accepted")
 	}
+	if _, _, err := newServer([]string{"-wal", "w.jsonl", "-wal-segments", "0"}); err == nil {
+		t.Fatal("zero -wal-segments accepted")
+	}
+	if _, _, err := newServer([]string{"-wal-segments", "2"}); err == nil {
+		t.Fatal("-wal-segments without -wal accepted")
+	}
 }
 
 // TestHealthFlags: the health endpoints are served out of the box, the
@@ -568,6 +574,111 @@ func TestWALBootRefusesBadLog(t *testing.T) {
 	}
 	if _, _, err := newServer([]string{"-wal", walPath}); err == nil {
 		t.Fatal("server booted from a corrupt log")
+	}
+}
+
+// TestShardedWALBootCycle is the sharded-WAL crash drill: a server logging
+// to three segments dies with one segment's fsyncs missing from disk. The
+// next boot must replay exactly the committed sequence prefix — batches
+// after the gap are readable on other segments but unreachable — truncate
+// every segment to the recovered frontier, and keep serving; a third boot
+// then agrees with the second.
+func TestShardedWALBootCycle(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.jsonl")
+	args := []string{"-wal", walPath, "-wal-segments", "3", "-gamma", "2", "-k", "10"}
+
+	srv1, opts1, err := newServer(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler)
+	// Serial singles: admission i seals commit sequence i+1, landing on
+	// segment i mod 3.
+	for i := 0; i < 12; i++ {
+		body := strings.NewReader(fmt.Sprintf(`{"id":%d,"load":0.1}`, i))
+		resp, err := ts1.Client().Post(ts1.URL+"/v1/tenants", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 201 {
+			t.Fatalf("place %d: status %d", i, resp.StatusCode)
+		}
+	}
+	ts1.Close()
+	if err := opts1.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: segment 1 (sequences 2, 5, 8, 11) lost everything after its
+	// first batch — the process died between the per-segment fsyncs. The
+	// committed prefix ends at sequence 4, i.e. tenants 0 through 3.
+	seg1 := obs.SegmentPath(walPath, 1)
+	f, err := os.Open(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, ends, _, err := obs.ReadWALOffsets(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(-1)
+	for j, e := range events {
+		if e.Kind == obs.KindWALCommit {
+			cut = ends[j]
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatal("segment 1 has no commit record")
+	}
+	if err := os.Truncate(seg1, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, opts2, err := newServer(args)
+	if err != nil {
+		t.Fatalf("boot after segment crash: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	snap2 := getOK(t, ts2, "/v1/placement")
+	for i := 0; i < 12; i++ {
+		want := i < 4
+		if got := strings.Contains(snap2, fmt.Sprintf(`"id":%d,"load"`, i)); got != want {
+			t.Fatalf("tenant %d present=%v after replay, want %v\n%s", i, got, want, snap2)
+		}
+	}
+	// The recovered server keeps admitting into the trimmed segments.
+	presp, err := ts2.Client().Post(ts2.URL+"/v1/tenants", "application/json",
+		strings.NewReader(`{"id":100,"load":0.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != 201 {
+		t.Fatalf("post-recovery admission status %d", presp.StatusCode)
+	}
+	snap2 = getOK(t, ts2, "/v1/placement")
+	ts2.Close()
+	if err := opts2.ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 3: the trimmed log plus boot 2's appends must replay cleanly to
+	// the same state.
+	srv3, opts3, err := newServer(args)
+	if err != nil {
+		t.Fatalf("second restart refused the log: %v", err)
+	}
+	ts3 := httptest.NewServer(srv3.Handler)
+	defer ts3.Close()
+	defer opts3.ctrl.Close()
+	if snap3 := getOK(t, ts3, "/v1/placement"); snap3 != snap2 {
+		t.Fatalf("recovered placement differs:\nbefore: %s\nafter:  %s", snap2, snap3)
+	}
+	if vresp := getOK(t, ts3, "/v1/validate"); !strings.Contains(vresp, "true") {
+		t.Fatalf("recovered placement invalid: %s", vresp)
 	}
 }
 

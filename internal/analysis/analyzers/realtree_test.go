@@ -66,6 +66,16 @@ func TestRealTreeHotpathAnnotationsPresent(t *testing.T) {
 		"cubefit/internal/core.levelIndex.insert",
 		"cubefit/internal/core.levelIndex.remove",
 		"cubefit/internal/core.levelIndex.update",
+		// The incremental reserve cache: the digest maintenance on every
+		// shared-load delta and the cached compare inside mFits.
+		"cubefit/internal/core.CubeFit.sharedChanged",
+		"cubefit/internal/core.CubeFit.adjustedReserve",
+		"cubefit/internal/core.topKDigest.update",
+		"cubefit/internal/core.topKDigest.insert",
+		"cubefit/internal/core.topKDigest.topSum",
+		"cubefit/internal/core.topKDigest.adjustedTopSum",
+		// The slack-pruned probe's bucket-bound maintenance.
+		"cubefit/internal/core.levelBucketState.raise",
 		// The pooled event seam every emission crosses.
 		"cubefit/internal/obs.AcquireEvent",
 		"cubefit/internal/obs.ReleaseEvent",
@@ -112,6 +122,15 @@ func TestRealTreeGuardedByAnnotationsPresent(t *testing.T) {
 		"cubefit/internal/obs.JSONL.err":         "mu",
 		"cubefit/internal/api.Controller.snap":   "mu",
 		"cubefit/internal/api.Controller.closed": "sendMu",
+		// The sharded log's staging state and the in-order acker.
+		"cubefit/internal/obs.ShardedWAL.cur":        "mu",
+		"cubefit/internal/obs.ShardedWAL.next":       "mu",
+		"cubefit/internal/obs.ShardedWAL.staged":     "mu",
+		"cubefit/internal/obs.ShardedWAL.err":        "mu",
+		"cubefit/internal/obs.ShardedWAL.closed":     "mu",
+		"cubefit/internal/api.Controller.ackNext":    "ackMu",
+		"cubefit/internal/api.Controller.ackPending": "ackMu",
+		"cubefit/internal/api.Controller.ackErr":     "ackMu",
 	}
 	for field, mu := range want {
 		if got[field] != mu {

@@ -95,9 +95,13 @@ func (c *Controller) Close() error {
 }
 
 // runPlacer is the pipeline's single consumer: it owns the order in which
-// admissions reach the engine.
+// admissions reach the engine. With a sharded log, batches leave the
+// placer still pending their background segment commit; the placer then
+// waits for every in-flight commit before signalling placerDone, so the
+// channel still means "every admission resolved".
 func (c *Controller) runPlacer() {
 	defer close(c.placerDone)
+	defer c.commitWG.Wait()
 	jobs := make([]*admitJob, 0, 64)
 	for job := range c.queue {
 		jobs = append(jobs[:0], job)
@@ -118,6 +122,12 @@ func (c *Controller) runPlacer() {
 		if c.tracer != nil {
 			c.tracer.dequeued(jobs, len(c.queue))
 		}
+		if c.swal != nil {
+			// The sharded path acks through the in-order acker; the batch
+			// escapes this loop iteration, so it gets its own slice.
+			c.placeJobsSharded(append(make([]*admitJob, 0, len(jobs)), jobs...))
+			continue
+		}
 		c.placeJobs(jobs)
 		for _, j := range jobs {
 			close(j.done)
@@ -125,19 +135,14 @@ func (c *Controller) runPlacer() {
 	}
 }
 
-// placeJobs admits every undecided item of the coalesced jobs under one
-// write-lock acquisition, then group-commits the write-ahead log before
-// the callers are released. On a failed commit every admission of the
-// batch is demoted to 503: its events may not have reached stable
-// storage, so acking it would break the recovery contract. The WAL error
-// is sticky, so all later admissions fail closed until the operator
-// intervenes.
-func (c *Controller) placeJobs(jobs []*admitJob) {
+// admitItemsLocked admits every undecided item of the coalesced jobs, in
+// arrival order, and invalidates the snapshot/headroom caches when the
+// engine changed. It returns the number of successful engine admissions
+// (the commit's group size) and whether anything mutated. The caller
+// holds the write lock.
+func (c *Controller) admitItemsLocked(jobs []*admitJob) (group int, mutated bool) {
 	tr := c.tracer
-	c.mu.Lock()
 	walDown := c.wal != nil && c.wal.Err() != nil
-	mutated := false
-	group := 0 // engine admissions the group commit will make durable
 	for _, job := range jobs {
 		for i := range job.items {
 			it := &job.items[i]
@@ -175,6 +180,46 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 		c.snap = nil
 		c.refreshHeadroom()
 	}
+	return group, mutated
+}
+
+// rollbackBatch demotes every admitted item of the batch to 503 and
+// removes its tenant from the engine, keeping the in-memory state aligned
+// with what clients were told. (If the flush landed but the fsync failed,
+// recovery may still resurrect these admissions from the log — durability
+// errs toward the log, never the ack.)
+func (c *Controller) rollbackBatch(jobs []*admitJob, msg string) {
+	// NewController refuses WAL attachment on algorithms without Remove,
+	// so the rollback is always available here.
+	rem := c.alg.(Remover)
+	c.mu.Lock()
+	for _, job := range jobs {
+		for i := range job.items {
+			it := &job.items[i]
+			if it.status == http.StatusCreated {
+				it.status = http.StatusServiceUnavailable
+				it.err = msg
+				it.servers = nil
+				_ = rem.Remove(it.tenant.ID)
+			}
+		}
+	}
+	c.snap = nil
+	c.refreshHeadroom()
+	c.mu.Unlock()
+}
+
+// placeJobs admits every undecided item of the coalesced jobs under one
+// write-lock acquisition, then group-commits the write-ahead log before
+// the callers are released. On a failed commit every admission of the
+// batch is demoted to 503: its events may not have reached stable
+// storage, so acking it would break the recovery contract. The WAL error
+// is sticky, so all later admissions fail closed until the operator
+// intervenes.
+func (c *Controller) placeJobs(jobs []*admitJob) {
+	tr := c.tracer
+	c.mu.Lock()
+	group, mutated := c.admitItemsLocked(jobs)
 	c.mu.Unlock()
 	if c.wal == nil || !mutated {
 		return
@@ -198,30 +243,108 @@ func (c *Controller) placeJobs(jobs []*admitJob) {
 	}
 	if err := syncErr; err != nil {
 		// The batch's events may not have reached stable storage, so none
-		// of its admissions can be acked. Demote them to 503 and roll the
-		// tenants back out of the engine, keeping the in-memory state
-		// aligned with what clients were told. (If the flush landed but the
-		// fsync failed, recovery may still resurrect these admissions from
-		// the log — durability errs toward the log, never the ack.)
-		msg := "write-ahead log sync failed: " + err.Error()
-		// NewController refuses WAL attachment on algorithms without
-		// Remove, so the rollback is always available here.
-		rem := c.alg.(Remover)
-		c.mu.Lock()
-		for _, job := range jobs {
-			for i := range job.items {
-				it := &job.items[i]
-				if it.status == http.StatusCreated {
-					it.status = http.StatusServiceUnavailable
-					it.err = msg
-					it.servers = nil
-					_ = rem.Remove(it.tenant.ID)
-				}
-			}
-		}
-		c.snap = nil
-		c.refreshHeadroom()
+		// of its admissions can be acked.
+		c.rollbackBatch(jobs, "write-ahead log sync failed: "+err.Error())
+	}
+}
+
+// sealedBatch is one coalesced batch sealed into a WAL segment and
+// awaiting finalization by the in-order acker.
+type sealedBatch struct {
+	jobs  []*admitJob
+	group int
+	// err is the batch's own commit outcome (nil until Commit returns).
+	err         error
+	commitID    uint64
+	commitStart int64
+}
+
+// placeJobsSharded is placeJobs for a sharded log: the batch is admitted
+// under the write lock and sealed into the current WAL segment (still
+// under the lock, so the segment batch holds exactly this batch's events
+// plus any earlier departures), but the fsync runs on a background
+// goroutine. The placer moves straight on to the next coalesced batch,
+// so commits of consecutive batches — sealed onto different segments —
+// overlap; handlers are released by ackSealedBatch strictly in seal
+// order, preserving the recovery contract that an acked admission and
+// everything before it are durable.
+func (c *Controller) placeJobsSharded(jobs []*admitJob) {
+	tr := c.tracer
+	c.mu.Lock()
+	group, mutated := c.admitItemsLocked(jobs)
+	if !mutated {
 		c.mu.Unlock()
+		// Nothing reached the engine (pre-rejected, conflicts, or log
+		// down): there is nothing to make durable, so ack immediately
+		// rather than queueing behind in-flight commits.
+		for _, j := range jobs {
+			close(j.done)
+		}
+		return
+	}
+	pc, err := c.swal.Seal()
+	c.mu.Unlock()
+	if err != nil {
+		// The commit record never reached the segment, so the batch cannot
+		// be delimited or recovered; the log is sticky-failed.
+		c.rollbackBatch(jobs, "write-ahead log seal failed: "+err.Error())
+		for _, j := range jobs {
+			close(j.done)
+		}
+		return
+	}
+	sb := &sealedBatch{jobs: jobs, group: group}
+	idx := c.ackSealed
+	c.ackSealed++
+	if tr != nil {
+		sb.commitID = tr.nextCommit()
+		sb.commitStart = tr.now()
+		stampCommitStart(jobs, sb.commitStart)
+	}
+	c.commitWG.Add(1)
+	go func() {
+		defer c.commitWG.Done()
+		sb.err = pc.Commit()
+		c.ackSealedBatch(idx, sb)
+	}()
+}
+
+// ackSealedBatch parks a completed commit under the acker and releases
+// every batch whose turn has come: batches finalize strictly in seal
+// order, so an admission is never acked while an earlier batch's fsync
+// is still in flight. Once any batch's commit fails, every later batch
+// is demoted too — its own fsync may have succeeded, but recovery
+// merge-replays commit sequences in order and stops at the first
+// unreadable one, so nothing after a failed commit is recoverable.
+func (c *Controller) ackSealedBatch(idx uint64, sb *sealedBatch) {
+	c.ackMu.Lock()
+	defer c.ackMu.Unlock()
+	if c.ackPending == nil {
+		c.ackPending = make(map[uint64]*sealedBatch)
+	}
+	c.ackPending[idx] = sb
+	for {
+		next, ok := c.ackPending[c.ackNext]
+		if !ok {
+			return
+		}
+		delete(c.ackPending, c.ackNext)
+		c.ackNext++
+		if next.err != nil && c.ackErr == nil {
+			c.ackErr = next.err
+		}
+		failed := next.err != nil || c.ackErr != nil
+		if failed {
+			c.rollbackBatch(next.jobs, "write-ahead log commit failed: "+c.ackErr.Error())
+		}
+		if tr := c.tracer; tr != nil {
+			commitEnd := tr.now()
+			stampCommitEnd(next.jobs, commitEnd, next.commitID, next.group)
+			tr.commitDone(next.commitID, next.group, commitEnd-next.commitStart, commitEnd, failed)
+		}
+		for _, j := range next.jobs {
+			close(j.done)
+		}
 	}
 }
 

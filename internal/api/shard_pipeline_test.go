@@ -1,0 +1,202 @@
+package api
+
+import (
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"cubefit/internal/obs"
+	"cubefit/internal/recovery"
+	"cubefit/internal/trace"
+)
+
+func doDelete(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest("DELETE", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestShardedWALKillRestart is the sharded twin of TestWALKillRestart: a
+// server logging to segment files dies after acking singles, batches and
+// a departure, and the merge-replay rebuilds the exact acked state.
+func TestShardedWALKillRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	swal, err := obs.OpenShardedWAL(path, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, cf, ctrl := newEngineServer(t, WithWAL(swal))
+
+	for i := 0; i < 10; i++ {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+			map[string]any{"id": i, "clients": 1 + i%15}, nil); code != 201 {
+			t.Fatalf("place %d failed", i)
+		}
+	}
+	items := make([]map[string]any, 20)
+	for i := range items {
+		items[i] = map[string]any{"id": 100 + i, "load": 0.05 + float64(i%9)*0.04}
+	}
+	var bresp batchResponse
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants:batch",
+		map[string]any{"tenants": items}, &bresp); code != 200 || bresp.Failed != 0 {
+		t.Fatalf("batch: code %d failed %d", code, bresp.Failed)
+	}
+	if code := doDelete(t, srv.URL+"/v1/tenants/3"); code != http.StatusNoContent {
+		t.Fatalf("delete status %d", code)
+	}
+
+	ackedSnap := trace.Capture(cf.Placement())
+	ackedStats := cf.Stats()
+
+	srv.Close()
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, rstats, shard, err := recovery.FromSegments(path, 3, cf.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Admitted != 30 || rstats.Departed != 1 || rstats.Dropped != 0 || rstats.Torn {
+		t.Fatalf("recovery stats %+v", rstats)
+	}
+	if shard.DroppedBatches != 0 {
+		t.Fatalf("clean shutdown dropped %d batches", shard.DroppedBatches)
+	}
+	if got := trace.Capture(rebuilt.Placement()); !reflect.DeepEqual(got, ackedSnap) {
+		t.Fatal("recovered snapshot differs from acked snapshot")
+	}
+	if rebuilt.Stats() != ackedStats {
+		t.Fatalf("recovered Stats %+v, acked %+v", rebuilt.Stats(), ackedStats)
+	}
+}
+
+// TestShardedWALCommitFailureFailsClosed: when a segment fsync fails, the
+// in-flight batch is demoted to 503 and rolled back by the async acker,
+// and the whole log latches failed so later admissions and departures are
+// refused up front.
+func TestShardedWALCommitFailureFailsClosed(t *testing.T) {
+	fws := []*flakyWriter{{}, {}}
+	swal := obs.NewShardedWAL([]*obs.WAL{obs.NewWAL(fws[0]), obs.NewWAL(fws[1])}, 1)
+	srv, cf, _ := newEngineServer(t, WithWAL(swal))
+
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 1, "load": 0.3}, nil); code != 201 {
+		t.Fatalf("healthy admission status %d", code)
+	}
+	fws[0].trip()
+	fws[1].trip()
+	// The admission itself succeeds in memory; the segment commit fails in
+	// the background, so the acker must roll it back before responding.
+	var errResp errorResponse
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 2, "load": 0.3}, &errResp); code != 503 {
+		t.Fatalf("post-trip admission status %d, want 503 (%s)", code, errResp.Error)
+	}
+	// Sticky across the whole log, including the healthy-looking paths.
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants", map[string]any{"id": 3, "load": 0.2}, nil); code != 503 {
+		t.Fatalf("second post-trip admission status %d, want 503", code)
+	}
+	var bresp batchResponse
+	if code := doJSON(t, "POST", srv.URL+"/v1/tenants:batch",
+		map[string]any{"tenants": []map[string]any{{"id": 4, "load": 0.2}}}, &bresp); code != 200 {
+		t.Fatalf("batch transport status %d", code)
+	} else if bresp.Results[0].Status != 503 {
+		t.Fatalf("batch item status %d, want 503", bresp.Results[0].Status)
+	}
+	if code := doDelete(t, srv.URL+"/v1/tenants/1"); code != 503 {
+		t.Fatalf("delete status %d, want 503", code)
+	}
+	// Only the committed admission remains; the rolled-back one is gone.
+	if _, exists := cf.Placement().Tenant(1); !exists {
+		t.Fatal("committed tenant lost")
+	}
+	if _, exists := cf.Placement().Tenant(2); exists {
+		t.Fatal("unlogged admission still placed after rollback")
+	}
+	if n := cf.Placement().NumTenants(); n != 1 {
+		t.Fatalf("tenants = %d, want 1", n)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", nil, nil); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+}
+
+// TestShardedWALConcurrentTraffic races admissions and departures against
+// the async commit path, then kills the server and verifies the merged
+// segment replay reproduces the acked state — the in-seal-order acker and
+// the seal-under-lock departure path must never interleave a batch.
+func TestShardedWALConcurrentTraffic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	swal, err := obs.OpenShardedWAL(path, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, cf, ctrl := newEngineServer(t, WithWAL(swal))
+
+	for i := 0; i < 50; i++ {
+		if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+			map[string]any{"id": i, "load": 0.05}, nil); code != 201 {
+			t.Fatalf("seed place %d failed", i)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := 1000 + g*100 + i
+				if code := doJSON(t, "POST", srv.URL+"/v1/tenants",
+					map[string]any{"id": id, "load": 0.02 + float64(id%7)*0.03}, nil); code != 201 {
+					t.Errorf("concurrent place %d: %d", id, code)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < 50; i += 2 {
+				if code := doDelete(t, srv.URL+"/v1/tenants/"+strconv.Itoa(i)); code != http.StatusNoContent {
+					t.Errorf("concurrent delete %d: %d", i, code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if n := cf.Placement().NumTenants(); n != 200 {
+		t.Fatalf("tenants = %d, want 200", n)
+	}
+	ackedSnap := trace.Capture(cf.Placement())
+
+	srv.Close()
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, rstats, shard, err := recovery.FromSegments(path, 4, cf.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Admitted != 250 || rstats.Departed != 50 || shard.DroppedBatches != 0 {
+		t.Fatalf("recovery stats %+v shard %+v", rstats, shard)
+	}
+	if got := trace.Capture(rebuilt.Placement()); !reflect.DeepEqual(got, ackedSnap) {
+		t.Fatal("recovered snapshot differs from acked snapshot")
+	}
+}

@@ -35,11 +35,15 @@ func BenchmarkBestMFitProbe(b *testing.B) {
 	for _, impl := range []struct {
 		name      string
 		reference bool
+		tenants   []int
 	}{
-		{"indexed", false},
-		{"reference", true},
+		// The 100k point pins the service-scale claim: probe cost stays
+		// ~flat as the open-tenant population grows. The reference scan is
+		// O(active bins) per probe, so it only runs the small points.
+		{"indexed", false, []int{200, 1000, 100000}},
+		{"reference", true, []int{200, 1000}},
 	} {
-		for _, tenants := range []int{200, 1000} {
+		for _, tenants := range impl.tenants {
 			name := fmt.Sprintf("%s/tenants%d", impl.name, tenants)
 			b.Run(name, func(b *testing.B) {
 				cf := benchEngine(b, Config{Gamma: 2, K: 10, ReferenceFirstStage: impl.reference}, tenants)
@@ -57,6 +61,66 @@ func BenchmarkBestMFitProbe(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchMFitsEngine builds a churned engine and returns it together with
+// the candidate bin whose server has the most sharing neighbors — the
+// worst case for the reference shared-map scan, the indifferent case for
+// the digest — and an m-fit probe against it.
+func benchMFitsEngine(b *testing.B, referenceReserve bool) (*CubeFit, *packing.Server, []int, packing.Replica) {
+	cf := benchEngine(b, Config{Gamma: 3, K: 10, ReferenceReserve: referenceReserve}, 1000)
+	var srv *packing.Server
+	for _, bn := range cf.active {
+		s := cf.p.Server(bn.server)
+		if srv == nil || s.NumShared() > srv.NumShared() {
+			srv = s
+		}
+	}
+	if srv == nil {
+		b.Fatal("no active bins")
+	}
+	// Two earlier hosts (γ=3) that do not host the probe tenant.
+	earlier := make([]int, 0, 2)
+	for _, bn := range cf.active {
+		if bn.server != srv.ID() {
+			earlier = append(earlier, bn.server)
+			if len(earlier) == 2 {
+				break
+			}
+		}
+	}
+	if len(earlier) < 2 {
+		b.Fatal("not enough active bins for earlier hosts")
+	}
+	probe := packing.Tenant{ID: packing.TenantID(1 << 20), Load: 0.03}
+	if err := cf.p.AddTenant(probe); err != nil {
+		b.Fatal(err)
+	}
+	return cf, srv, earlier, cf.p.Replicas(probe)[0]
+}
+
+// BenchmarkMFitsCached pins the digest-backed m-fit test: the adjusted
+// top-(γ−1) sums come from the per-bin reserve digests, so the cost is
+// O(γ) regardless of how many peers the candidate shares tenants with.
+func BenchmarkMFitsCached(b *testing.B) {
+	cf, srv, earlier, rep := benchMFitsEngine(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.mFits(srv, earlier, rep)
+	}
+}
+
+// BenchmarkMFitsReference pins the reference m-fit test behind
+// Config.ReferenceReserve: every call rescans the shared maps of the
+// candidate and each earlier host via topSharedAdjusted.
+func BenchmarkMFitsReference(b *testing.B) {
+	cf, srv, earlier, rep := benchMFitsEngine(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.mFits(srv, earlier, rep)
 	}
 }
 

@@ -72,6 +72,14 @@ type Config struct {
 	// parity property test asserts byte-identical traces — so the knob
 	// exists only for differential testing and index microbenchmarks.
 	ReferenceFirstStage bool
+	// ReferenceReserve makes the m-fit test and the per-bin reserve cache
+	// recompute top-(γ−1) shared sums from the shared maps
+	// (topSharedAdjusted / packing.TopShared) instead of reading the
+	// incremental per-bin reserve digests (see internal/core/reserve.go).
+	// The two are placement-identical — the parity property test asserts
+	// byte-identical traces — so the knob exists only for differential
+	// testing and reserve microbenchmarks.
+	ReferenceReserve bool
 }
 
 // DefaultConfig returns the configuration used in the paper's simulation

@@ -31,6 +31,11 @@ type CubeFit struct {
 	// steady-state churn (admit/depart cycles) reuses their backing arrays.
 	refPool [][]slotRef
 
+	// cachedReserve enables the incremental reserve-digest fast path for
+	// m-fit tests and refreshBin (set in New from the config; see
+	// reserve.go).
+	cachedReserve bool
+
 	// Scratch buffers for the admission hot path. CubeFit is documented as
 	// not concurrency-safe, so a single instance of each suffices; they are
 	// only ever valid within one Place/Remove call.
@@ -186,6 +191,11 @@ type bin struct {
 	// indexed), maintained alongside activeIdx.
 	bucket    int
 	bucketPos int
+	// digest incrementally tracks the server's largest pairwise shared
+	// loads (see reserve.go), fed by the packing shared-load hook; the
+	// cached m-fit path reads reserves from it instead of scanning the
+	// shared map.
+	digest topKDigest
 }
 
 type slotRef struct {
@@ -206,12 +216,33 @@ func New(cfg Config) (*CubeFit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CubeFit{
+	cf := &CubeFit{
 		cfg:   cfg,
 		p:     p,
 		cubes: make(map[cubeKey]*cube),
 		refs:  make(map[packing.TenantID][]slotRef),
-	}, nil
+		// The cached reserve path answers top-(γ−1) queries from the
+		// per-bin digests; it needs γ−1 ≤ digestSize to be exact and is
+		// a no-op under the reference knob. The digests themselves are
+		// maintained unconditionally (the hook below) so the property
+		// tests can compare them against packing.TopShared in any mode.
+		cachedReserve: !cfg.ReferenceReserve && cfg.Gamma-1 <= digestSize,
+	}
+	p.SetSharedHook(cf.sharedChanged)
+	return cf, nil
+}
+
+// sharedChanged is the packing shared-load hook: it repairs the affected
+// server's reserve digest after every pairwise shared-load mutation.
+//
+//cubefit:hotpath
+func (cf *CubeFit) sharedChanged(server, peer int, value float64) {
+	// Every server is opened by CubeFit itself (binAt), so the bin exists
+	// by the time its shared map first mutates; the bound check is purely
+	// defensive.
+	if server >= 0 && server < len(cf.bins) {
+		cf.bins[server].digest.update(peer, value, cf.p.Server(server))
+	}
 }
 
 // Name implements packing.Algorithm.
@@ -629,7 +660,11 @@ func (cf *CubeFit) matureBin(b *bin) {
 //cubefit:hotpath
 func (cf *CubeFit) refreshBin(b *bin) {
 	srv := cf.p.Server(b.server)
-	b.reserve = srv.TopShared(cf.cfg.Gamma - 1)
+	if cf.cachedReserve {
+		b.reserve = b.digest.topSum(cf.cfg.Gamma - 1)
+	} else {
+		b.reserve = srv.TopShared(cf.cfg.Gamma - 1)
+	}
 	b.level = srv.Level()
 	b.slack = 1 - b.level - b.reserve
 	if !b.mature {

@@ -41,7 +41,35 @@ func levelBucket(level float64) int {
 // their own position (bin.bucket, bin.bucketPos) so removal is O(1) via
 // swap-remove, mirroring how CubeFit.active tracks activeIdx.
 type levelIndex struct {
-	buckets [levelBuckets][]*bin
+	buckets [levelBuckets]levelBucketState
+}
+
+// levelBucketState is one quantized-level bucket plus the pruning bounds
+// the first stage uses to skip it wholesale. slackUB bounds the maximum
+// usable slack 1 − level − reserve of the bucket's bins and freeUB the
+// maximum free capacity 1 − level; both are monotone upper bounds —
+// raised whenever a bin enters or refreshes with a larger value, never
+// lowered on removal or shrink — so staleness can only cost a wasted
+// walk, never a missed candidate. A full bucket walk re-tightens them to
+// the exact maxima (see bestMFitIndexed), and emptying the bucket resets
+// them to zero.
+type levelBucketState struct {
+	bins    []*bin
+	slackUB float64
+	freeUB  float64
+}
+
+// raise lifts the bucket bounds to cover the bin's current slack and free
+// capacity.
+//
+//cubefit:hotpath
+func (bk *levelBucketState) raise(b *bin) {
+	if b.slack > bk.slackUB {
+		bk.slackUB = b.slack
+	}
+	if free := 1 - b.level; free > bk.freeUB {
+		bk.freeUB = free
+	}
 }
 
 // insert adds an active bin under its current cached level.
@@ -49,35 +77,47 @@ type levelIndex struct {
 //cubefit:hotpath
 func (ix *levelIndex) insert(b *bin) {
 	q := levelBucket(b.level)
+	bk := &ix.buckets[q]
 	b.bucket = q
-	b.bucketPos = len(ix.buckets[q])
+	b.bucketPos = len(bk.bins)
 	//cubefit:vet-allow hotpath -- bucket growth is amortized: remove swap-shrinks without releasing capacity, so steady-state churn reuses it
-	ix.buckets[q] = append(ix.buckets[q], b)
+	bk.bins = append(bk.bins, b)
+	bk.raise(b)
 }
 
-// remove takes the bin out of its bucket (no-op if not indexed).
+// remove takes the bin out of its bucket (no-op if not indexed). The
+// bounds stay put — possibly stale-high — except when the bucket empties,
+// which resets them so long-empty buckets are skipped outright.
 //
 //cubefit:hotpath
 func (ix *levelIndex) remove(b *bin) {
 	if b.bucket < 0 {
 		return
 	}
-	bucket := ix.buckets[b.bucket]
-	last := len(bucket) - 1
+	bk := &ix.buckets[b.bucket]
+	last := len(bk.bins) - 1
 	i := b.bucketPos
-	bucket[i] = bucket[last]
-	bucket[i].bucketPos = i
-	ix.buckets[b.bucket] = bucket[:last]
+	bk.bins[i] = bk.bins[last]
+	bk.bins[i].bucketPos = i
+	bk.bins = bk.bins[:last]
+	if last == 0 {
+		bk.slackUB = 0
+		bk.freeUB = 0
+	}
 	b.bucket = -1
 	b.bucketPos = -1
 }
 
 // update repositions the bin after a level change, touching the bucket
-// slices only when the quantized level actually moved.
+// slices only when the quantized level actually moved; either way the
+// target bucket's bounds are raised to cover the refreshed slack (a bin
+// whose slack grew in place — a departure — must widen the bounds or the
+// pruning would skip its bucket incorrectly).
 //
 //cubefit:hotpath
 func (ix *levelIndex) update(b *bin) {
 	if b.bucket == levelBucket(b.level) {
+		ix.buckets[b.bucket].raise(b)
 		return
 	}
 	ix.remove(b)

@@ -98,9 +98,18 @@ func TestLevelIndexMirrorsActive(t *testing.T) {
 	}
 	parityWorkload(t, cf, 42, 400)
 	indexed := 0
-	for q, bucket := range cf.index.buckets {
-		for pos, b := range bucket {
+	for q := range cf.index.buckets {
+		bucket := &cf.index.buckets[q]
+		for pos, b := range bucket.bins {
 			indexed++
+			if b.slack > bucket.slackUB {
+				t.Errorf("bin %d: slack %v exceeds bucket %d slack bound %v",
+					b.server, b.slack, q, bucket.slackUB)
+			}
+			if free := 1 - b.level; free > bucket.freeUB {
+				t.Errorf("bin %d: free %v exceeds bucket %d free bound %v",
+					b.server, free, q, bucket.freeUB)
+			}
 			if b.bucket != q || b.bucketPos != pos {
 				t.Fatalf("bin %d: stored position (%d,%d) but fields say (%d,%d)",
 					b.server, q, pos, b.bucket, b.bucketPos)

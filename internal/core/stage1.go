@@ -129,11 +129,24 @@ func (cf *CubeFit) bestMFit(t packing.Tenant, rep packing.Replica) (best *bin, p
 func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best *bin, probed int) {
 	earlier := cf.placedHosts(t.ID)
 	for q := levelBuckets - 1; q >= 0; q-- {
-		bucket := cf.index.buckets[q]
+		bk := &cf.index.buckets[q]
+		if len(bk.bins) == 0 {
+			continue
+		}
+		// Bucket pruning: the bounds dominate every bin's free capacity
+		// and usable slack, and m-fitting needs rep.Size within both, so
+		// a bucket failing either cannot contain a candidate. Skipped
+		// buckets contribute no probes — only bins reaching the m-fit
+		// test below are counted.
+		if !packing.FitsWithin(rep.Size, bk.freeUB) || !packing.FitsWithin(rep.Size, bk.slackUB) {
+			continue
+		}
 		bestLevel := -1.0
-		for i := 0; i < len(bucket); i++ {
-			b := bucket[i]
-			probed++
+		// The walk visits every bin, so it re-tightens the bucket bounds
+		// to the exact maxima for free.
+		maxSlack, maxFree := 0.0, 0.0
+		for i := 0; i < len(bk.bins); i++ {
+			b := bk.bins[i]
 			if packing.FitsWithin(b.slack, cf.cfg.PruneSlack) {
 				// Defensive retirement, mirroring the reference scan;
 				// refreshBin retires such bins eagerly, so this is not
@@ -143,6 +156,12 @@ func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best 
 				cf.retireBin(b)
 				i--
 				continue
+			}
+			if b.slack > maxSlack {
+				maxSlack = b.slack
+			}
+			if free := 1 - b.level; free > maxFree {
+				maxFree = free
 			}
 			if b.level < bestLevel ||
 				//cubefit:vet-allow floatcmp -- exact tie-break on level keeps Best Fit deterministic
@@ -156,11 +175,14 @@ func (cf *CubeFit) bestMFitIndexed(t packing.Tenant, rep packing.Replica) (best 
 			if srv.Hosts(t.ID) {
 				continue
 			}
+			probed++
 			if cf.mFits(srv, earlier, rep) {
 				best = b
 				bestLevel = b.level
 			}
 		}
+		bk.slackUB = maxSlack
+		bk.freeUB = maxFree
 		if best != nil {
 			return best, probed
 		}
@@ -179,7 +201,6 @@ func (cf *CubeFit) bestMFitScan(t packing.Tenant, rep packing.Replica) (best *bi
 	bestLevel := -1.0
 	for i := 0; i < len(cf.active); i++ {
 		b := cf.active[i]
-		probed++
 		srv := cf.p.Server(b.server)
 		slack := 1 - srv.Level() - b.reserve
 		if packing.FitsWithin(slack, cf.cfg.PruneSlack) {
@@ -203,6 +224,7 @@ func (cf *CubeFit) bestMFitScan(t packing.Tenant, rep packing.Replica) (best *bi
 		if srv.Hosts(t.ID) {
 			continue
 		}
+		probed++
 		if cf.mFits(srv, earlier, rep) {
 			best = b
 			bestLevel = srv.Level()
@@ -234,7 +256,11 @@ func (cf *CubeFit) placedHosts(id packing.TenantID) []int {
 }
 
 // mFits performs the exact m-fit test for placing rep on srv given the
-// tenant's earlier replicas on `earlier`.
+// tenant's earlier replicas on `earlier`. The adjusted top-k sums come
+// from the incremental per-bin reserve digests by default, making the
+// test O(γ) instead of a scan over the server's shared map; the
+// reference recomputation stays available behind Config.ReferenceReserve
+// and produces bit-identical sums.
 //
 //cubefit:hotpath
 func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica) bool {
@@ -245,7 +271,7 @@ func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica
 	}
 	// Candidate server: its shared load with each earlier host grows by
 	// rep.Size once rep lands here.
-	after := topSharedAdjusted(srv, k, earlier, rep.Size)
+	after := cf.adjustedReserve(srv, k, earlier, rep.Size)
 	if !packing.WithinCapacity(level + rep.Size + after) {
 		return false
 	}
@@ -254,12 +280,23 @@ func (cf *CubeFit) mFits(srv *packing.Server, earlier []int, rep packing.Replica
 	self := [1]int{srv.ID()}
 	for _, h := range earlier {
 		hs := cf.p.Server(h)
-		afterH := topSharedAdjusted(hs, k, self[:], rep.Size)
+		afterH := cf.adjustedReserve(hs, k, self[:], rep.Size)
 		if !packing.WithinCapacity(hs.Level() + afterH) {
 			return false
 		}
 	}
 	return true
+}
+
+// adjustedReserve dispatches the hypothetical top-k shared sum to the
+// server's reserve digest (fast path) or the reference shared-map scan.
+//
+//cubefit:hotpath
+func (cf *CubeFit) adjustedReserve(s *packing.Server, k int, bump []int, delta float64) float64 {
+	if cf.cachedReserve {
+		return cf.bins[s.ID()].digest.adjustedTopSum(k, bump, delta, s)
+	}
+	return topSharedAdjusted(s, k, bump, delta)
 }
 
 // topSharedAdjusted computes the sum of the k largest shared loads of s

@@ -35,9 +35,11 @@ const (
 	// KindAttempt opens an admission: Tenant, Size (the tenant load).
 	KindAttempt Kind = "attempt"
 	// KindStage1Probe reports one first-stage Best Fit scan: Tenant,
-	// Replica, Probes (mature bins examined), Server (the chosen bin, or
-	// -1 when no mature bin m-fits and the tenant falls through to the
-	// second stage).
+	// Replica, Probes (mature bins actually subjected to the m-fit test —
+	// bins rejected by the cached slack filters and whole level buckets
+	// skipped by the slack-pruned index contribute nothing, so the count
+	// measures real m-fit work), Server (the chosen bin, or -1 when no
+	// mature bin m-fits and the tenant falls through to the second stage).
 	KindStage1Probe Kind = "stage1_probe"
 	// KindStage1Place reports a replica placed into a mature bin by the
 	// first stage: Tenant, Replica, Server, Size, Level (server level
@@ -83,6 +85,14 @@ const (
 	KindReject Kind = "reject"
 	// KindDepart reports a tenant removal: Tenant.
 	KindDepart Kind = "depart"
+	// KindWALCommit is a durability marker, not a placement decision: a
+	// sharded write-ahead log appends it to a segment to seal the batch of
+	// events staged there since the previous seal (see ShardedWAL).
+	// CommitSeq carries the log-wide monotone commit sequence; recovery
+	// merge-replays segment batches in CommitSeq order and stops at the
+	// first gap. Engines never emit it, and recovery strips it from the
+	// replayed stream.
+	KindWALCommit Kind = "wal_commit"
 )
 
 // Unset marks an identity field (Tenant, Replica, Server, Slot, Class,
@@ -113,6 +123,10 @@ type Event struct {
 	Probes  int     `json:"probes,omitempty"`
 	Path    string  `json:"path,omitempty"`
 	Reason  string  `json:"reason,omitempty"`
+	// CommitSeq is the monotone commit sequence of a wal_commit record
+	// (meaningful only for KindWALCommit; sequences start at 1, so 0 is
+	// the absent value).
+	CommitSeq uint64 `json:"commitSeq,omitempty"`
 }
 
 // NewEvent returns an event of the given kind with every identity field

@@ -37,7 +37,9 @@ type Decision struct {
 	Counter  int               `json:"counter"`
 	Digits   []int             `json:"digits,omitempty"`
 	Replicas []ReplicaDecision `json:"replicas,omitempty"`
-	// Probes totals the bins/servers examined across the admission.
+	// Probes totals the bins/servers m-fit-tested across the admission
+	// (bins pre-filtered by cached slack or skipped with their whole
+	// level bucket are not counted).
 	Probes int `json:"probes,omitempty"`
 	// Rollbacks lists the reasons of rollback events during the admission
 	// (a first-stage fallback, or the unwind before a rejection).

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CommitLog is the durability seam of the admission pipeline: a Recorder
+// whose group commit (Sync) makes every previously recorded event durable
+// before the admissions it covers are acked, with sticky fail-closed
+// error reporting. *WAL implements it for the single-file log and
+// *ShardedWAL for the segmented one; the api.Controller depends only on
+// this interface.
+type CommitLog interface {
+	Recorder
+	// Sync makes every recorded event durable (group commit) and returns
+	// the sticky error, if any.
+	Sync() error
+	// Err returns the sticky error, if any; callers on the admission path
+	// must fail closed on a non-nil value.
+	Err() error
+	// Failed reports sticky commit failure without taking the commit
+	// lock, so health sampling survives a hung fsync.
+	Failed() bool
+	// Close performs a final commit and releases the underlying files.
+	Close() error
+}
+
+var (
+	_ CommitLog = (*WAL)(nil)
+	_ CommitLog = (*ShardedWAL)(nil)
+)
+
+// SegmentPath returns the file path of segment i of the sharded log
+// rooted at path (e.g. cubefit.wal.seg0). Keeping the base path as a pure
+// prefix means -wal plus -wal-segments fully determine the file set.
+func SegmentPath(path string, i int) string {
+	return fmt.Sprintf("%s.seg%d", path, i)
+}
+
+// ShardedWAL is a write-ahead log striped over N append-only segment
+// files so independent group commits fsync in parallel instead of
+// queueing on one file. Events are staged into the current segment;
+// Seal closes the batch staged there by appending a wal_commit record
+// carrying the log-wide monotone commit sequence, advances the staging
+// cursor to the next segment round-robin, and returns a PendingCommit
+// whose Commit flushes and fsyncs just that segment. Batches sealed onto
+// different segments therefore commit concurrently — each segment's own
+// WAL lock serializes only its file — while the commit-sequence records
+// give recovery a total order to merge the segments back into: replay
+// concatenates batches in CommitSeq order and stops at the first gap,
+// so an ack issued only once every sequence up to a batch's own is
+// durable (the pipeline's in-order acker enforces this) is always
+// covered by the recovered state.
+//
+// Error handling is sticky and fail-closed across the whole log: a
+// commit failure on any segment fails every subsequent Record, Seal and
+// Sync, because later batches can recover only if every earlier
+// sequence is readable. ShardedWAL is safe for concurrent use.
+type ShardedWAL struct {
+	mu sync.Mutex
+	// segs are the per-segment single-file WALs; the slice is fixed at
+	// construction, each element has its own lock and sticky state.
+	segs []*WAL
+	// cur indexes the segment staging the batch that the next Seal will
+	// close. Sequence s seals onto segment (s−1) mod len(segs).
+	//cubefit:guarded-by mu
+	cur int
+	// next is the commit sequence the next Seal will assign; sequences
+	// start at 1 (0 marks "no commit record" in serialized events).
+	//cubefit:guarded-by mu
+	next uint64
+	// staged counts events recorded into the current segment since the
+	// last seal; Sync skips the seal (and the sequence) when it is zero.
+	//cubefit:guarded-by mu
+	staged int
+	// err is the log-wide sticky error (first commit failure of any
+	// segment, or ErrWALClosed after a clean Close).
+	//cubefit:guarded-by mu
+	err error
+	// failed mirrors "err holds a commit error" without the mutex, like
+	// WAL.failed; a clean Close does not set it.
+	failed atomic.Bool
+	//cubefit:guarded-by mu
+	closed bool
+}
+
+// OpenShardedWAL opens (creating as needed) the n segment files of the
+// sharded log rooted at path, resuming commit sequences at nextSeq (1 for
+// a fresh log; recovery reports the frontier for a reopened one). The
+// caller must have truncated each segment to its committed prefix first,
+// exactly as with the single-file log.
+func OpenShardedWAL(path string, n int, nextSeq uint64) (*ShardedWAL, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("obs: sharded wal needs at least 2 segments, got %d", n)
+	}
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	segs := make([]*WAL, n)
+	for i := range segs {
+		w, err := OpenWAL(SegmentPath(path, i))
+		if err != nil {
+			for _, open := range segs[:i] {
+				//cubefit:vet-allow failclosed -- open-failure cleanup: the log never recorded anything, so no acknowledged bytes can be lost
+				_ = open.Close()
+			}
+			return nil, err
+		}
+		segs[i] = w
+	}
+	return NewShardedWAL(segs, nextSeq), nil
+}
+
+// NewShardedWAL builds a sharded log over caller-supplied segment WALs
+// (tests stripe over in-memory writers). Sequence nextSeq will be staged
+// onto segment (nextSeq−1) mod len(segs), matching where recovery left
+// off.
+func NewShardedWAL(segs []*WAL, nextSeq uint64) *ShardedWAL {
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	return &ShardedWAL{
+		segs: segs,
+		cur:  int((nextSeq - 1) % uint64(len(segs))),
+		next: nextSeq,
+	}
+}
+
+// Segments returns the number of segment files.
+func (s *ShardedWAL) Segments() int { return len(s.segs) }
+
+// NextSeq returns the commit sequence the next Seal will assign.
+func (s *ShardedWAL) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Record implements Recorder: the event is staged into the current
+// segment. It becomes durable once the batch it lands in is sealed and
+// committed (or a full Sync runs).
+func (s *ShardedWAL) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.segs[s.cur].Record(e)
+	s.staged++
+}
+
+// PendingCommit is one sealed batch awaiting its group commit: Commit
+// flushes and fsyncs the owning segment only, so commits of batches
+// sealed onto other segments proceed in parallel.
+type PendingCommit struct {
+	log *ShardedWAL
+	seg *WAL
+	seq uint64
+}
+
+// Seq returns the batch's log-wide commit sequence.
+func (pc *PendingCommit) Seq() uint64 { return pc.seq }
+
+// Commit makes the sealed batch durable: it group-commits the owning
+// segment (covering this batch's events, its commit record, and any
+// earlier still-buffered batch on the same segment). A failure — or a
+// prior sticky failure anywhere in the log — is returned and latches the
+// whole log failed, because a batch whose predecessors are unreadable
+// must not be acked.
+func (pc *PendingCommit) Commit() error {
+	if err := pc.log.Err(); err != nil {
+		return err
+	}
+	if err := pc.seg.Sync(); err != nil {
+		pc.log.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Seal closes the batch staged on the current segment: it appends the
+// wal_commit record carrying the next commit sequence, advances the
+// staging cursor to the next segment, and returns the pending commit.
+// Callers must eventually Commit every seal (in any order — the
+// sequence records let recovery reassemble), must ack admissions only in
+// sequence order, and must serialize Seal with the recording of any
+// multi-event operation (the api layer seals under its engine write
+// lock), or a batch boundary could split an admission's events in a way
+// the next boot cannot truncate cleanly. Seal fails only when the log is
+// sticky-failed or closed.
+func (s *ShardedWAL) Seal() (*PendingCommit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked()
+}
+
+func (s *ShardedWAL) sealLocked() (*PendingCommit, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	seg := s.segs[s.cur]
+	rec := NewEvent(KindWALCommit)
+	rec.CommitSeq = s.next
+	seg.Record(rec)
+	if err := seg.Err(); err != nil {
+		// The commit record never reached the staging buffer; the batch
+		// cannot be delimited, so the log is failed, not just the segment.
+		s.failLocked(err)
+		return nil, err
+	}
+	pc := &PendingCommit{log: s, seg: seg, seq: s.next}
+	s.next++
+	s.cur = (s.cur + 1) % len(s.segs)
+	s.staged = 0
+	return pc, nil
+}
+
+// Sync implements the CommitLog group commit: it seals the batch staged
+// on the current segment (when it holds any events) and then commits
+// every segment, so every event recorded before the call — including
+// batches still pending their own Commit — is durable when it returns.
+// Like Seal, it must be serialized with multi-event recording; callers
+// that cannot guarantee that should Seal under their own lock and then
+// SyncAll.
+func (s *ShardedWAL) Sync() error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if s.staged > 0 {
+		if _, err := s.sealLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.mu.Unlock()
+	return s.SyncAll()
+}
+
+// SyncAll flushes and fsyncs every segment without sealing anything:
+// afterwards every previously sealed batch is durable, whatever the
+// state of its own pending Commit. The departure path uses it (after
+// sealing under the api write lock) so a removal's ack covers the whole
+// sealed prefix. The fsyncs run outside the log lock, so records and
+// seals keep flowing meanwhile.
+func (s *ShardedWAL) SyncAll() error {
+	for _, seg := range s.segs {
+		if err := seg.Sync(); err != nil {
+			s.fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// fail latches the log-wide sticky error.
+func (s *ShardedWAL) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLocked(err)
+}
+
+func (s *ShardedWAL) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.failed.Store(true)
+}
+
+// Err returns the log-wide sticky error, if any, surfacing per-segment
+// write failures (bufio auto-flush errors latch only the segment) as
+// whole-log failures.
+func (s *ShardedWAL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	for _, seg := range s.segs {
+		// Reading the segment's sticky state takes its lock, never the
+		// file, so this stays cheap on the admission path.
+		if err := seg.Err(); err != nil {
+			s.failLocked(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Failed reports sticky commit failure on the log or any segment without
+// taking the log lock (see WAL.Failed).
+func (s *ShardedWAL) Failed() bool {
+	if s.failed.Load() {
+		return true
+	}
+	for _, seg := range s.segs {
+		if seg.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the total number of events accepted across segments
+// (commit records included).
+func (s *ShardedWAL) Count() uint64 {
+	var n uint64
+	for _, seg := range s.segs {
+		n += seg.Count()
+	}
+	return n
+}
+
+// Close seals nothing new: it final-commits and closes every segment,
+// reporting the first error. Like WAL.Close it is idempotent and leaves
+// the log sticky-closed so later records are dropped.
+func (s *ShardedWAL) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.err == nil {
+		s.err = ErrWALClosed
+	}
+	s.mu.Unlock()
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.Close(); first == nil && err != nil {
+			first = err
+		}
+	}
+	return first
+}

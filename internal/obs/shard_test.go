@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shardedBuffers builds an in-memory sharded log over n buffer-backed
+// segments, returning the buffers for read-back.
+func shardedBuffers(n int, nextSeq uint64) (*ShardedWAL, []*bytes.Buffer) {
+	bufs := make([]*bytes.Buffer, n)
+	segs := make([]*WAL, n)
+	for i := range segs {
+		bufs[i] = &bytes.Buffer{}
+		segs[i] = NewWAL(bufs[i])
+	}
+	return NewShardedWAL(segs, nextSeq), bufs
+}
+
+func TestShardedWALSealRoutesRoundRobin(t *testing.T) {
+	s, bufs := shardedBuffers(3, 1)
+	pcs := make([]*PendingCommit, 0, 4)
+	for i := 1; i <= 4; i++ {
+		s.Record(walEvent(i))
+		pc, err := s.Seal()
+		if err != nil {
+			t.Fatalf("seal %d: %v", i, err)
+		}
+		if pc.Seq() != uint64(i) {
+			t.Fatalf("seal %d assigned sequence %d", i, pc.Seq())
+		}
+		pcs = append(pcs, pc)
+	}
+	// Commits land in any order; the sequence records are the total order.
+	for _, i := range []int{2, 0, 3, 1} {
+		if err := pcs[i].Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i+1, err)
+		}
+	}
+	// Sequence s seals onto segment (s−1) mod 3, so segment 0 holds
+	// batches 1 and 4, segment 1 batch 2, segment 2 batch 3.
+	wantSeqs := [][]uint64{{1, 4}, {2}, {3}}
+	for seg, buf := range bufs {
+		events, torn, err := ReadWAL(bytes.NewReader(buf.Bytes()))
+		if err != nil || torn {
+			t.Fatalf("segment %d: torn=%v err=%v", seg, torn, err)
+		}
+		var seqs []uint64
+		for _, e := range events {
+			if e.Kind == KindWALCommit {
+				seqs = append(seqs, e.CommitSeq)
+			} else if e.Kind != KindAdmit {
+				t.Fatalf("segment %d: unexpected event %+v", seg, e)
+			}
+		}
+		if len(seqs) != len(wantSeqs[seg]) {
+			t.Fatalf("segment %d: commit sequences %v, want %v", seg, seqs, wantSeqs[seg])
+		}
+		for j, seq := range seqs {
+			if seq != wantSeqs[seg][j] {
+				t.Fatalf("segment %d: commit sequences %v, want %v", seg, seqs, wantSeqs[seg])
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedWALSyncSealsStagedOnly: Sync seals the staged batch when one
+// exists and skips the seal (consuming no sequence) when nothing was
+// recorded since the last seal, so redundant group commits do not litter
+// the log with empty batches.
+func TestShardedWALSyncSealsStagedOnly(t *testing.T) {
+	s, bufs := shardedBuffers(2, 1)
+	s.Record(walEvent(1))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NextSeq(); got != 2 {
+		t.Fatalf("NextSeq after first Sync = %d, want 2", got)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NextSeq(); got != 2 {
+		t.Fatalf("empty Sync consumed a sequence: NextSeq = %d, want 2", got)
+	}
+	events, _, err := ReadWAL(bytes.NewReader(bufs[0].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Kind != KindWALCommit || events[1].CommitSeq != 1 {
+		t.Fatalf("segment 0 events = %+v", events)
+	}
+}
+
+// TestShardedWALSyncAllCoversPendingBatches: SyncAll makes every sealed
+// batch durable even when its own Commit has not run, the property the
+// departure ack relies on.
+func TestShardedWALSyncAllCoversPendingBatches(t *testing.T) {
+	s, bufs := shardedBuffers(2, 1)
+	s.Record(walEvent(1))
+	if _, err := s.Seal(); err != nil {
+		t.Fatal(err) // pending commit intentionally never run
+	}
+	s.Record(walEvent(2))
+	if _, err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for seg, buf := range bufs {
+		events, torn, err := ReadWAL(bytes.NewReader(buf.Bytes()))
+		if err != nil || torn {
+			t.Fatalf("segment %d: torn=%v err=%v", seg, torn, err)
+		}
+		total += len(events)
+	}
+	if total != 4 { // two events + two commit records
+		t.Fatalf("SyncAll flushed %d events across segments, want 4", total)
+	}
+}
+
+func TestShardedWALStickyFailure(t *testing.T) {
+	bufs := []*bytes.Buffer{{}, {}}
+	segs := []*WAL{NewWAL(bufs[0]), NewWAL(&failAfter{n: 8})}
+	s := NewShardedWAL(segs, 1)
+	s.Record(walEvent(1))
+	pc1, err := s.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(walEvent(2)) // staged onto the failing segment
+	pc2, err := s.Seal()
+	if err != nil {
+		t.Fatal(err) // buffered: the failing writer is not reached yet
+	}
+	if err := pc2.Commit(); err == nil {
+		t.Fatal("commit on a failing segment succeeded")
+	}
+	// The whole log is latched failed: records drop, seals and syncs fail,
+	// and even the healthy segment's pending commit is refused.
+	if !s.Failed() || s.Err() == nil {
+		t.Fatalf("Failed=%v Err=%v after segment commit failure", s.Failed(), s.Err())
+	}
+	before := s.Count()
+	s.Record(walEvent(3))
+	if s.Count() != before {
+		t.Fatal("Record accepted an event after a sticky failure")
+	}
+	if _, err := s.Seal(); err == nil {
+		t.Fatal("Seal succeeded after a sticky failure")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync succeeded after a sticky failure")
+	}
+	if err := pc1.Commit(); err == nil {
+		t.Fatal("pending commit on the healthy segment succeeded after the log failed")
+	}
+}
+
+func TestOpenShardedWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	s, err := OpenShardedWAL(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		s.Record(walEvent(i))
+		pc, serr := s.Seal()
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if cerr := pc.Commit(); cerr != nil {
+			t.Fatal(cerr)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen where recovery would: sequences resume at the frontier, and
+	// the staging cursor lands on the matching segment.
+	s2, err := OpenShardedWAL(path, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.NextSeq(); got != 3 {
+		t.Fatalf("NextSeq = %d, want 3", got)
+	}
+	s2.Record(walEvent(3))
+	pc, err := s2.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Seq() != 3 {
+		t.Fatalf("resumed seal assigned sequence %d, want 3", pc.Seq())
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 3 belongs on segment (3−1) mod 2 = 0, appended after batch 1.
+	data, err := os.ReadFile(SegmentPath(path, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, torn, err := ReadWAL(bytes.NewReader(data))
+	if err != nil || torn {
+		t.Fatalf("segment 0: torn=%v err=%v", torn, err)
+	}
+	var seqs []uint64
+	for _, e := range f0 {
+		if e.Kind == KindWALCommit {
+			seqs = append(seqs, e.CommitSeq)
+		}
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Fatalf("segment 0 commit sequences = %v, want [1 3]", seqs)
+	}
+	if _, err := OpenShardedWAL(filepath.Join(t.TempDir(), "w"), 1, 1); err == nil {
+		t.Fatal("single-segment sharded log accepted")
+	}
+}

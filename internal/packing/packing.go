@@ -198,6 +198,9 @@ type Placement struct {
 	// replica index; -1 for not-yet-placed replicas.
 	tenantHosts map[TenantID][]int
 	tenants     map[TenantID]Tenant
+	// sharedHook, when non-nil, observes every pairwise shared-load
+	// mutation (see SetSharedHook).
+	sharedHook func(server, peer int, value float64)
 }
 
 // Errors returned by Placement mutations.
@@ -224,6 +227,15 @@ func NewPlacement(gamma int) (*Placement, error) {
 
 // Gamma returns the replication factor.
 func (p *Placement) Gamma() int { return p.gamma }
+
+// SetSharedHook registers fn to run synchronously after every mutation of
+// a pairwise shared load: fn(server, peer, value) reports that server's
+// shared load with peer is now value, where value == 0 means the entry was
+// removed (shared loads are strictly positive while present). Place fires
+// it twice per affected pair (once per direction). The placement engines
+// use it to maintain incremental top-k reserve digests; fn must not
+// mutate the placement. A nil fn detaches the hook.
+func (p *Placement) SetSharedHook(fn func(server, peer int, value float64)) { p.sharedHook = fn }
 
 // NumServers returns the number of servers ever opened.
 func (p *Placement) NumServers() int { return len(p.servers) }
@@ -423,6 +435,10 @@ func (p *Placement) Place(sid int, r Replica) error {
 		o := p.servers[other]
 		s.shared[other] += r.Size
 		o.shared[sid] += o.replicas[r.Tenant].Size
+		if p.sharedHook != nil {
+			p.sharedHook(sid, other, s.shared[other])
+			p.sharedHook(other, sid, o.shared[sid])
+		}
 	}
 	return nil
 }
@@ -453,6 +469,10 @@ func (p *Placement) Unplace(id TenantID, idx int) error {
 		o.shared[sid] -= o.replicas[id].Size
 		if Negligible(o.shared[sid]) {
 			delete(o.shared, sid)
+		}
+		if p.sharedHook != nil {
+			p.sharedHook(sid, other, s.shared[other])
+			p.sharedHook(other, sid, o.shared[sid])
 		}
 	}
 	delete(s.replicas, id)

@@ -1,0 +1,274 @@
+package recovery
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cubefit/internal/clock"
+	"cubefit/internal/core"
+	"cubefit/internal/obs"
+	"cubefit/internal/packing"
+	"cubefit/internal/trace"
+)
+
+// shardOp is one engine operation of the sharded-recovery workload; the
+// driver seals one WAL batch per op, so op i carries commit sequence i+1.
+type shardOp struct {
+	remove bool
+	tenant packing.Tenant
+	id     packing.TenantID
+}
+
+func shardOps() []shardOp {
+	ops := make([]shardOp, 0, 9)
+	for i := 1; i <= 7; i++ {
+		ops = append(ops, shardOp{tenant: packing.Tenant{ID: packing.TenantID(i), Load: 0.1 + float64(i)*0.05}})
+	}
+	ops = append(ops, shardOp{remove: true, id: 3})
+	ops = append(ops, shardOp{tenant: packing.Tenant{ID: 20, Load: 0.25}})
+	return ops
+}
+
+// applyOps drives a prefix of the workload against cf.
+func applyOps(t *testing.T, cf *core.CubeFit, ops []shardOp) {
+	t.Helper()
+	for i, o := range ops {
+		if o.remove {
+			if err := cf.Remove(o.id); err != nil {
+				t.Fatalf("op %d: remove %d: %v", i+1, o.id, err)
+			}
+			continue
+		}
+		if err := cf.Place(o.tenant); err != nil {
+			t.Fatalf("op %d: place %d: %v", i+1, o.tenant.ID, err)
+		}
+	}
+}
+
+// driveSharded replays the full workload into a sharded WAL at path,
+// sealing and committing one batch per operation like the admission
+// pipeline does, and returns the live engine for comparison.
+func driveSharded(t *testing.T, path string, n int, cfg core.Config) *core.CubeFit {
+	t.Helper()
+	swal, err := obs.OpenShardedWAL(path, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.SetRecorder(obs.Stamp(clock.NewFake(time.Unix(0, 0)), swal))
+	for i, o := range shardOps() {
+		applyOps(t, cf, []shardOp{o})
+		pc, serr := swal.Seal()
+		if serr != nil {
+			t.Fatalf("op %d: seal: %v", i+1, serr)
+		}
+		if cerr := pc.Commit(); cerr != nil {
+			t.Fatalf("op %d: commit: %v", i+1, cerr)
+		}
+	}
+	if err := swal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+// dropBatch truncates the segment file holding commit sequence seq so the
+// batch (and everything after it on that segment) disappears, as if the
+// process died before that segment's fsync landed.
+func dropBatch(t *testing.T, path string, n int, seq uint64) {
+	t.Helper()
+	segPath := obs.SegmentPath(path, int((seq-1)%uint64(n)))
+	f, err := os.Open(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, ends, _, err := obs.ReadWALOffsets(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(0)
+	for j, e := range events {
+		if e.Kind == obs.KindWALCommit {
+			if e.CommitSeq == seq {
+				break
+			}
+			cut = ends[j]
+		}
+	}
+	if err := os.Truncate(segPath, cut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSegmentsReproducesExactState(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	live := driveSharded(t, path, 3, cfg)
+	cf, st, sh, err := FromSegments(path, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 8 || st.Departed != 1 || st.Rejected != 0 || st.Dropped != 0 || st.Torn {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sh.NextSeq != 10 || sh.DroppedBatches != 0 {
+		t.Fatalf("shard recovery = %+v", sh)
+	}
+	if got, want := trace.Capture(cf.Placement()), trace.Capture(live.Placement()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered snapshot differs from live snapshot")
+	}
+	// A clean log needs no trimming: every segment ends at the commit
+	// record recovery kept.
+	for i := 0; i < 3; i++ {
+		info, err := os.Stat(obs.SegmentPath(path, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != sh.CommittedBytes[i] {
+			t.Fatalf("segment %d: size %d, committed bytes %d", i, info.Size(), sh.CommittedBytes[i])
+		}
+	}
+}
+
+// TestFromSegmentsStopsAtSequenceGap is the segment-crash case: one
+// segment's fsync never landed, so a middle commit sequence is missing.
+// Replay must stop at the committed sequence prefix — later batches are
+// on disk but unreachable — and truncating each segment at the reported
+// offsets must leave a log the next boot recovers identically.
+func TestFromSegmentsStopsAtSequenceGap(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	driveSharded(t, path, 3, cfg)
+	// Kill sequence 5 (segment 1, which holds batches 2, 5 and 8): the
+	// truncation also takes batch 8 down with it.
+	dropBatch(t, path, 3, 5)
+
+	cf, st, sh, err := FromSegments(path, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NextSeq != 5 {
+		t.Fatalf("NextSeq = %d, want 5", sh.NextSeq)
+	}
+	// Readable batches past the gap: 6, 7 and 9 (8 went with the cut).
+	if sh.DroppedBatches != 3 {
+		t.Fatalf("DroppedBatches = %d, want 3", sh.DroppedBatches)
+	}
+	if st.Admitted != 4 || st.Departed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want, werr := core.New(cfg)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	applyOps(t, want, shardOps()[:4])
+	if got, wantSnap := trace.Capture(cf.Placement()), trace.Capture(want.Placement()); !reflect.DeepEqual(got, wantSnap) {
+		t.Fatal("recovered snapshot differs from the committed-prefix replay")
+	}
+	if _, exists := cf.Placement().Tenant(20); exists {
+		t.Fatal("admission past the sequence gap resurrected")
+	}
+
+	// Next boot: truncate to the recovered prefix and recover again.
+	for i := 0; i < 3; i++ {
+		if _, terr := obs.TruncateWAL(obs.SegmentPath(path, i), sh.CommittedBytes[i]); terr != nil {
+			t.Fatal(terr)
+		}
+	}
+	cf2, st2, sh2, err := FromSegments(path, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Dropped != 0 || sh2.DroppedBatches != 0 || sh2.NextSeq != 5 {
+		t.Fatalf("after truncation: stats %+v shard %+v", st2, sh2)
+	}
+	if got, wantSnap := trace.Capture(cf2.Placement()), trace.Capture(cf.Placement()); !reflect.DeepEqual(got, wantSnap) {
+		t.Fatal("truncated log recovers a different state")
+	}
+}
+
+// TestFromSegmentsTornCommitRecord: a crash mid-write tears the last
+// batch's commit record in half; its events are an uncommitted tail, the
+// frontier ends one sequence earlier, and the run is reported torn.
+func TestFromSegmentsTornCommitRecord(t *testing.T) {
+	cfg := core.Config{Gamma: 2, K: 10}
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	driveSharded(t, path, 3, cfg)
+	// Sequence 9 is the last batch on segment 2; tear its commit record.
+	segPath := obs.SegmentPath(path, 2)
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	cf, st, sh, err := FromSegments(path, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Torn {
+		t.Fatal("torn segment tail not reported")
+	}
+	if sh.NextSeq != 9 || sh.DroppedBatches != 0 {
+		t.Fatalf("shard recovery = %+v", sh)
+	}
+	if _, exists := cf.Placement().Tenant(20); exists {
+		t.Fatal("tenant of the torn batch resurrected")
+	}
+	if st.Admitted != 7 || st.Departed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFromSegmentsMissingFilesAreFresh(t *testing.T) {
+	cfg := core.Config{Gamma: 3, K: 10}
+	cf, st, sh, err := FromSegments(filepath.Join(t.TempDir(), "absent.jsonl"), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (Stats{}) {
+		t.Fatalf("stats = %+v, want zero", st)
+	}
+	if sh.NextSeq != 1 || sh.DroppedBatches != 0 {
+		t.Fatalf("shard recovery = %+v", sh)
+	}
+	if cf.Placement().NumTenants() != 0 {
+		t.Fatal("fresh engine is not empty")
+	}
+}
+
+func TestFromSegmentsRejectsDuplicateSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	for i := 0; i < 2; i++ {
+		w, err := obs.OpenWAL(obs.SegmentPath(path, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.NewEvent(obs.KindWALCommit)
+		rec.CommitSeq = 1
+		w.Record(rec)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, _, err := FromSegments(path, 2, core.Config{Gamma: 2, K: 10})
+	if err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Fatalf("duplicate sequence accepted: %v", err)
+	}
+}
+
+func TestFromSegmentsRejectsSingleSegment(t *testing.T) {
+	_, _, _, err := FromSegments(filepath.Join(t.TempDir(), "w"), 1, core.Config{Gamma: 2, K: 10})
+	if err == nil {
+		t.Fatal("single-segment recovery accepted")
+	}
+}
